@@ -1,0 +1,36 @@
+# FineReg reproduction — common developer targets.
+
+PYTHON ?= python
+SCALE ?= small
+
+.PHONY: install test bench bench-fast report calibrate clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || \
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-out:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	REPRO_SCALE=$(SCALE) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-fast:
+	REPRO_SCALE=tiny $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-out:
+	REPRO_SCALE=$(SCALE) $(PYTHON) -m pytest benchmarks/ --benchmark-only \
+		2>&1 | tee bench_output.txt
+
+report:
+	$(PYTHON) -m repro.experiments.run_all --scale $(SCALE) --out results
+
+calibrate:
+	$(PYTHON) tools/calibrate.py $(SCALE)
+
+clean:
+	rm -rf .pytest_cache .benchmarks results/REPORT.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,42 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and prints
+its text rendering (captured with ``pytest benchmarks/ --benchmark-only -s``
+or via the harness's stdout sections).  All benchmarks share one memoizing
+runner so figures that reuse the same simulations (12/13/16) only pay once.
+
+Scale defaults to ``small``; set ``REPRO_SCALE=tiny|small|paper`` to change.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import SCALES
+from repro.experiments.runner import ExperimentRunner
+
+
+def _scale():
+    name = os.environ.get("REPRO_SCALE", "small")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise RuntimeError(
+            f"REPRO_SCALE={name!r} unknown; pick one of {sorted(SCALES)}")
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(scale=_scale())
+
+
+def regenerate(benchmark, experiment_fn, *args, **kwargs):
+    """Run one figure regeneration under pytest-benchmark (single round --
+    these are multi-second simulation campaigns, not microbenchmarks)."""
+    result = benchmark.pedantic(
+        experiment_fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    return result

@@ -1,0 +1,42 @@
+"""Bench: the ablation studies and the adaptive-split extension."""
+
+from conftest import regenerate
+from repro.experiments import (
+    ablation_bitvector_cache,
+    ablation_pcrf_latency,
+    ablation_switch_policy,
+    ext_adaptive_split,
+)
+
+
+def test_ablation_bitvector_cache(benchmark, runner):
+    result = regenerate(benchmark, ablation_bitvector_cache.run, runner)
+    s = result.summary
+    # Paper V-C: 32 entries suffice; hit rate saturates there.
+    assert s["hit_rate_32"] >= s["hit_rate_1"]
+    assert s["hit_rate_64"] - s["hit_rate_32"] < 0.05
+    assert s["hit_rate_32"] > 0.80
+
+
+def test_ablation_switch_policy(benchmark, runner):
+    result = regenerate(benchmark, ablation_switch_policy.run, runner)
+    s = result.summary
+    # An absurdly high park threshold forfeits most of the benefit.
+    assert s["speedup_park_160"] >= s["speedup_park_640"] - 0.05
+    assert s["speedup_gto"] > 0.9
+
+
+def test_ablation_pcrf_latency(benchmark, runner):
+    result = regenerate(benchmark, ablation_pcrf_latency.run, runner)
+    s = result.summary
+    # Paper V-E: switching latency is hidden -- degrade gracefully.
+    assert s["speedup_lat_128"] > 0.7 * s["speedup_lat_4"]
+
+
+def test_ext_adaptive_split(benchmark, runner):
+    result = regenerate(benchmark, ext_adaptive_split.run, runner)
+    s = result.summary
+    # The adaptive boundary must not lose to the fixed default, and the
+    # per-app oracle bounds it from above.
+    assert s["adaptive_vs_default"] > 0.95
+    assert s["adaptive_speedup"] <= s["best_static_speedup"] + 0.05

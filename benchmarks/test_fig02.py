@@ -1,0 +1,18 @@
+"""Bench: regenerate paper Fig 2 (scheduling vs memory resource scaling)."""
+
+from conftest import regenerate
+from repro.experiments import fig02_resources
+
+
+def test_fig02_resource_scaling(benchmark, runner):
+    result = regenerate(benchmark, fig02_resources.run, runner)
+    # Shape: Type-S apps respond to scheduling resources, Type-R to memory.
+    assert result.summary["type_s_sched_x2"] \
+        > result.summary["type_s_mem_x2"] - 0.02
+    assert result.summary["type_r_mem_x2"] \
+        > result.summary["type_r_sched_x2"] - 0.02
+    # Scaling both dominates scaling either alone.
+    assert result.summary["type_s_sched+mem_x2"] \
+        >= result.summary["type_s_sched_x2"] - 0.02
+    assert result.summary["type_r_sched+mem_x2"] \
+        >= result.summary["type_r_mem_x2"] - 0.02

@@ -1,0 +1,12 @@
+"""Bench: regenerate paper Fig 3 (per-CTA register/shmem overhead)."""
+
+from conftest import regenerate
+from repro.experiments import fig03_cta_overhead
+
+
+def test_fig03_cta_overhead(benchmark, runner):
+    result = regenerate(benchmark, fig03_cta_overhead.run, runner)
+    # Paper: 6-37.3 KB per extra CTA, registers ~88.7% of the total.
+    assert 2.0 <= result.summary["min_overhead_kb"] <= 10.0
+    assert 25.0 <= result.summary["max_overhead_kb"] <= 40.0
+    assert result.summary["register_share"] >= 0.75

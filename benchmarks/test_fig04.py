@@ -1,0 +1,14 @@
+"""Bench: regenerate paper Fig 4 (CS case study)."""
+
+from conftest import regenerate
+from repro.experiments import fig04_case_study
+
+
+def test_fig04_cs_case_study(benchmark, runner):
+    result = regenerate(benchmark, fig04_case_study.run, runner)
+    # Shape: Full RF beats baseline; DRAM adds little; Ideal tops everything.
+    assert result.summary["full_rf_speedup"] > 1.0
+    assert result.summary["full_rf_dram_speedup"] \
+        >= result.summary["full_rf_speedup"] - 0.03
+    assert result.summary["ideal_speedup"] \
+        >= result.summary["full_rf_dram_speedup"] - 0.03

@@ -1,0 +1,12 @@
+"""Bench: regenerate paper Fig 5 (windowed register usage)."""
+
+from conftest import regenerate
+from repro.experiments import fig05_register_usage
+
+
+def test_fig05_register_usage(benchmark, runner):
+    result = regenerate(benchmark, fig05_register_usage.run, runner)
+    # Paper: ~55.3% average usage; only a fraction of the RF is live.
+    assert 0.30 <= result.summary["mean_usage"] <= 0.80
+    # Some apps touch very few registers in their worst windows.
+    assert result.summary["min_lower_bound"] <= 0.40

@@ -1,0 +1,16 @@
+"""Bench: regenerate paper Fig 12 (concurrent CTAs per configuration)."""
+
+from conftest import regenerate
+from repro.experiments import fig12_concurrent_ctas
+
+
+def test_fig12_concurrent_ctas(benchmark, runner):
+    result = regenerate(benchmark, fig12_concurrent_ctas.run, runner)
+    s = result.summary
+    # Shape: FineReg runs more CTAs than the baseline and than Virtual
+    # Thread; Type-S apps gain more residency than Type-R (paper VI-B).
+    assert s["finereg_cta_ratio"] > 1.2
+    assert s["finereg_cta_ratio"] > s["virtual_thread_cta_ratio"]
+    assert s["finereg_type_s_ratio"] > s["finereg_type_r_ratio"]
+    # Reg+DRAM residency sits at or above plain Virtual Thread.
+    assert s["reg_dram_cta_ratio"] >= s["virtual_thread_cta_ratio"] - 0.05

@@ -1,0 +1,19 @@
+"""Bench: regenerate paper Fig 13 (normalized IPC -- the headline result)."""
+
+from conftest import regenerate
+from repro.experiments import fig13_performance
+
+
+def test_fig13_performance(benchmark, runner):
+    result = regenerate(benchmark, fig13_performance.run, runner)
+    s = result.summary
+    # Headline shape: FineReg wins overall and beats every comparison point
+    # (the sweeps make Reg+DRAM/VT+RegMutex per-app optimistic, so FineReg
+    # is required to be at least comparable there, clearly ahead of VT).
+    assert s["finereg_speedup"] > 1.05
+    assert s["finereg_vs_vt"] > 1.0
+    assert s["finereg_vs_reg_dram"] > 0.95
+    assert s["finereg_vs_regmutex"] > 0.95
+    # Every configuration improves on the baseline on average.
+    assert s["virtual_thread_speedup"] > 1.0
+    assert s["reg_dram_speedup"] >= s["virtual_thread_speedup"] - 1e-9

@@ -1,0 +1,15 @@
+"""Bench: regenerate paper Fig 14 (SRP ratios and RF-depletion stalls)."""
+
+from conftest import regenerate
+from repro.experiments import fig14_rf_stalls
+
+
+def test_fig14_rf_depletion_stalls(benchmark, runner):
+    result = regenerate(benchmark, fig14_rf_stalls.run, runner)
+    s = result.summary
+    # Best SRP ratios land in the paper's neighbourhood (~20-35%).
+    assert 0.15 <= s["mean_srp_ratio_all"] <= 0.40
+    # FineReg's PCRF-depletion stalls stay small (paper: 1.3%).
+    assert s["finereg_stall_fraction"] <= 0.10
+    # RegMutex's lease-across-stall pathology costs at least as much.
+    assert s["regmutex_stall_fraction"] >= s["finereg_stall_fraction"] - 0.01

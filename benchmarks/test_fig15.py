@@ -1,0 +1,18 @@
+"""Bench: regenerate paper Fig 15 (off-chip traffic comparison)."""
+
+from conftest import regenerate
+from repro.experiments import fig15_memory_traffic
+
+
+def test_fig15_memory_traffic(benchmark, runner):
+    result = regenerate(benchmark, fig15_memory_traffic.run, runner)
+    s = result.summary
+    # Shape: Reg+DRAM's context switching costs by far the most extra
+    # traffic; FineReg's bit vectors cost almost nothing beyond VT.
+    assert s["reg_dram_traffic_ratio"] \
+        >= s["finereg_traffic_ratio"] + 0.05
+    assert s["finereg_traffic_ratio"] <= s["virtual_thread_traffic_ratio"] \
+        + 0.05
+    # On-chip schemes stay within a few percent of the baseline (paper <1%).
+    assert 0.80 <= s["virtual_thread_traffic_ratio"] <= 1.10
+    assert 0.80 <= s["finereg_traffic_ratio"] <= 1.10

@@ -1,0 +1,16 @@
+"""Bench: regenerate paper Fig 16 (energy breakdown)."""
+
+from conftest import regenerate
+from repro.experiments import fig16_energy
+
+
+def test_fig16_energy(benchmark, runner):
+    result = regenerate(benchmark, fig16_energy.run, runner)
+    s = result.summary
+    # Shape: performance gains turn into energy reductions; FineReg uses
+    # the least energy among the switching configurations.
+    assert s["finereg_energy_ratio"] < 1.0
+    assert s["finereg_energy_ratio"] <= s["virtual_thread_energy_ratio"] \
+        + 0.02
+    # Leakage is a first-order component of the baseline breakdown.
+    assert s["baseline_leakage"] > 0.15

@@ -1,0 +1,13 @@
+"""Bench: regenerate paper Fig 17 (ACRF/PCRF split sensitivity)."""
+
+from conftest import regenerate
+from repro.experiments import fig17_rf_sensitivity
+
+
+def test_fig17_rf_split_sensitivity(benchmark, runner):
+    result = regenerate(benchmark, fig17_rf_sensitivity.run, runner)
+    s = result.summary
+    # Shape: the balanced 128/128 split beats both extremes (paper:
+    # 64/192 loses 12.9%, 160/96 loses 5.4%).
+    assert s["speedup_128_128"] >= s["speedup_64_192"]
+    assert s["speedup_128_128"] >= s["speedup_192_64"] - 0.02

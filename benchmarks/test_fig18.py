@@ -1,0 +1,16 @@
+"""Bench: regenerate paper Fig 18 (SM-count scaling + overhead)."""
+
+from conftest import regenerate
+from repro.experiments import fig18_sm_scaling
+
+
+def test_fig18_sm_scaling(benchmark, runner):
+    result = regenerate(benchmark, fig18_sm_scaling.run, runner)
+    s = result.summary
+    # Shape: FineReg stays ahead of the baseline at every SM count, and
+    # matching its TLP with raw resources costs megabytes of SRAM (paper:
+    # 2.4-19.1 MB) versus FineReg's tens of kilobytes.
+    for sms in (16, 32, 64, 128):
+        assert s[f"finereg_speedup_{sms}sm"] > 1.0
+        assert s[f"overhead_mb_{sms}sm"] > 0.5
+    assert s["overhead_mb_128sm"] > s["overhead_mb_16sm"]

@@ -1,0 +1,15 @@
+"""Bench: regenerate paper Fig 19 (unified on-chip memory combinations)."""
+
+from conftest import regenerate
+from repro.experiments import fig19_unified_memory
+
+
+def test_fig19_unified_memory(benchmark, runner):
+    result = regenerate(benchmark, fig19_unified_memory.run, runner)
+    s = result.summary
+    # Shape: the UM pool alone helps; adding FineReg on top helps more
+    # (paper: UM +17.6%, FineReg+UM +35.6% over UM-only).
+    assert s["um_speedup"] >= 1.0
+    assert s["finereg_um_speedup"] > s["um_speedup"]
+    assert s["finereg_um_vs_um"] > 1.0
+    assert s["vt_um_vs_um"] > 0.99

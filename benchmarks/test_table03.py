@@ -1,0 +1,12 @@
+"""Bench: regenerate paper Table III (CTA time-to-complete-stall)."""
+
+from conftest import regenerate
+from repro.experiments import table03_stall_time
+
+
+def test_table03_stall_clustering(benchmark, runner):
+    result = regenerate(benchmark, table03_stall_time.run, runner)
+    # Every app's CTAs must reach a complete stall (the premise of CTA
+    # switching), within a few thousand cycles.
+    assert result.summary["apps_with_stalls"] == 18
+    assert result.summary["max_cycles"] <= 5000

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Write a kernel in the textual assembly format and race the policies.
+
+The assembler (repro.isa.assemble) turns a SASS-like text format into a
+structured CFG: blocks with fallthrough/branch/loop edges, register
+operands, and memory-locality annotations. This example defines a
+reduction-style kernel with a divergent fixup branch, prints its liveness
+profile, and runs it under every register-file management policy.
+
+Run:
+    python examples/assembly_kernel.py
+"""
+
+from repro.config import GPUConfig, TINY
+from repro.core.liveness import LivenessAnalysis
+from repro.experiments.runner import POLICIES
+from repro.isa import Kernel, LaunchGeometry, assemble
+from repro.sim.gpu import GPU
+from repro.workloads.traces import AddressModel, TraceProvider
+
+KERNEL_TEXT = """
+# Tiled accumulation with a divergent fixup path.
+.block entry
+    lds   R0, R0            # tile base pointer (constant cache)
+    ialu  R1, R0            # accumulator
+    ialu  R2, R0            # loop-carried index
+.endblock -> body
+
+.block body loop=10
+    ldg   R3, R0 @stream    # fresh element
+    ldg   R4, R0 @shared    # lookup table (L2-resident)
+    falu  R5, R3, R4
+    falu  R1, R1, R5        # accumulate
+    bra   R5
+.endblock -> body, fixup
+
+.block fixup branch=0.3
+    ialu  R6, R1
+    bra   R6
+.endblock -> rescale, passthrough
+
+.block rescale
+    sfu   R7, R1            # slow path: renormalize
+.endblock -> tail
+
+.block passthrough
+    ialu  R7, R1
+.endblock -> tail
+
+.block tail
+    stg   R7, R0 @reuse
+    exit
+.endblock
+"""
+
+
+def main() -> None:
+    cfg = assemble(KERNEL_TEXT)
+    kernel = Kernel("asm_reduce", cfg, LaunchGeometry(128, 24),
+                    regs_per_thread=10)
+    print(f"Assembled '{kernel.name}': {len(cfg.blocks)} blocks, "
+          f"{kernel.num_static_instructions} static instructions, "
+          f"{kernel.register_bytes_per_cta // 1024} KB registers/CTA")
+
+    liveness = LivenessAnalysis(cfg).run(kernel.regs_per_thread)
+    print(f"Mean live fraction: {liveness.mean_live_fraction():.0%}  "
+          f"(bit-vector storage: {liveness.storage_bytes} B off-chip)\n")
+
+    config = GPUConfig().with_num_sms(1)
+    base_ipc = None
+    for name in ("baseline", "virtual_thread", "reg_dram", "vt_regmutex",
+                 "finereg"):
+        gpu = GPU(config, kernel, POLICIES[name](),
+                  TraceProvider(cfg, seed=11), AddressModel(),
+                  liveness=liveness)
+        result = gpu.run(max_cycles=TINY.max_cycles)
+        if base_ipc is None:
+            base_ipc = result.ipc
+        print(f"  {name:15} IPC={result.ipc:5.2f} "
+              f"({result.ipc / base_ipc:4.2f}x)  "
+              f"resident={result.avg_resident_ctas_per_sm:5.1f} CTAs/SM  "
+              f"switches={result.cta_switch_events}")
+
+
+if __name__ == "__main__":
+    main()

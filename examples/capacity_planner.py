@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Capacity planner: how should a fixed register file be split?
+
+A downstream-user scenario built on the Fig 17 machinery: given a kernel's
+resource envelope (registers/thread, CTA shape, liveness), sweep the
+ACRF/PCRF partition of a fixed 256 KB register file and report the
+throughput and residency of each split -- the analysis an architect would
+run before committing to a FineReg sizing.
+
+Run:
+    python examples/capacity_planner.py [APP]
+
+Defaults to LB (a register-bound Type-R kernel, where the trade-off is
+sharpest: a big ACRF keeps more CTAs active, a big PCRF parks more).
+"""
+
+import sys
+
+from repro.config import SCALES
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.suite import get_spec
+
+SPLITS = ((64, 192), (96, 160), (128, 128), (160, 96), (192, 64))
+
+
+def main() -> None:
+    app = sys.argv[1].upper() if len(sys.argv) > 1 else "LB"
+    runner = ExperimentRunner(scale=SCALES["tiny"])
+    spec = get_spec(app)
+
+    base = runner.run(app, "baseline")
+    print(f"Planning FineReg splits for {spec.name} ({app}):")
+    print(f"  {spec.warps_per_cta} warps/CTA x {spec.regs_per_thread} "
+          f"regs/thread = {spec.register_bytes_per_cta // 1024} KB per CTA")
+    print(f"  live fraction target ~{spec.live_fraction:.0%} -> pending "
+          f"CTAs cost ~"
+          f"{int(spec.live_fraction * spec.register_bytes_per_cta) // 1024} "
+          f"KB each in the PCRF")
+    print()
+
+    rows = []
+    best = None
+    for acrf_kb, pcrf_kb in SPLITS:
+        config = runner.base_config.with_rf_split(acrf_kb, pcrf_kb)
+        result = runner.run(app, "finereg", config=config)
+        speedup = result.ipc / base.ipc
+        rows.append([
+            f"{acrf_kb}/{pcrf_kb}",
+            speedup,
+            result.avg_active_ctas_per_sm,
+            result.avg_pending_ctas_per_sm,
+            result.rf_depletion_fraction,
+        ])
+        if best is None or speedup > best[1]:
+            best = (f"{acrf_kb}/{pcrf_kb}", speedup)
+
+    print(format_table(
+        ["ACRF/PCRF (KB)", "speedup", "active/SM", "pending/SM",
+         "pcrf_stall_frac"],
+        rows, title=f"Register file split sweep for {app}"))
+    print()
+    print(f"Best split: {best[0]} at {best[1]:.3f}x over the baseline "
+          f"(paper Fig 17 finds 128/128 best on the full suite).")
+
+
+if __name__ == "__main__":
+    main()

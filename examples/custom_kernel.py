@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Bring your own kernel: build a custom CFG, run the compiler liveness
+pass, and simulate it under FineReg.
+
+This example shows the library's lower-level API -- the pieces the workload
+suite is built from:
+
+1.  Construct a structured control-flow graph by hand (a tiled
+    reduce-style kernel: load burst, compute, loop, store).
+2.  Run the FineReg compiler support (backward liveness) and inspect the
+    per-instruction live bit vectors -- the data the RMU consults when
+    spilling a stalled CTA's working set into the PCRF.
+3.  Launch the kernel on the simulated GPU under baseline and FineReg.
+
+Run:
+    python examples/custom_kernel.py
+"""
+
+from repro.config import GPUConfig, TINY
+from repro.core.liveness import LivenessAnalysis
+from repro.isa.cfg import ControlFlowGraph, EdgeKind
+from repro.isa.instructions import AccessPattern, Instruction, Opcode
+from repro.isa.kernel import Kernel, LaunchGeometry
+from repro.policies.baseline import BaselinePolicy
+from repro.policies.finereg import FineRegPolicy
+from repro.sim.gpu import GPU
+from repro.workloads.traces import AddressModel, TraceProvider
+
+
+def build_reduce_kernel() -> Kernel:
+    """A small tiled-reduction kernel: 8 registers, one main loop."""
+    cfg = ControlFlowGraph()
+    # Prologue: load the tile base pointer and initialize the accumulator.
+    cfg.add_block([
+        Instruction(Opcode.LDG, 1, (0,), AccessPattern.REUSE),   # base ptr
+        Instruction(Opcode.IALU, 2, (1,)),                       # acc = 0
+    ], EdgeKind.FALLTHROUGH, successors=(1,))
+    # Loop body: burst-load two elements, accumulate, iterate.
+    cfg.add_block([
+        Instruction(Opcode.LDG, 3, (1,), AccessPattern.STREAM),
+        Instruction(Opcode.LDG, 4, (1,), AccessPattern.STREAM),
+        Instruction(Opcode.FALU, 5, (3, 4)),
+        Instruction(Opcode.FALU, 2, (2, 5)),                     # acc +=
+        Instruction(Opcode.BRA, None, (2,)),
+    ], EdgeKind.LOOP_BACK, successors=(1, 2), mean_trip_count=8)
+    # Epilogue: write the per-thread partial sum.
+    cfg.add_block([
+        Instruction(Opcode.STG, None, (2, 1), AccessPattern.REUSE),
+        Instruction(Opcode.EXIT),
+    ], EdgeKind.EXIT)
+    return Kernel(
+        name="tiled_reduce",
+        cfg=cfg.freeze(),
+        geometry=LaunchGeometry(threads_per_cta=128, grid_ctas=24),
+        regs_per_thread=8,
+    )
+
+
+def show_liveness(kernel: Kernel) -> None:
+    table = LivenessAnalysis(kernel.cfg).run(kernel.regs_per_thread)
+    print("Per-instruction live registers (the compiler-generated bit "
+          "vectors FineReg stores off-chip):")
+    for index, instr in enumerate(kernel.cfg.instructions):
+        live = table.live_at_index(index)
+        print(f"  {instr!s:38} live={{{', '.join(f'R{r}' for r in live)}}}")
+    print(f"Mean live fraction: {table.mean_live_fraction():.1%} of the "
+          f"{kernel.regs_per_thread} allocated registers")
+    print(f"Off-chip bit-vector storage: {table.storage_bytes} bytes")
+    print()
+
+
+def simulate(kernel: Kernel, policy, label: str):
+    config = GPUConfig().with_num_sms(1)
+    gpu = GPU(config, kernel, policy,
+              TraceProvider(kernel.cfg, seed=7), AddressModel())
+    result = gpu.run(max_cycles=TINY.max_cycles)
+    print(f"{label:10} IPC={result.ipc:.3f}  cycles={result.cycles}  "
+          f"resident CTAs/SM={result.avg_resident_ctas_per_sm:.1f}  "
+          f"switches={result.cta_switch_events}")
+    return result
+
+
+def main() -> None:
+    kernel = build_reduce_kernel()
+    print(f"Kernel '{kernel.name}': {kernel.num_static_instructions} static "
+          f"instructions, {kernel.warps_per_cta} warps/CTA, "
+          f"{kernel.register_bytes_per_cta // 1024} KB registers/CTA\n")
+    show_liveness(kernel)
+    base = simulate(kernel, BaselinePolicy, "baseline")
+    fine = simulate(kernel, FineRegPolicy, "finereg")
+    print(f"\nFineReg speedup: {fine.ipc / base.ipc:.3f}x")
+
+
+if __name__ == "__main__":
+    main()

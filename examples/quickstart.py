@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: run one benchmark under the baseline GPU and under FineReg.
+
+This is the smallest end-to-end use of the library: pick a workload from
+the paper's Table II suite, simulate it under two register-file management
+policies, and compare throughput and CTA residency.
+
+Run:
+    python examples/quickstart.py [APP] [SCALE]
+
+where APP is a Table II abbreviation (default KM) and SCALE is
+tiny/small/paper (default tiny, which finishes in a couple of seconds).
+"""
+
+import sys
+
+from repro.config import SCALES
+from repro.experiments.runner import ExperimentRunner
+
+
+def main() -> None:
+    app = sys.argv[1].upper() if len(sys.argv) > 1 else "KM"
+    scale = SCALES[sys.argv[2]] if len(sys.argv) > 2 else SCALES["tiny"]
+
+    runner = ExperimentRunner(scale=scale)
+    baseline = runner.run(app, "baseline")
+    finereg = runner.run(app, "finereg")
+
+    print(f"Workload {app} at scale '{scale.name}' "
+          f"({baseline.num_sms} SM(s), "
+          f"{runner.workload(app).kernel.geometry.grid_ctas} CTAs)")
+    print()
+    header = f"{'metric':34} {'baseline':>12} {'finereg':>12}"
+    print(header)
+    print("-" * len(header))
+    rows = [
+        ("IPC (whole GPU)", baseline.ipc, finereg.ipc),
+        ("cycles", baseline.cycles, finereg.cycles),
+        ("avg resident CTAs / SM",
+         baseline.avg_resident_ctas_per_sm,
+         finereg.avg_resident_ctas_per_sm),
+        ("avg active CTAs / SM",
+         baseline.avg_active_ctas_per_sm,
+         finereg.avg_active_ctas_per_sm),
+        ("avg pending CTAs / SM",
+         baseline.avg_pending_ctas_per_sm,
+         finereg.avg_pending_ctas_per_sm),
+        ("CTA switch events",
+         baseline.cta_switch_events, finereg.cta_switch_events),
+        ("DRAM traffic (KB)",
+         baseline.dram_traffic_bytes / 1024,
+         finereg.dram_traffic_bytes / 1024),
+    ]
+    for label, b, f in rows:
+        print(f"{label:34} {b:12.2f} {f:12.2f}")
+    print()
+    speedup = finereg.ipc / baseline.ipc
+    print(f"FineReg speedup over baseline: {speedup:.3f}x")
+    if finereg.bitvector_hit_rate is not None:
+        print(f"Live bit-vector cache hit rate: "
+              f"{finereg.bitvector_hit_rate:.1%}")
+
+
+if __name__ == "__main__":
+    main()

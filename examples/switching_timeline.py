@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Switching timeline: watch FineReg rotate CTAs through an SM.
+
+Attaches the event tracer to a FineReg simulation and prints:
+
+1. the analytical occupancy prediction (how many CTAs each scheme should
+   keep resident, and which resource binds them),
+2. the first stretch of the recorded CTA lifecycle timeline
+   (launch / switch_out / switch_in / retire events), and
+3. per-CTA switching statistics (round trips through the PCRF).
+
+Run:
+    python examples/switching_timeline.py [APP]
+"""
+
+import sys
+
+from repro.config import GPUConfig, TINY
+from repro.occupancy import KernelFootprint, occupancy_report
+from repro.policies.finereg import FineRegPolicy
+from repro.sim.gpu import GPU
+from repro.sim.tracing import EventKind, attach_tracer
+from repro.workloads.generator import build_workload
+from repro.workloads.suite import get_spec
+
+
+def main() -> None:
+    app = sys.argv[1].upper() if len(sys.argv) > 1 else "LI"
+    spec = get_spec(app)
+    config = GPUConfig().with_num_sms(1)
+    instance = build_workload(spec, config, TINY)
+
+    footprint = KernelFootprint(
+        threads_per_cta=spec.threads_per_cta,
+        regs_per_thread=spec.regs_per_thread,
+        shmem_per_cta=spec.shmem_per_cta,
+        live_fraction=spec.live_fraction,
+    )
+    print("Analytical occupancy (closed-form Fig 12):")
+    print(occupancy_report(footprint, config))
+    print()
+
+    gpu = GPU(config, instance.kernel, FineRegPolicy,
+              instance.trace_provider, instance.address_model,
+              liveness=instance.liveness)
+    tracer = attach_tracer(gpu)
+    result = gpu.run(max_cycles=TINY.max_cycles)
+
+    print(f"Simulated {result.instructions} instructions in "
+          f"{result.cycles} cycles "
+          f"(avg resident {result.avg_resident_ctas_per_sm:.1f} CTAs/SM, "
+          f"{result.cta_switch_events} switch events)")
+    print()
+    print("Timeline (first 40 events):")
+    print(tracer.timeline(limit=40))
+    print()
+
+    launches = tracer.of_kind(EventKind.LAUNCH)
+    switchy = sorted(
+        ((tracer.switch_count(e.cta_id), e.cta_id) for e in launches),
+        reverse=True)[:5]
+    print("Most-switched CTAs (round trips through the PCRF):")
+    for count, cta_id in switchy:
+        residency = tracer.residency_of(cta_id)
+        print(f"  CTA {cta_id:>3}: {count} switch-outs over "
+              f"{residency} resident cycles")
+
+
+if __name__ == "__main__":
+    main()

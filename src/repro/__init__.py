@@ -1,0 +1,51 @@
+"""FineReg reproduction: fine-grained GPU register file management.
+
+A from-scratch Python reproduction of "FineReg: Fine-Grained Register File
+Management for Augmenting GPU Throughput" (MICRO 2018): a cycle-level GPU SM
+simulator, the FineReg ACRF/PCRF microarchitecture with compiler liveness
+support, the compared policies (Virtual Thread, Reg+DRAM/Zorua-like,
+VT+RegMutex), a synthetic 18-benchmark suite, and an experiment harness
+regenerating every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import quick_run
+    result = quick_run("KM", policy="finereg")
+    print(result.ipc, result.avg_resident_ctas_per_sm)
+"""
+
+from repro.config import (
+    GPUConfig,
+    PAPER,
+    SMALL,
+    Scale,
+    TINY,
+    default_config,
+)
+from repro.sim.stats import SimResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPUConfig",
+    "PAPER",
+    "SMALL",
+    "Scale",
+    "SimResult",
+    "TINY",
+    "default_config",
+    "quick_run",
+]
+
+
+def quick_run(abbrev: str, policy: str = "finereg",
+              scale: Scale = SMALL) -> SimResult:
+    """Run one benchmark under one policy at the given scale.
+
+    ``policy`` is one of ``baseline``, ``virtual_thread``, ``reg_dram``,
+    ``vt_regmutex``, or ``finereg``.
+    """
+    from repro.experiments.runner import ExperimentRunner
+
+    runner = ExperimentRunner(scale=scale)
+    return runner.run(abbrev, policy)

@@ -1,0 +1,178 @@
+"""Command-line interface.
+
+Usage examples::
+
+    python -m repro list                         # the Table II suite
+    python -m repro run KM --policy finereg      # one simulation
+    python -m repro compare KM LB --scale tiny   # all five policies
+    python -m repro figure fig13 --apps KM,LB    # regenerate a figure
+    python -m repro figure all                   # the whole evaluation
+    python -m repro overhead                     # V-F hardware budget
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional, Sequence
+
+from repro.config import SCALES
+from repro.core.overhead import finereg_overhead
+from repro.experiments.common import main_config_results
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentRunner, POLICIES
+from repro.workloads.suite import ALL_SPECS, get_spec
+
+#: Figure/table modules addressable from the CLI.
+EXPERIMENT_MODULES = {
+    "fig02": "fig02_resources",
+    "fig03": "fig03_cta_overhead",
+    "fig04": "fig04_case_study",
+    "fig05": "fig05_register_usage",
+    "table03": "table03_stall_time",
+    "fig12": "fig12_concurrent_ctas",
+    "fig13": "fig13_performance",
+    "fig14": "fig14_rf_stalls",
+    "fig15": "fig15_memory_traffic",
+    "fig16": "fig16_energy",
+    "fig17": "fig17_rf_sensitivity",
+    "fig18": "fig18_sm_scaling",
+    "fig19": "fig19_unified_memory",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FineReg (MICRO 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list the benchmark suite")
+    list_cmd.set_defaults(func=cmd_list)
+
+    run_cmd = sub.add_parser("run", help="simulate one benchmark")
+    run_cmd.add_argument("app", help="Table II abbreviation, e.g. KM")
+    run_cmd.add_argument("--policy", default="finereg",
+                         choices=sorted(POLICIES))
+    run_cmd.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    run_cmd.set_defaults(func=cmd_run)
+
+    cmp_cmd = sub.add_parser("compare",
+                             help="all five policies on given benchmarks")
+    cmp_cmd.add_argument("apps", nargs="+")
+    cmp_cmd.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    cmp_cmd.set_defaults(func=cmd_compare)
+
+    fig_cmd = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_cmd.add_argument("figure",
+                         choices=sorted(EXPERIMENT_MODULES) + ["all"])
+    fig_cmd.add_argument("--scale", default="small", choices=sorted(SCALES))
+    fig_cmd.add_argument("--apps", default=None,
+                         help="comma-separated subset, e.g. KM,LB")
+    fig_cmd.set_defaults(func=cmd_figure)
+
+    ovh_cmd = sub.add_parser("overhead", help="FineReg SRAM budget (V-F)")
+    ovh_cmd.set_defaults(func=cmd_overhead)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in ALL_SPECS:
+        rows.append([
+            spec.abbrev,
+            spec.name,
+            spec.wtype.value,
+            spec.threads_per_cta,
+            spec.regs_per_thread,
+            spec.shmem_per_cta // 1024,
+            f"{spec.cta_overhead_bytes / 1024:.1f}",
+        ])
+    print(format_table(
+        ["abbrev", "name", "type", "threads/CTA", "regs/thread",
+         "shmem_kb", "overhead_kb"],
+        rows, title="Benchmark suite (paper Table II)"))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(scale=SCALES[args.scale])
+    result = runner.run(args.app.upper(), args.policy)
+    rows = [
+        ["IPC", f"{result.ipc:.3f}"],
+        ["cycles", result.cycles],
+        ["instructions", result.instructions],
+        ["resident CTAs/SM", f"{result.avg_resident_ctas_per_sm:.2f}"],
+        ["active CTAs/SM", f"{result.avg_active_ctas_per_sm:.2f}"],
+        ["active threads/SM", f"{result.avg_active_threads_per_sm:.0f}"],
+        ["CTA switches", result.cta_switch_events],
+        ["DRAM traffic (KB)", f"{result.dram_traffic_bytes / 1024:.1f}"],
+        ["L1 hit rate", f"{result.l1_hit_rate:.2f}"],
+        ["L2 hit rate", f"{result.l2_hit_rate:.2f}"],
+        ["completed CTAs", result.completed_ctas],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.app.upper()} under {args.policy} "
+                             f"({args.scale})"))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(scale=SCALES[args.scale])
+    headers = ["app", "baseline", "virtual_thread", "reg_dram",
+               "vt_regmutex", "finereg"]
+    rows = []
+    for app in args.apps:
+        results = main_config_results(runner, app.upper())
+        base = results["baseline"].ipc
+        rows.append([app.upper()]
+                    + [results[c].ipc / base for c in headers[1:]])
+    print(format_table(headers, rows,
+                       title="Normalized IPC (baseline = 1.0)"))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(scale=SCALES[args.scale])
+    names = (sorted(EXPERIMENT_MODULES) if args.figure == "all"
+             else [args.figure])
+    for name in names:
+        module = importlib.import_module(
+            f"repro.experiments.{EXPERIMENT_MODULES[name]}")
+        kwargs = {}
+        if args.apps and name not in ("fig04",):
+            kwargs["apps"] = tuple(a.upper() for a in args.apps.split(","))
+        result = module.run(runner, **kwargs)
+        print(result.to_text())
+        print()
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    overhead = finereg_overhead()
+    rows = [
+        ["CTA status monitor", f"{overhead.status_monitor_bytes:.0f} B"],
+        ["bit-vector cache", f"{overhead.bitvector_cache_bytes} B"],
+        ["PCRF pointer table", f"{overhead.pointer_table_bytes} B"],
+        ["PCRF tags", f"{overhead.pcrf_tag_bytes:.0f} B"],
+        ["CTA switching logic", f"{overhead.switch_logic_bytes} B"],
+        ["total", f"{overhead.total_kb:.2f} KB"],
+        ["SM area fraction", f"{overhead.sm_area_fraction:.2%}"],
+    ]
+    print(format_table(["structure", "cost"], rows,
+                       title="FineReg hardware overhead (paper V-F)"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

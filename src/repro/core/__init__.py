@@ -1,0 +1,32 @@
+"""FineReg core: compiler liveness support and the register-management
+microarchitecture (ACRF, PCRF, RMU, CTA status monitor, switching engine).
+"""
+
+from repro.core.bitvector import LiveBitVector
+from repro.core.liveness import LivenessAnalysis, LivenessTable
+from repro.core.acrf import ACRFAllocator
+from repro.core.pcrf import PCRF, PCRFEntryTag
+from repro.core.bitvector_cache import BitVectorCache
+from repro.core.status_monitor import (
+    CTAStatusMonitor,
+    ContextLocation,
+    RegisterLocation,
+)
+from repro.core.rmu import RegisterManagementUnit
+from repro.core.overhead import HardwareOverhead, finereg_overhead
+
+__all__ = [
+    "ACRFAllocator",
+    "BitVectorCache",
+    "CTAStatusMonitor",
+    "ContextLocation",
+    "HardwareOverhead",
+    "LiveBitVector",
+    "LivenessAnalysis",
+    "LivenessTable",
+    "PCRF",
+    "PCRFEntryTag",
+    "RegisterLocation",
+    "RegisterManagementUnit",
+    "finereg_overhead",
+]

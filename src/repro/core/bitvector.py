@@ -1,0 +1,100 @@
+"""64-bit live-register bit vectors (paper V-A).
+
+The compiler encodes, for each static instruction, which architectural
+registers are live at that point as a 64-bit vector -- one bit per possible
+per-thread register.  Vectors are stored in a reserved off-device memory area
+at kernel launch (12 bytes per static instruction: 4-byte PC + 8-byte vector)
+and fetched through the RMU's bit-vector cache at CTA-switch time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+from repro.config import MAX_REGS_PER_THREAD
+
+_FULL_MASK = (1 << MAX_REGS_PER_THREAD) - 1
+
+#: Off-chip bytes one stored bit vector occupies (4-byte PC tag + 64-bit vector).
+BITVECTOR_STORAGE_BYTES = 12
+
+
+@dataclass(frozen=True)
+class LiveBitVector:
+    """An immutable 64-bit liveness vector."""
+
+    bits: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bits <= _FULL_MASK:
+            raise ValueError("bit vector must fit in 64 bits")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_registers(cls, registers: Iterable[int]) -> "LiveBitVector":
+        bits = 0
+        for reg in registers:
+            if not 0 <= reg < MAX_REGS_PER_THREAD:
+                raise ValueError(f"register R{reg} out of range [0, 64)")
+            bits |= 1 << reg
+        return cls(bits)
+
+    # ------------------------------------------------------------------
+    def is_live(self, reg: int) -> bool:
+        if not 0 <= reg < MAX_REGS_PER_THREAD:
+            raise ValueError(f"register R{reg} out of range [0, 64)")
+        return bool(self.bits >> reg & 1)
+
+    def registers(self) -> Tuple[int, ...]:
+        """Live register numbers in ascending order."""
+        return tuple(reg for reg in range(MAX_REGS_PER_THREAD)
+                     if self.bits >> reg & 1)
+
+    def count(self) -> int:
+        """Number of live registers (popcount)."""
+        return bin(self.bits).count("1")
+
+    # ------------------------------------------------------------------
+    # Set algebra used by the dataflow solver
+    # ------------------------------------------------------------------
+    def union(self, other: "LiveBitVector") -> "LiveBitVector":
+        return LiveBitVector(self.bits | other.bits)
+
+    def minus(self, other: "LiveBitVector") -> "LiveBitVector":
+        return LiveBitVector(self.bits & ~other.bits)
+
+    def intersect(self, other: "LiveBitVector") -> "LiveBitVector":
+        return LiveBitVector(self.bits & other.bits)
+
+    def with_register(self, reg: int) -> "LiveBitVector":
+        if not 0 <= reg < MAX_REGS_PER_THREAD:
+            raise ValueError(f"register R{reg} out of range [0, 64)")
+        return LiveBitVector(self.bits | 1 << reg)
+
+    def without_register(self, reg: int) -> "LiveBitVector":
+        if not 0 <= reg < MAX_REGS_PER_THREAD:
+            raise ValueError(f"register R{reg} out of range [0, 64)")
+        return LiveBitVector(self.bits & ~(1 << reg))
+
+    # ------------------------------------------------------------------
+    def __or__(self, other: "LiveBitVector") -> "LiveBitVector":
+        return self.union(other)
+
+    def __and__(self, other: "LiveBitVector") -> "LiveBitVector":
+        return self.intersect(other)
+
+    def __sub__(self, other: "LiveBitVector") -> "LiveBitVector":
+        return self.minus(other)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.registers())
+
+    def __bool__(self) -> bool:
+        return self.bits != 0
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "{" + ", ".join(f"R{r}" for r in self.registers()) + "}"
+
+
+EMPTY = LiveBitVector(0)

@@ -1,0 +1,89 @@
+"""Live-register bit-vector cache (paper V-C, Fig 10).
+
+A 32-entry direct-mapped cache inside the RMU that holds the per-PC live
+bit vectors.  It is indexed by hashing 5 bits of the PC and tagged with the
+full PC.  Misses fetch the 12-byte entry from the reserved off-chip area,
+which costs one DRAM round trip and 12 bytes of traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.bitvector import BITVECTOR_STORAGE_BYTES, LiveBitVector
+
+
+@dataclass
+class _CacheLine:
+    pc: int
+    vector: LiveBitVector
+
+
+@dataclass
+class BitVectorCacheStats:
+    """Hit/miss counters for the bit-vector cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_traffic_bytes(self) -> int:
+        """Off-chip bytes fetched on misses (12 B per vector)."""
+        return self.misses * BITVECTOR_STORAGE_BYTES
+
+
+class BitVectorCache:
+    """Direct-mapped cache of live bit vectors, indexed by hashed PC bits."""
+
+    def __init__(self, num_entries: int = 32) -> None:
+        if num_entries <= 0 or num_entries & (num_entries - 1):
+            raise ValueError("cache size must be a positive power of two")
+        self._num_entries = num_entries
+        self._lines: List[Optional[_CacheLine]] = [None] * num_entries
+        self.stats = BitVectorCacheStats()
+
+    @property
+    def num_entries(self) -> int:
+        return self._num_entries
+
+    def _index_of(self, pc: int) -> int:
+        # Hash 5 bits of the PC: fold the word-address bits down to the
+        # index width (instructions are 4-byte spaced, so drop 2 low bits).
+        word = pc >> 2
+        return (word ^ (word >> 5)) % self._num_entries
+
+    def lookup(self, pc: int) -> Optional[LiveBitVector]:
+        """Probe the cache; returns the vector on hit, None on miss."""
+        line = self._lines[self._index_of(pc)]
+        if line is not None and line.pc == pc:
+            self.stats.hits += 1
+            return line.vector
+        self.stats.misses += 1
+        return None
+
+    def fill(self, pc: int, vector: LiveBitVector) -> None:
+        """Install a vector fetched from off-chip memory."""
+        self._lines[self._index_of(pc)] = _CacheLine(pc=pc, vector=vector)
+
+    def contains(self, pc: int) -> bool:
+        """Non-counting probe (used by tests and the free-space monitor)."""
+        line = self._lines[self._index_of(pc)]
+        return line is not None and line.pc == pc
+
+    def flush(self) -> None:
+        """Invalidate all lines (new kernel launch)."""
+        self._lines = [None] * self._num_entries
+
+    @property
+    def storage_bytes(self) -> int:
+        """SRAM footprint: 12-byte entries (4 B PC + 8 B vector), paper V-F."""
+        return self._num_entries * BITVECTOR_STORAGE_BYTES

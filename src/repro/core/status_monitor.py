@@ -1,0 +1,158 @@
+"""CTA status monitor (paper V-B, Table IV).
+
+Two arrays of 2-bit values -- one per resident-CTA slot -- track where each
+CTA's *pipeline context* and *registers* currently live.  A CTA is active
+only when both fields read 2 (pipeline / ACRF); every other combination is a
+flavour of pending.  The monitor also implements the paper's switching
+priority: prefer a candidate whose context is already backed up in shared
+memory but whose registers still sit in the ACRF (context=1, register=2),
+then fall back to fully backed-up CTAs (context=1, register=1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class ContextLocation(enum.IntEnum):
+    """Where a CTA's pipeline context resides (Table IV, 2-bit encoding)."""
+
+    NOT_LAUNCHED = 0
+    SHARED_MEMORY = 1
+    PIPELINE = 2
+
+
+class RegisterLocation(enum.IntEnum):
+    """Where a CTA's registers reside (Table IV, 2-bit encoding)."""
+
+    NOT_LAUNCHED = 0
+    PCRF = 1
+    ACRF = 2
+
+
+@dataclass(frozen=True)
+class CTAStatus:
+    """Combined 2x2-bit status of one resident CTA."""
+
+    context: ContextLocation
+    registers: RegisterLocation
+
+    @property
+    def is_active(self) -> bool:
+        """Active iff both fields are 2 (paper: context and register = 0b10)."""
+        return (self.context is ContextLocation.PIPELINE
+                and self.registers is RegisterLocation.ACRF)
+
+    @property
+    def is_pending(self) -> bool:
+        launched = self.context is not ContextLocation.NOT_LAUNCHED
+        return launched and not self.is_active
+
+
+class CTAStatusMonitor:
+    """Tracks context/register location for up to ``max_ctas`` resident CTAs.
+
+    Storage cost matches V-F: 2 bits x max_ctas per field (256 bits each for
+    128 CTAs).
+    """
+
+    def __init__(self, max_ctas: int = 128) -> None:
+        if max_ctas <= 0:
+            raise ValueError("monitor needs at least one CTA slot")
+        self._max_ctas = max_ctas
+        self._context: Dict[int, ContextLocation] = {}
+        self._registers: Dict[int, RegisterLocation] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def max_ctas(self) -> int:
+        return self._max_ctas
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._context)
+
+    def tracked(self) -> Tuple[int, ...]:
+        return tuple(self._context)
+
+    # ------------------------------------------------------------------
+    def launch(self, cta_id: int) -> None:
+        """A CTA enters the pipeline with registers in the ACRF."""
+        if cta_id in self._context:
+            raise KeyError(f"CTA {cta_id} already tracked")
+        if len(self._context) >= self._max_ctas:
+            raise MemoryError("CTA status monitor is full")
+        self._context[cta_id] = ContextLocation.PIPELINE
+        self._registers[cta_id] = RegisterLocation.ACRF
+
+    def retire(self, cta_id: int) -> None:
+        """A CTA finished; its slot is recycled."""
+        self._require(cta_id)
+        del self._context[cta_id]
+        del self._registers[cta_id]
+
+    def set_context(self, cta_id: int, location: ContextLocation) -> None:
+        self._require(cta_id)
+        if location is ContextLocation.NOT_LAUNCHED:
+            raise ValueError("use retire() to drop a CTA")
+        self._context[cta_id] = location
+
+    def set_registers(self, cta_id: int, location: RegisterLocation) -> None:
+        self._require(cta_id)
+        if location is RegisterLocation.NOT_LAUNCHED:
+            raise ValueError("use retire() to drop a CTA")
+        self._registers[cta_id] = location
+
+    def status_of(self, cta_id: int) -> CTAStatus:
+        if cta_id not in self._context:
+            return CTAStatus(ContextLocation.NOT_LAUNCHED,
+                             RegisterLocation.NOT_LAUNCHED)
+        return CTAStatus(self._context[cta_id], self._registers[cta_id])
+
+    def is_active(self, cta_id: int) -> bool:
+        return self.status_of(cta_id).is_active
+
+    def active_ctas(self) -> Tuple[int, ...]:
+        return tuple(cta for cta in self._context if self.is_active(cta))
+
+    def pending_ctas(self) -> Tuple[int, ...]:
+        return tuple(cta for cta in self._context if not self.is_active(cta))
+
+    # ------------------------------------------------------------------
+    def select_switch_candidate(
+            self, ready: Iterable[int]) -> Optional[int]:
+        """Pick the pending CTA to activate, per the paper's priority.
+
+        ``ready`` enumerates pending CTAs whose stall condition has cleared.
+        First preference: context in shared memory but registers still in the
+        ACRF (cheapest to reactivate).  Second: context and registers both
+        backed up (shared memory + PCRF).  Ties break by lowest CTA id
+        (oldest, since ids are assigned in launch order).
+        """
+        first_choice: List[int] = []
+        second_choice: List[int] = []
+        for cta_id in ready:
+            status = self.status_of(cta_id)
+            if (status.context is ContextLocation.SHARED_MEMORY
+                    and status.registers is RegisterLocation.ACRF):
+                first_choice.append(cta_id)
+            elif (status.context is ContextLocation.SHARED_MEMORY
+                    and status.registers is RegisterLocation.PCRF):
+                second_choice.append(cta_id)
+        if first_choice:
+            return min(first_choice)
+        if second_choice:
+            return min(second_choice)
+        return None
+
+    # ------------------------------------------------------------------
+    @property
+    def storage_bits(self) -> int:
+        """SRAM cost: two 2-bit fields per CTA slot (512 bits at 128 CTAs)."""
+        return 2 * 2 * self._max_ctas
+
+    def _require(self, cta_id: int) -> None:
+        if cta_id not in self._context:
+            raise KeyError(f"CTA {cta_id} is not tracked")

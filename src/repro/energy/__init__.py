@@ -1,0 +1,5 @@
+"""GPUWattch-style event-count energy model (paper Fig 16)."""
+
+from repro.energy.model import EnergyBreakdown, EnergyConstants, EnergyModel
+
+__all__ = ["EnergyBreakdown", "EnergyConstants", "EnergyModel"]

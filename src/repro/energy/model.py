@@ -1,0 +1,116 @@
+"""Energy accounting in the style of GPUWattch / register-file
+virtualization power models (paper VI-F, Fig 16).
+
+The model charges a per-event energy to each activity class the simulator
+already counts, plus a per-cycle leakage term.  Constants are representative
+published per-access energies for a 28 nm-class GPU (order-of-magnitude
+correct); Fig 16's reproduction target is the *breakdown shape* and the
+relative totals across configurations, which depend on event counts and
+cycle counts rather than the absolute picojoule scale.
+
+Components reported match the paper's Fig 16 legend:
+
+* ``DRAM_Dyn``     -- off-chip traffic (including context switching)
+* ``RF_Dyn``       -- main register file accesses (ACRF in FineReg)
+* ``Others_Dyn``   -- pipeline, caches, shared memory
+* ``Leakage``      -- per-cycle static energy
+* ``FineReg``      -- RMU structures (PCRF tags, bit-vector cache, monitor)
+* ``CTA_Switching``-- switching-logic activity (all switching policies)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.sim.stats import SimResult
+
+
+@dataclass(frozen=True)
+class EnergyConstants:
+    """Per-event energies (picojoules) and leakage power (pJ/cycle/SM)."""
+
+    dram_pj_per_byte: float = 20.0          # off-chip access energy
+    rf_pj_per_access: float = 50.0          # 128-byte warp-register access
+    pcrf_pj_per_access: float = 55.0        # PCRF entry + tag chain access
+    pipeline_pj_per_instr: float = 120.0    # fetch/decode/execute per warp-instr
+    l1_pj_per_access: float = 60.0
+    l2_pj_per_access: float = 180.0
+    shmem_pj_per_access: float = 40.0
+    switch_pj_per_event: float = 400.0      # CTA switching logic transaction
+    leakage_pj_per_cycle_per_sm: float = 900.0
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if value < 0:
+                raise ValueError(f"negative energy constant {name}")
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-component energy (picojoules) of one simulation."""
+
+    dram_dyn: float
+    rf_dyn: float
+    others_dyn: float
+    leakage: float
+    finereg: float
+    cta_switching: float
+
+    @property
+    def total(self) -> float:
+        return (self.dram_dyn + self.rf_dyn + self.others_dyn
+                + self.leakage + self.finereg + self.cta_switching)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "DRAM_Dyn": self.dram_dyn,
+            "RF_Dyn": self.rf_dyn,
+            "Others_Dyn": self.others_dyn,
+            "Leakage": self.leakage,
+            "FineReg": self.finereg,
+            "CTA_Switching": self.cta_switching,
+        }
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> Dict[str, float]:
+        """Each component as a fraction of the baseline's total."""
+        if baseline.total <= 0:
+            raise ZeroDivisionError("baseline energy is zero")
+        return {key: value / baseline.total
+                for key, value in self.as_dict().items()}
+
+
+class EnergyModel:
+    """Maps a :class:`SimResult`'s event counts to an energy breakdown."""
+
+    def __init__(self, constants: EnergyConstants = EnergyConstants()) -> None:
+        self.constants = constants
+
+    def evaluate(self, result: SimResult) -> EnergyBreakdown:
+        c = self.constants
+        dram = result.dram_traffic_bytes * c.dram_pj_per_byte
+        rf = (result.rf_reads + result.rf_writes) * c.rf_pj_per_access
+        finereg = (result.pcrf_reads + result.pcrf_writes) \
+            * c.pcrf_pj_per_access
+        others = (result.instructions * c.pipeline_pj_per_instr
+                  + result.l1_accesses * c.l1_pj_per_access
+                  + result.l2_accesses * c.l2_pj_per_access
+                  + result.shmem_accesses * c.shmem_pj_per_access)
+        leakage = result.cycles * result.num_sms \
+            * c.leakage_pj_per_cycle_per_sm
+        switching = result.cta_switch_events * c.switch_pj_per_event
+        return EnergyBreakdown(
+            dram_dyn=dram,
+            rf_dyn=rf,
+            others_dyn=others,
+            leakage=leakage,
+            finereg=finereg,
+            cta_switching=switching,
+        )
+
+    def energy_ratio(self, result: SimResult, baseline: SimResult) -> float:
+        """Total energy relative to a baseline run."""
+        base = self.evaluate(baseline).total
+        if base <= 0:
+            raise ZeroDivisionError("baseline energy is zero")
+        return self.evaluate(result).total / base

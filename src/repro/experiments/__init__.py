@@ -1,0 +1,7 @@
+"""Experiment harness: one module per paper table/figure plus the shared
+memoizing runner and report formatting."""
+
+from repro.experiments.runner import ExperimentRunner, POLICIES
+from repro.experiments.report import format_table, geomean
+
+__all__ = ["ExperimentRunner", "POLICIES", "format_table", "geomean"]

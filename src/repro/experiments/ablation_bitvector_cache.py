@@ -1,0 +1,60 @@
+"""Ablation: live bit-vector cache sizing (paper V-C design choice).
+
+The paper states 32 direct-mapped entries were "empirically obtained" to be
+sufficient because only a few static instructions cause stalls.  This
+ablation sweeps the cache size and reports hit rate and performance -- the
+experiment behind that sentence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.report import geomean
+from repro.experiments.runner import ExperimentRunner
+
+SIZES = (1, 4, 16, 32, 64)
+DEFAULT_APPS = ("KM", "CS", "LB", "SR")
+
+
+def run(runner: ExperimentRunner,
+        apps: Sequence[str] = DEFAULT_APPS,
+        sizes: Sequence[int] = SIZES) -> ExperimentResult:
+    rows = []
+    summary = {}
+    for size in sizes:
+        config = dataclasses.replace(runner.base_config,
+                                     bitvector_cache_entries=size)
+        hit_rates = []
+        speedups = []
+        for app in apps:
+            base = runner.run(app, "baseline")
+            fine = runner.run(app, "finereg", config=config)
+            speedups.append(fine.ipc / base.ipc)
+            if fine.bitvector_hit_rate is not None:
+                hit_rates.append(fine.bitvector_hit_rate)
+        mean_hit = sum(hit_rates) / len(hit_rates) if hit_rates else 0.0
+        speedup = geomean(speedups)
+        rows.append([size, mean_hit, speedup])
+        summary[f"hit_rate_{size}"] = mean_hit
+        summary[f"speedup_{size}"] = speedup
+    return ExperimentResult(
+        experiment="ablation_bvcache",
+        title="Live bit-vector cache size vs hit rate and FineReg speedup",
+        headers=["entries", "hit_rate", "finereg_speedup"],
+        rows=rows,
+        summary=summary,
+        notes=("Paper V-C: 32 entries suffice because only a few static "
+               "instructions cause stalls; hit rate should saturate near "
+               "that size."),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run(ExperimentRunner()).to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

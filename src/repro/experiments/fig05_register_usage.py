@@ -1,0 +1,51 @@
+"""Fig 5: register file usage within 1,000-instruction windows.
+
+The paper measures, per benchmark, the fraction of statically allocated
+registers actually accessed inside 1,000-instruction windows: 55.3% on
+average, with worst cases under 15% for MC, NW, LI, SR, and TA.  The
+simulator samples this when ``sample_usage`` is enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import ALL_APPS, ExperimentResult
+from repro.experiments.runner import ExperimentRunner
+
+
+def run(runner: ExperimentRunner,
+        apps: Sequence[str] = ALL_APPS) -> ExperimentResult:
+    rows = []
+    averages = []
+    for app in apps:
+        result = runner.run(app, "baseline", sample_usage=True)
+        bounds = result.window_usage_bounds
+        if bounds is None:
+            rows.append([app, 0.0, 0.0, 0.0])
+            continue
+        low, mean, high = bounds
+        averages.append(mean)
+        rows.append([app, low, mean, high])
+
+    summary = {
+        "mean_usage": sum(averages) / len(averages) if averages else 0.0,
+        "min_lower_bound": min((row[1] for row in rows), default=0.0),
+    }
+    return ExperimentResult(
+        experiment="fig05",
+        title="Register usage per 1,000-instruction window (min/avg/max)",
+        headers=["app", "min", "avg", "max"],
+        rows=rows,
+        summary=summary,
+        notes=("Paper: 55.3% of allocated registers touched on average; "
+               "worst cases below 15% for MC, NW, LI, SR, TA."),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run(ExperimentRunner()).to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,90 @@
+"""Text-table formatting and summary statistics for experiment output."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the standard aggregate for speedup ratios)."""
+    values = [v for v in values]
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "", precision: int = 3) -> str:
+    """Render an aligned text table (the harness's figure/table output)."""
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    rendered: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                         for i, cell in enumerate(cells))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    for row in rendered:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def normalize_to(results: Dict[str, float], base_key: str
+                 ) -> Dict[str, float]:
+    """Divide every entry by the base entry's value."""
+    base = results[base_key]
+    if base == 0:
+        raise ZeroDivisionError(f"base entry {base_key!r} is zero")
+    return {key: value / base for key, value in results.items()}
+
+
+def bar_chart(values: Dict[str, float], title: str = "", width: int = 48,
+              reference: float = None) -> str:
+    """Render a horizontal ASCII bar chart (one bar per labelled value).
+
+    ``reference`` draws a tick at that value (e.g. 1.0 for normalized
+    figures), making it easy to see which bars clear the baseline.
+    """
+    if not values:
+        raise ValueError("bar chart needs at least one value")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar chart values must be non-negative")
+    peak = max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        filled = int(round(value / peak * width))
+        bar = "#" * filled
+        if reference is not None and 0 < reference <= peak:
+            tick = int(round(reference / peak * width))
+            if tick >= len(bar):
+                bar = bar.ljust(tick) + "|"
+            else:
+                bar = bar[:tick] + "|" + bar[tick + 1:]
+        lines.append(f"{label.ljust(label_width)} {bar} {value:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Full evaluation campaign: regenerate every table and figure in one pass.
+
+Writes a markdown report (default ``results/REPORT.md``) with every
+experiment's rendered table plus the headline summary numbers, reusing one
+memoizing runner so shared simulations (Figs 12/13/16) only run once.
+
+Run::
+
+    python -m repro.experiments.run_all [--scale small] [--out results]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.config import SCALES
+from repro.experiments.runner import ExperimentRunner
+
+#: (module, headline summary keys) in paper order.
+CAMPAIGN = (
+    ("fig02_resources", ("type_s_sched_x2", "type_r_mem_x2")),
+    ("fig03_cta_overhead", ("register_share",)),
+    ("fig04_case_study", ("full_rf_speedup", "ideal_speedup")),
+    ("fig05_register_usage", ("mean_usage",)),
+    ("table03_stall_time", ("min_cycles", "max_cycles")),
+    ("fig12_concurrent_ctas", ("finereg_cta_ratio",)),
+    ("fig13_performance", ("finereg_speedup", "virtual_thread_speedup",
+                           "reg_dram_speedup", "vt_regmutex_speedup")),
+    ("fig14_rf_stalls", ("regmutex_stall_fraction",
+                         "finereg_stall_fraction")),
+    ("fig15_memory_traffic", ("reg_dram_traffic_ratio",
+                              "finereg_traffic_ratio")),
+    ("fig16_energy", ("finereg_energy_ratio",)),
+    ("fig17_rf_sensitivity", ("speedup_128_128", "speedup_64_192")),
+    ("fig18_sm_scaling", ("finereg_speedup_16sm",)),
+    ("fig19_unified_memory", ("um_speedup", "finereg_um_speedup")),
+    ("ablation_bitvector_cache", ("hit_rate_32",)),
+    ("ablation_switch_policy", ("speedup_gto",)),
+    ("ablation_pcrf_latency", ("speedup_lat_4",)),
+    ("ext_adaptive_split", ("adaptive_vs_default",)),
+)
+
+
+def run_campaign(runner: ExperimentRunner,
+                 modules: Optional[Sequence[str]] = None) -> List:
+    """Run every experiment; returns the ExperimentResult list."""
+    results = []
+    for name, __ in CAMPAIGN:
+        if modules is not None and name not in modules:
+            continue
+        module = importlib.import_module(f"repro.experiments.{name}")
+        started = time.time()
+        result = module.run(runner)
+        result.summary["_elapsed_s"] = time.time() - started
+        results.append(result)
+    return results
+
+
+def write_report(results, path: Path, scale_name: str) -> None:
+    lines = [
+        "# FineReg reproduction — full evaluation campaign",
+        "",
+        f"Scale preset: `{scale_name}`. One row per paper table/figure; "
+        "see EXPERIMENTS.md for paper-vs-measured commentary.",
+        "",
+    ]
+    for result in results:
+        lines.append(f"## {result.experiment}: {result.title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.to_text())
+        lines.append("```")
+        lines.append("")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(lines))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=sorted(SCALES))
+    parser.add_argument("--out", default="results")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated module subset")
+    args = parser.parse_args(argv)
+
+    runner = ExperimentRunner(scale=SCALES[args.scale])
+    modules = args.only.split(",") if args.only else None
+    results = run_campaign(runner, modules)
+    report = Path(args.out) / "REPORT.md"
+    write_report(results, report, args.scale)
+    print(f"wrote {report} ({len(results)} experiments)")
+    for result in results:
+        keys = [k for k in result.summary if not k.startswith("_")][:3]
+        brief = ", ".join(f"{k}={result.summary[k]:.3g}" for k in keys)
+        print(f"  {result.experiment:22} {brief}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Shared experiment runner.
+
+Builds (workload, config, policy) simulations and memoizes their results so
+figures that share runs (12/13/16 all use the same five configurations, for
+instance) never recompute.  All experiment modules go through this class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.config import GPUConfig, SMALL, Scale, default_config
+from repro.policies.baseline import BaselinePolicy
+from repro.policies.finereg import FineRegPolicy
+from repro.policies.finereg_adaptive import AdaptiveFineRegPolicy
+from repro.policies.reg_dram import RegDRAMPolicy
+from repro.policies.regmutex import RegMutexPolicy
+from repro.policies.unified_memory import apply_unified_memory
+from repro.policies.virtual_thread import VirtualThreadPolicy
+from repro.sim.gpu import GPU
+from repro.sim.stats import SimResult
+from repro.workloads.generator import WorkloadInstance, build_workload
+from repro.workloads.suite import get_spec
+
+#: Name -> policy factory-factory.  Each entry returns a per-SM factory.
+POLICIES: Dict[str, Callable] = {
+    "baseline": lambda **kw: BaselinePolicy,
+    "virtual_thread": lambda **kw: VirtualThreadPolicy,
+    "reg_dram": lambda **kw: (
+        lambda sm: RegDRAMPolicy(
+            sm, dram_pending_limit=kw.get("dram_pending_limit", 8))
+    ),
+    "vt_regmutex": lambda **kw: (
+        lambda sm: RegMutexPolicy(sm, srp_ratio=kw.get("srp_ratio", 0.28))
+    ),
+    "finereg": lambda **kw: FineRegPolicy,
+    "finereg_adaptive": lambda **kw: AdaptiveFineRegPolicy,
+}
+
+#: The four configurations of Figs 12/13/16 plus the baseline.
+MAIN_POLICIES = ("baseline", "virtual_thread", "reg_dram", "vt_regmutex",
+                 "finereg")
+
+
+class ExperimentRunner:
+    """Memoized simulation driver for the experiment modules."""
+
+    def __init__(self, scale: Scale = SMALL,
+                 config: Optional[GPUConfig] = None) -> None:
+        self.scale = scale
+        self.base_config = config if config is not None \
+            else default_config(scale)
+        self._results: Dict[Tuple, SimResult] = {}
+        self._workloads: Dict[Tuple, WorkloadInstance] = {}
+
+    # ------------------------------------------------------------------
+    def workload(self, abbrev: str,
+                 config: Optional[GPUConfig] = None) -> WorkloadInstance:
+        """The workload instance for a benchmark.
+
+        The grid is sized from the *unscaled* Table-I configuration (at the
+        requested SM count) so that resource-scaling experiments (Figs 2, 4,
+        17, 18) compare identical launches across configurations.
+        """
+        num_sms = (config if config is not None else self.base_config).num_sms
+        reference = self.base_config.with_num_sms(num_sms)
+        key = (abbrev, num_sms, self.scale.name)
+        instance = self._workloads.get(key)
+        if instance is None:
+            instance = build_workload(get_spec(abbrev), reference, self.scale)
+            self._workloads[key] = instance
+        return instance
+
+    # ------------------------------------------------------------------
+    def run(self, abbrev: str, policy: str,
+            config: Optional[GPUConfig] = None,
+            sample_usage: bool = False,
+            unified_memory: bool = False,
+            **policy_kwargs) -> SimResult:
+        """Simulate one benchmark under one policy (memoized)."""
+        config = config if config is not None else self.base_config
+        key = (abbrev, policy, self._config_key(config), sample_usage,
+               unified_memory, tuple(sorted(policy_kwargs.items())))
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+
+        instance = self.workload(abbrev, config)
+        try:
+            factory = POLICIES[policy](**policy_kwargs)
+        except KeyError:
+            known = ", ".join(sorted(POLICIES))
+            raise KeyError(f"unknown policy {policy!r}; known: {known}")
+        gpu = GPU(
+            config,
+            instance.kernel,
+            factory,
+            instance.trace_provider,
+            instance.address_model,
+            liveness=instance.liveness,
+            sample_usage=sample_usage,
+        )
+        if unified_memory:
+            apply_unified_memory(gpu, reserve_pcrf=(policy == "finereg"))
+        result = gpu.run(max_cycles=self.scale.max_cycles)
+        self._results[key] = result
+        return result
+
+    def run_main_configs(self, abbrev: str) -> Dict[str, SimResult]:
+        """All five Fig-12/13 configurations for one benchmark."""
+        return {policy: self.run(abbrev, policy) for policy in MAIN_POLICIES}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _config_key(config: GPUConfig) -> Tuple:
+        return (
+            config.num_sms,
+            config.max_ctas_per_sm,
+            config.max_warps_per_sm,
+            config.max_threads_per_sm,
+            config.register_file_bytes,
+            config.pcrf_bytes,
+            config.shared_memory_bytes,
+            config.l1_size_bytes,
+            round(config.dram_bandwidth_gbps, 3),
+        )

@@ -1,0 +1,27 @@
+"""Instruction-set and kernel model for the simulated GPU."""
+
+from repro.isa.instructions import (
+    AccessPattern,
+    Instruction,
+    Opcode,
+    is_long_latency,
+    is_memory,
+)
+from repro.isa.cfg import BasicBlock, ControlFlowGraph, EdgeKind
+from repro.isa.kernel import Kernel, LaunchGeometry
+from repro.isa.assembler import AssemblyError, assemble
+
+__all__ = [
+    "AccessPattern",
+    "AssemblyError",
+    "BasicBlock",
+    "ControlFlowGraph",
+    "EdgeKind",
+    "Instruction",
+    "Kernel",
+    "LaunchGeometry",
+    "Opcode",
+    "assemble",
+    "is_long_latency",
+    "is_memory",
+]

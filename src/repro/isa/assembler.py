@@ -1,0 +1,207 @@
+"""A tiny SASS-like textual format for writing kernels by hand.
+
+Grammar (one statement per line; ``#`` starts a comment)::
+
+    .block NAME [loop=TRIPS] [branch=DIV_PROB]
+        OPCODE  [Rd,] [Rs, ...] [@pattern]
+        ...
+    .endblock [-> NAME | -> NAME, NAME]
+
+* Blocks appear in layout order; the last block must end with ``exit``.
+* ``.endblock -> A`` is a fallthrough edge; ``-> A, B`` is a two-way edge
+  (the branch arms for a ``branch=`` block, or ``header, exit`` for a
+  ``loop=`` block whose back edge returns to its header).
+* Opcodes: ``ialu fa lu sfu ldg stg lds sts bar bra exit`` (``falu``).
+* Registers are ``R0``-``R63``; global memory ops take an ``@stream``,
+  ``@reuse``, or ``@shared`` pattern annotation.
+
+Example::
+
+    .block entry
+        lds   R0, R0
+        ialu  R1, R0
+    .endblock -> body
+
+    .block body loop=8
+        ldg   R2, R0 @stream
+        falu  R3, R2, R1
+        bra   R3
+    .endblock -> body, tail
+
+    .block tail
+        stg   R3, R0 @reuse
+        exit
+    .endblock
+
+This exists for tests, teaching, and users who want to sketch kernels
+without constructing :class:`ControlFlowGraph` objects by hand.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.cfg import ControlFlowGraph, EdgeKind
+from repro.isa.instructions import AccessPattern, Instruction, Opcode
+
+_OPCODES = {
+    "ialu": Opcode.IALU,
+    "falu": Opcode.FALU,
+    "sfu": Opcode.SFU,
+    "ldg": Opcode.LDG,
+    "stg": Opcode.STG,
+    "lds": Opcode.LDS,
+    "sts": Opcode.STS,
+    "bar": Opcode.BAR,
+    "bra": Opcode.BRA,
+    "exit": Opcode.EXIT,
+}
+
+_PATTERNS = {
+    "stream": AccessPattern.STREAM,
+    "reuse": AccessPattern.REUSE,
+    "shared": AccessPattern.SHARED_WS,
+}
+
+#: Opcodes whose first register operand is a destination.
+_HAS_DEST = {Opcode.IALU, Opcode.FALU, Opcode.SFU, Opcode.LDG, Opcode.LDS}
+
+_REG = re.compile(r"^[rR](\d{1,2})$")
+
+
+class AssemblyError(ValueError):
+    """A syntax or structure problem, annotated with the line number."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+class _Block:
+    def __init__(self, name: str, line_no: int,
+                 loop_trips: Optional[float],
+                 branch_prob: Optional[float]) -> None:
+        self.name = name
+        self.line_no = line_no
+        self.loop_trips = loop_trips
+        self.branch_prob = branch_prob
+        self.instructions: List[Instruction] = []
+        self.successors: Tuple[str, ...] = ()
+
+
+def _parse_reg(token: str, line_no: int) -> int:
+    match = _REG.match(token)
+    if not match:
+        raise AssemblyError(line_no, f"expected a register, got {token!r}")
+    reg = int(match.group(1))
+    if reg > 63:
+        raise AssemblyError(line_no, f"register R{reg} out of range")
+    return reg
+
+
+def _parse_instruction(line: str, line_no: int) -> Instruction:
+    pattern = None
+    if "@" in line:
+        line, __, pat = line.partition("@")
+        pat = pat.strip().lower()
+        if pat not in _PATTERNS:
+            raise AssemblyError(line_no, f"unknown pattern @{pat}")
+        pattern = _PATTERNS[pat]
+    tokens = [t for t in re.split(r"[,\s]+", line.strip()) if t]
+    if not tokens:
+        raise AssemblyError(line_no, "empty instruction")
+    mnemonic = tokens[0].lower()
+    if mnemonic not in _OPCODES:
+        raise AssemblyError(line_no, f"unknown opcode {mnemonic!r}")
+    opcode = _OPCODES[mnemonic]
+    regs = [_parse_reg(t, line_no) for t in tokens[1:]]
+    dest: Optional[int] = None
+    srcs: Tuple[int, ...]
+    if opcode in _HAS_DEST:
+        if not regs:
+            raise AssemblyError(line_no, f"{mnemonic} needs a destination")
+        dest, srcs = regs[0], tuple(regs[1:])
+    else:
+        srcs = tuple(regs)
+    try:
+        return Instruction(opcode, dest, srcs, pattern)
+    except ValueError as exc:
+        raise AssemblyError(line_no, str(exc)) from exc
+
+
+def assemble(text: str) -> ControlFlowGraph:
+    """Parse the textual format into a frozen :class:`ControlFlowGraph`."""
+    blocks: List[_Block] = []
+    current: Optional[_Block] = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".block"):
+            if current is not None:
+                raise AssemblyError(line_no, "nested .block")
+            tokens = line.split()
+            if len(tokens) < 2:
+                raise AssemblyError(line_no, ".block needs a name")
+            name = tokens[1]
+            if any(b.name == name for b in blocks):
+                raise AssemblyError(line_no, f"duplicate block {name!r}")
+            loop = branch = None
+            for option in tokens[2:]:
+                key, __, value = option.partition("=")
+                if key == "loop":
+                    loop = float(value)
+                elif key == "branch":
+                    branch = float(value)
+                else:
+                    raise AssemblyError(line_no, f"unknown option {key!r}")
+            current = _Block(name, line_no, loop, branch)
+        elif line.startswith(".endblock"):
+            if current is None:
+                raise AssemblyError(line_no, ".endblock without .block")
+            __, __, targets = line.partition("->")
+            names = tuple(t.strip() for t in targets.split(",")
+                          if t.strip())
+            current.successors = names
+            blocks.append(current)
+            current = None
+        else:
+            if current is None:
+                raise AssemblyError(line_no, "instruction outside .block")
+            current.instructions.append(_parse_instruction(line, line_no))
+
+    if current is not None:
+        raise AssemblyError(current.line_no, f"unclosed block "
+                            f"{current.name!r}")
+    if not blocks:
+        raise AssemblyError(0, "no blocks")
+
+    index_of: Dict[str, int] = {b.name: i for i, b in enumerate(blocks)}
+    cfg = ControlFlowGraph()
+    for block in blocks:
+        try:
+            successors = tuple(index_of[name] for name in block.successors)
+        except KeyError as exc:
+            raise AssemblyError(block.line_no,
+                                f"unknown block {exc.args[0]!r}") from exc
+        if block.loop_trips is not None:
+            kind = EdgeKind.LOOP_BACK
+        elif block.branch_prob is not None:
+            kind = EdgeKind.BRANCH
+        elif not block.successors:
+            kind = EdgeKind.EXIT
+        else:
+            kind = EdgeKind.FALLTHROUGH
+        cfg.add_block(
+            block.instructions,
+            kind,
+            successors=successors,
+            divergence_prob=block.branch_prob or 0.0,
+            mean_trip_count=block.loop_trips or 0.0,
+        )
+    try:
+        return cfg.freeze()
+    except ValueError as exc:
+        raise AssemblyError(0, f"invalid CFG: {exc}") from exc

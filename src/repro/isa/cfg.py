@@ -1,0 +1,232 @@
+"""Basic blocks and control-flow graphs for synthetic kernels.
+
+Kernels are *structured*: the CFG is built from sequences, diverging
+branches (if/else with a post-dominator reconvergence block, paper Fig 9a)
+and natural loops (single back edge, paper Fig 9b).  Structure is enough for
+both the liveness pass (which must traverse branches and loops exactly as
+Section V-A describes) and the per-warp trace generator (which serializes
+divergent paths per the PDOM reconvergence model).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
+
+
+class EdgeKind(enum.Enum):
+    """How control leaves a basic block."""
+
+    FALLTHROUGH = "fallthrough"   # single successor
+    BRANCH = "branch"             # two-way, potentially divergent
+    LOOP_BACK = "loop_back"       # back edge to the loop header
+    EXIT = "exit"                 # kernel end
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of instructions with one control transfer."""
+
+    block_id: int
+    instructions: List[Instruction] = field(default_factory=list)
+    edge_kind: EdgeKind = EdgeKind.FALLTHROUGH
+    successors: Tuple[int, ...] = ()
+    # For BRANCH blocks: probability that a given warp diverges (threads split
+    # across both paths) versus uniformly taking one side.
+    divergence_prob: float = 0.0
+    taken_prob: float = 0.5
+    # For LOOP_BACK blocks: mean dynamic trip count of the enclosing loop.
+    mean_trip_count: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+
+class ControlFlowGraph:
+    """An immutable-after-``freeze`` structured CFG.
+
+    Blocks are appended via builder methods; ``freeze`` assigns PCs (4-byte
+    spacing over a single linear layout) and validates structure.
+    """
+
+    def __init__(self) -> None:
+        self.blocks: List[BasicBlock] = []
+        self._frozen = False
+        self._instructions: List[Instruction] = []
+        self._block_of_index: List[int] = []
+        self._first_index: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_block(self, instructions: Sequence[Instruction],
+                  edge_kind: EdgeKind = EdgeKind.FALLTHROUGH,
+                  successors: Tuple[int, ...] = (),
+                  divergence_prob: float = 0.0,
+                  taken_prob: float = 0.5,
+                  mean_trip_count: float = 0.0) -> BasicBlock:
+        if self._frozen:
+            raise RuntimeError("cannot add blocks to a frozen CFG")
+        block = BasicBlock(
+            block_id=len(self.blocks),
+            instructions=list(instructions),
+            edge_kind=edge_kind,
+            successors=successors,
+            divergence_prob=divergence_prob,
+            taken_prob=taken_prob,
+            mean_trip_count=mean_trip_count,
+        )
+        self.blocks.append(block)
+        return block
+
+    def freeze(self) -> "ControlFlowGraph":
+        """Assign PCs, validate edges, and lock the graph."""
+        if self._frozen:
+            return self
+        self._validate()
+        pc = 0
+        for block in self.blocks:
+            self._first_index[block.block_id] = len(self._instructions)
+            for index, instr in enumerate(block.instructions):
+                placed = Instruction(
+                    opcode=instr.opcode,
+                    dest=instr.dest,
+                    srcs=instr.srcs,
+                    pattern=instr.pattern,
+                    pc=pc,
+                )
+                block.instructions[index] = placed
+                self._instructions.append(placed)
+                self._block_of_index.append(block.block_id)
+                pc += 4
+        self._frozen = True
+        return self
+
+    def _validate(self) -> None:
+        if not self.blocks:
+            raise ValueError("CFG has no blocks")
+        ids = {block.block_id for block in self.blocks}
+        exit_blocks = 0
+        for block in self.blocks:
+            if not block.instructions:
+                raise ValueError(f"block B{block.block_id} is empty")
+            for succ in block.successors:
+                if succ not in ids:
+                    raise ValueError(
+                        f"block B{block.block_id} has unknown successor B{succ}"
+                    )
+            expected = {
+                EdgeKind.FALLTHROUGH: 1,
+                EdgeKind.BRANCH: 2,
+                EdgeKind.LOOP_BACK: 2,
+                EdgeKind.EXIT: 0,
+            }[block.edge_kind]
+            if len(block.successors) != expected:
+                raise ValueError(
+                    f"block B{block.block_id} ({block.edge_kind.value}) needs "
+                    f"{expected} successors, has {len(block.successors)}"
+                )
+            if block.edge_kind is EdgeKind.EXIT:
+                exit_blocks += 1
+                if block.instructions[-1].opcode is not Opcode.EXIT:
+                    raise ValueError(
+                        f"exit block B{block.block_id} must end in EXIT"
+                    )
+            if block.edge_kind is EdgeKind.LOOP_BACK:
+                if block.successors[0] > block.block_id:
+                    raise ValueError(
+                        f"loop back edge of B{block.block_id} must go backward"
+                    )
+                if block.mean_trip_count < 1.0:
+                    raise ValueError(
+                        f"loop at B{block.block_id} needs mean_trip_count >= 1"
+                    )
+        if exit_blocks != 1:
+            raise ValueError(f"CFG must have exactly one exit block, "
+                             f"found {exit_blocks}")
+
+    # ------------------------------------------------------------------
+    # Frozen-graph queries
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    @property
+    def instructions(self) -> List[Instruction]:
+        self._require_frozen()
+        return self._instructions
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def num_instructions(self) -> int:
+        self._require_frozen()
+        return len(self._instructions)
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self.blocks[block_id]
+
+    def block_of(self, instr_index: int) -> int:
+        """Block id containing the instruction at linear index."""
+        self._require_frozen()
+        return self._block_of_index[instr_index]
+
+    def first_index(self, block_id: int) -> int:
+        """Linear index of a block's first instruction."""
+        self._require_frozen()
+        return self._first_index[block_id]
+
+    def index_of_pc(self, pc: int) -> int:
+        self._require_frozen()
+        if pc % 4 or not 0 <= pc // 4 < len(self._instructions):
+            raise ValueError(f"invalid pc 0x{pc:04x}")
+        return pc // 4
+
+    def registers_used(self) -> Tuple[int, ...]:
+        """Sorted architectural registers the kernel ever names."""
+        self._require_frozen()
+        regs = set()
+        for instr in self._instructions:
+            regs.update(instr.registers)
+        return tuple(sorted(regs))
+
+    def reconvergence_block(self, branch_block_id: int) -> Optional[int]:
+        """Immediate post-dominator of a BRANCH block.
+
+        For structured CFGs the reconvergence point is the unique common
+        successor reached by both branch paths; we find it by walking each
+        path's fallthrough chain (paths inside a structured branch region are
+        linear).
+        """
+        self._require_frozen()
+        branch = self.blocks[branch_block_id]
+        if branch.edge_kind is not EdgeKind.BRANCH:
+            raise ValueError(f"B{branch_block_id} is not a branch block")
+
+        def chain(start: int) -> List[int]:
+            seen = [start]
+            current = self.blocks[start]
+            while current.edge_kind is EdgeKind.FALLTHROUGH:
+                nxt = current.successors[0]
+                seen.append(nxt)
+                current = self.blocks[nxt]
+            return seen
+
+        left = chain(branch.successors[0])
+        right = set(chain(branch.successors[1]))
+        for block_id in left:
+            if block_id in right:
+                return block_id
+        return None
+
+    def _require_frozen(self) -> None:
+        if not self._frozen:
+            raise RuntimeError("CFG must be frozen first")

@@ -1,0 +1,127 @@
+"""Static instruction model.
+
+Instructions are SASS-like: an opcode class, one optional destination
+register, up to three source registers, and (for memory operations) an access
+pattern describing the synthetic address stream the trace generator will
+attach.  Register numbers are per-thread architectural registers in
+``[0, MAX_REGS_PER_THREAD)``; the timing model treats each as one
+warp-register (128 B across the 32 lanes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.config import MAX_REGS_PER_THREAD
+
+
+class Opcode(enum.Enum):
+    """Instruction classes with distinct timing behaviour."""
+
+    IALU = "ialu"       # integer ALU
+    FALU = "falu"       # single-precision FP
+    SFU = "sfu"         # special function (rsqrt, sin, ...)
+    LDG = "ldg"         # load from global memory
+    STG = "stg"         # store to global memory
+    LDS = "lds"         # load from shared memory
+    STS = "sts"         # store to shared memory
+    BAR = "bar"         # CTA-wide barrier
+    BRA = "bra"         # (potentially diverging) branch
+    EXIT = "exit"       # end of thread
+
+
+class AccessPattern(enum.Enum):
+    """Synthetic locality class of a global-memory instruction.
+
+    STREAM touches a fresh coalesced line each execution (cold misses),
+    REUSE cycles over a small per-CTA working set (mostly L1 hits), and
+    SHARED_WS cycles over a working set shared across CTAs (L2 hits).
+    """
+
+    STREAM = "stream"
+    REUSE = "reuse"
+    SHARED_WS = "shared_ws"
+
+
+_MEMORY_OPS = frozenset({Opcode.LDG, Opcode.STG, Opcode.LDS, Opcode.STS})
+_LONG_LATENCY_OPS = frozenset({Opcode.LDG, Opcode.STG})
+_WRITING_OPS = frozenset(
+    {Opcode.IALU, Opcode.FALU, Opcode.SFU, Opcode.LDG, Opcode.LDS}
+)
+
+
+def is_memory(opcode: Opcode) -> bool:
+    """True for any shared or global memory operation."""
+    return opcode in _MEMORY_OPS
+
+
+def is_long_latency(opcode: Opcode) -> bool:
+    """True for operations that go through the L1/L2/DRAM hierarchy."""
+    return opcode in _LONG_LATENCY_OPS
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    ``pc`` is assigned when the instruction is placed into a kernel's linear
+    instruction array (4-byte spacing, like the PC addresses in paper Fig 7).
+    """
+
+    opcode: Opcode
+    dest: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    pattern: Optional[AccessPattern] = None
+    pc: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        regs = self.srcs if self.dest is None else self.srcs + (self.dest,)
+        for reg in regs:
+            if not 0 <= reg < MAX_REGS_PER_THREAD:
+                raise ValueError(f"register R{reg} out of range [0, 64)")
+        if self.dest is not None and self.opcode not in _WRITING_OPS:
+            raise ValueError(f"{self.opcode.value} cannot write a register")
+        if self.opcode in _WRITING_OPS and self.dest is None:
+            raise ValueError(f"{self.opcode.value} requires a destination")
+        if is_memory(self.opcode):
+            if self.opcode in _LONG_LATENCY_OPS and self.pattern is None:
+                raise ValueError("global memory ops need an access pattern")
+        elif self.pattern is not None:
+            raise ValueError("only memory instructions carry access patterns")
+
+    @property
+    def registers(self) -> Tuple[int, ...]:
+        """All architectural registers this instruction names."""
+        if self.dest is None:
+            return self.srcs
+        return self.srcs + (self.dest,)
+
+    def reads(self, reg: int) -> bool:
+        return reg in self.srcs
+
+    def writes(self, reg: int) -> bool:
+        return self.dest == reg
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        dst = f"R{self.dest}" if self.dest is not None else "-"
+        srcs = ", ".join(f"R{r}" for r in self.srcs) or "-"
+        return f"0x{self.pc:04x}: {self.opcode.value.upper()} {dst} <- {srcs}"
+
+
+def alu(dest: int, *srcs: int, fp: bool = False) -> Instruction:
+    """Convenience constructor for an ALU instruction."""
+    return Instruction(Opcode.FALU if fp else Opcode.IALU, dest, tuple(srcs))
+
+
+def load(dest: int, addr_reg: int,
+         pattern: AccessPattern = AccessPattern.STREAM) -> Instruction:
+    """Convenience constructor for a global load."""
+    return Instruction(Opcode.LDG, dest, (addr_reg,), pattern)
+
+
+def store(src: int, addr_reg: int,
+          pattern: AccessPattern = AccessPattern.STREAM) -> Instruction:
+    """Convenience constructor for a global store."""
+    return Instruction(Opcode.STG, None, (src, addr_reg), pattern)

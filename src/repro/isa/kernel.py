@@ -1,0 +1,83 @@
+"""Kernel: a frozen CFG plus launch geometry and resource footprint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import WARP_REGISTER_BYTES, WARP_SIZE
+from repro.isa.cfg import ControlFlowGraph
+
+
+@dataclass(frozen=True)
+class LaunchGeometry:
+    """Grid/CTA shape of a kernel launch."""
+
+    threads_per_cta: int
+    grid_ctas: int
+
+    def __post_init__(self) -> None:
+        if self.threads_per_cta <= 0 or self.threads_per_cta % WARP_SIZE:
+            raise ValueError("threads_per_cta must be a positive multiple of 32")
+        if self.threads_per_cta > 1024:
+            raise ValueError("threads_per_cta exceeds the 1024-thread limit")
+        if self.grid_ctas <= 0:
+            raise ValueError("grid must contain at least one CTA")
+
+    @property
+    def warps_per_cta(self) -> int:
+        return self.threads_per_cta // WARP_SIZE
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A compiled kernel ready for launch.
+
+    ``regs_per_thread`` is the static allocation the baseline register file
+    charges per thread (what ``nvcc --ptxas-options=-v`` would report);
+    it must cover every register the CFG names.
+    """
+
+    name: str
+    cfg: ControlFlowGraph
+    geometry: LaunchGeometry
+    regs_per_thread: int
+    shmem_per_cta: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.cfg.frozen:
+            raise ValueError("kernel CFG must be frozen")
+        used = self.cfg.registers_used()
+        if used and self.regs_per_thread <= max(used):
+            raise ValueError(
+                f"kernel names R{max(used)} but allocates only "
+                f"{self.regs_per_thread} registers per thread"
+            )
+        if self.regs_per_thread <= 0:
+            raise ValueError("regs_per_thread must be positive")
+        if self.shmem_per_cta < 0:
+            raise ValueError("shared memory cannot be negative")
+
+    # ------------------------------------------------------------------
+    # Resource footprint (drives scheduling limits and paper Fig 3)
+    # ------------------------------------------------------------------
+    @property
+    def warps_per_cta(self) -> int:
+        return self.geometry.warps_per_cta
+
+    @property
+    def warp_registers_per_cta(self) -> int:
+        """Warp-registers one CTA occupies in a conventional register file."""
+        return self.warps_per_cta * self.regs_per_thread
+
+    @property
+    def register_bytes_per_cta(self) -> int:
+        return self.warp_registers_per_cta * WARP_REGISTER_BYTES
+
+    @property
+    def cta_overhead_bytes(self) -> int:
+        """On-chip bytes one extra CTA costs (registers + shared memory)."""
+        return self.register_bytes_per_cta + self.shmem_per_cta
+
+    @property
+    def num_static_instructions(self) -> int:
+        return self.cfg.num_instructions

@@ -1,0 +1,8 @@
+"""Memory hierarchy substrate: set-associative caches, DRAM, and the
+per-GPU hierarchy tying L1s to a shared L2 and off-chip DRAM."""
+
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.dram import DRAM, DRAMStats
+from repro.memory.hierarchy import MemoryHierarchy
+
+__all__ = ["Cache", "CacheStats", "DRAM", "DRAMStats", "MemoryHierarchy"]

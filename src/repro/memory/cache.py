@@ -1,0 +1,124 @@
+"""Set-associative cache with LRU replacement.
+
+Used for both the per-SM L1 and the shared L2.  The model is tag-only: it
+decides hit/miss and tracks traffic; data values are never simulated.
+Write policy is write-through/no-write-allocate for stores (GPU L1s for
+global stores behave this way), configurable for the L2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache instance."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return (self.read_hits + self.read_misses
+                + self.write_hits + self.write_misses)
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """Tag-array cache model with true-LRU sets."""
+
+    def __init__(self, name: str, size_bytes: int, assoc: int,
+                 line_bytes: int = 128, allocate_on_write: bool = False
+                 ) -> None:
+        if size_bytes <= 0 or size_bytes % (assoc * line_bytes):
+            raise ValueError(
+                f"{name}: size must be a multiple of assoc * line size"
+            )
+        self.name = name
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        self.allocate_on_write = allocate_on_write
+        # Per set: list of tags in LRU order (front = most recent).
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self._dirty: set = set()
+        #: True when the most recent access evicted a dirty line
+        #: (write-back caches owe a memory write for it).
+        self.last_evicted_dirty = False
+        self.stats = CacheStats()
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_sets * self.assoc * self.line_bytes
+
+    def _locate(self, address: int) -> tuple:
+        line = address // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Probe (and update) the cache; returns True on hit.
+
+        ``last_evicted_dirty`` is set when the allocation this access
+        performed pushed out a dirty line (the caller owes a write-back).
+        """
+        self.last_evicted_dirty = False
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        if tag in ways:
+            ways.remove(tag)
+            ways.insert(0, tag)
+            if is_write:
+                self.stats.write_hits += 1
+                self._dirty.add((set_index, tag))
+            else:
+                self.stats.read_hits += 1
+            return True
+        if is_write:
+            self.stats.write_misses += 1
+            if not self.allocate_on_write:
+                return False
+        else:
+            self.stats.read_misses += 1
+        ways.insert(0, tag)
+        if is_write:
+            self._dirty.add((set_index, tag))
+        if len(ways) > self.assoc:
+            victim = ways.pop()
+            key = (set_index, victim)
+            if key in self._dirty:
+                self._dirty.remove(key)
+                self.last_evicted_dirty = True
+                self.stats.dirty_evictions += 1
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Non-updating, non-counting lookup."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    def flush(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]
+        self._dirty.clear()
+
+    def resize(self, size_bytes: int) -> None:
+        """Change capacity (used by the unified-memory model, Fig 19)."""
+        if size_bytes <= 0 or size_bytes % (self.assoc * self.line_bytes):
+            raise ValueError("new size must be a multiple of assoc * line")
+        self.num_sets = size_bytes // (self.assoc * self.line_bytes)
+        self.flush()
+
+    def occupancy(self) -> Dict[str, int]:
+        lines = sum(len(ways) for ways in self._sets)
+        return {"lines": lines, "capacity": self.num_sets * self.assoc}

@@ -1,0 +1,72 @@
+"""Off-chip DRAM model: fixed access latency plus bandwidth queueing.
+
+The channel services bytes at ``bytes_per_cycle``; requests arriving faster
+than that accumulate queueing delay.  The model keeps a single "channel free
+at" timestamp: a request arriving at cycle ``t`` starts service at
+``max(t, channel_free)`` and completes one access latency after its service
+slot ends.  Traffic is counted per request class so the Fig 15 breakdown
+(demand vs. context-switch vs. bit-vector traffic) falls out directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class DRAMStats:
+    """Traffic and timing counters for the DRAM channel."""
+
+    requests: int = 0
+    total_bytes: int = 0
+    bytes_by_class: Dict[str, int] = field(default_factory=dict)
+    total_queue_cycles: int = 0
+
+    def add(self, nbytes: int, traffic_class: str, queue_cycles: int) -> None:
+        self.requests += 1
+        self.total_bytes += nbytes
+        self.bytes_by_class[traffic_class] = (
+            self.bytes_by_class.get(traffic_class, 0) + nbytes)
+        self.total_queue_cycles += queue_cycles
+
+    @property
+    def mean_queue_delay(self) -> float:
+        return self.total_queue_cycles / self.requests if self.requests else 0.0
+
+
+class DRAM:
+    """A single bandwidth-limited off-chip channel."""
+
+    def __init__(self, bytes_per_cycle: float, access_latency: int) -> None:
+        if bytes_per_cycle <= 0:
+            raise ValueError("bandwidth must be positive")
+        if access_latency <= 0:
+            raise ValueError("latency must be positive")
+        self.bytes_per_cycle = bytes_per_cycle
+        self.access_latency = access_latency
+        self._channel_free = 0.0
+        self.stats = DRAMStats()
+
+    def request(self, now: int, nbytes: int,
+                traffic_class: str = "demand") -> int:
+        """Issue a request; returns the absolute completion cycle."""
+        if nbytes <= 0:
+            raise ValueError("request must move at least one byte")
+        start = max(float(now), self._channel_free)
+        service = nbytes / self.bytes_per_cycle
+        self._channel_free = start + service
+        queue_cycles = int(start - now)
+        self.stats.add(nbytes, traffic_class, queue_cycles)
+        return int(self._channel_free) + self.access_latency
+
+    def busy_until(self) -> float:
+        return self._channel_free
+
+    def backlog(self, now: int) -> float:
+        """Cycles of queued service the channel still owes at ``now``.
+
+        A large backlog means the bus is saturated: adding thread-level
+        parallelism cannot raise throughput, only queueing delay.
+        """
+        return max(0.0, self._channel_free - now)

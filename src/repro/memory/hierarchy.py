@@ -1,0 +1,120 @@
+"""The L1 -> L2 -> DRAM hierarchy shared by all SMs of a simulated GPU.
+
+Each SM owns an L1; the L2 and DRAM channel are shared.  ``load``/``store``
+return the absolute completion cycle of the access, charging L1/L2 hit
+latencies or the DRAM round trip (including bandwidth queueing).  A small
+per-SM merge table approximates MSHR behaviour: accesses from the same SM to
+the same line within the lifetime of an outstanding miss complete with the
+original miss rather than issuing new DRAM traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config import GPUConfig
+from repro.memory.cache import Cache
+from repro.memory.dram import DRAM
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregated access counts (per-level stats live on the caches)."""
+
+    loads: int = 0
+    stores: int = 0
+    merged_misses: int = 0
+
+
+class MemoryHierarchy:
+    """Timing model for global-memory accesses of every SM."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self._config = config
+        line = config.cache_line_bytes
+        self.l1s: List[Cache] = [
+            Cache(f"L1[{sm}]", config.l1_size_bytes, config.l1_assoc, line)
+            for sm in range(config.num_sms)
+        ]
+        self.l2 = Cache("L2", config.l2_size_bytes, config.l2_assoc, line,
+                        allocate_on_write=True)
+        self.dram = DRAM(config.dram_bytes_per_cycle, config.dram_latency)
+        self.stats = HierarchyStats()
+        # Per-SM outstanding-miss table: line address -> completion cycle.
+        self._outstanding: List[Dict[int, int]] = [
+            {} for _ in range(config.num_sms)
+        ]
+
+    # ------------------------------------------------------------------
+    def load(self, sm_id: int, address: int, now: int) -> int:
+        """A warp-level coalesced load; returns the data-ready cycle."""
+        self.stats.loads += 1
+        return self._access(sm_id, address, now, is_write=False)
+
+    def store(self, sm_id: int, address: int, now: int) -> int:
+        """A warp-level coalesced store; returns the retire cycle.
+
+        Stores are write-through at L1; they complete from the warp's view
+        quickly but still consume DRAM bandwidth on an L2 miss.
+        """
+        self.stats.stores += 1
+        self._access(sm_id, address, now, is_write=True)
+        # Stores retire once handed to the memory pipeline.
+        return now + self._config.l1_hit_latency
+
+    # ------------------------------------------------------------------
+    def _access(self, sm_id: int, address: int, now: int,
+                is_write: bool) -> int:
+        config = self._config
+        line_addr = address - address % config.cache_line_bytes
+
+        # A miss to this line may still be in flight: later accesses (from
+        # this SM) complete with it instead of hitting the freshly-allocated
+        # tag before the data has actually arrived.
+        outstanding = self._outstanding[sm_id]
+        pending = outstanding.get(line_addr)
+        if pending is not None:
+            if pending > now:
+                self.stats.merged_misses += 1
+                self.l1s[sm_id].access(address, is_write)  # keep LRU honest
+                return pending
+            del outstanding[line_addr]
+
+        if self.l1s[sm_id].access(address, is_write):
+            return now + config.l1_hit_latency
+
+        if self.l2.access(address, is_write):
+            done = now + config.l2_hit_latency
+        else:
+            if is_write:
+                # Write-back L2: the store allocates on-chip; DRAM is only
+                # charged when a dirty line is eventually evicted (below).
+                done = now + config.l2_hit_latency
+            else:
+                done = self.dram.request(now, config.cache_line_bytes,
+                                         "demand_read")
+                done += config.l2_hit_latency - config.l1_hit_latency
+        if self.l2.last_evicted_dirty:
+            self.dram.request(now, config.cache_line_bytes, "demand_write")
+        if not is_write:
+            outstanding[line_addr] = done
+            if len(outstanding) > 256:  # bound the merge-table size
+                expired = [a for a, t in outstanding.items() if t <= now]
+                for addr in expired:
+                    del outstanding[addr]
+        return done
+
+    # ------------------------------------------------------------------
+    # Bulk transfers (context switching to DRAM, bit-vector fetches)
+    # ------------------------------------------------------------------
+    def bulk_transfer(self, now: int, nbytes: int, traffic_class: str) -> int:
+        """Move ``nbytes`` to/from DRAM (Zorua-style context, bit vectors)."""
+        return self.dram.request(now, nbytes, traffic_class)
+
+    @property
+    def dram_traffic_bytes(self) -> int:
+        return self.dram.stats.total_bytes
+
+    def traffic_by_class(self) -> Dict[str, int]:
+        return dict(self.dram.stats.bytes_by_class)

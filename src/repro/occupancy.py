@@ -1,0 +1,174 @@
+"""Analytical occupancy calculator.
+
+Computes, without simulation, how many CTAs each register-file management
+scheme can keep resident on an SM for a given kernel footprint -- the
+closed-form counterpart of Fig 12, and a practical planning tool (the
+CUDA-occupancy-calculator analogue for this architecture family).
+
+All functions return CTA counts per SM.  The binding-constraint report tells
+you *why* the count is what it is (which Table-I limit binds), which is
+exactly the Type-S/Type-R classification of Table II.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import GPUConfig
+
+
+class Limit(enum.Enum):
+    """Which hardware resource binds the CTA count."""
+
+    CTA_SLOTS = "cta_slots"
+    WARP_SLOTS = "warp_slots"
+    THREAD_SLOTS = "thread_slots"
+    REGISTERS = "registers"
+    SHARED_MEMORY = "shared_memory"
+    RESIDENCY = "residency"        # FineReg's 128-CTA monitor cap
+    GRID = "grid"
+
+
+@dataclass(frozen=True)
+class KernelFootprint:
+    """The resource envelope occupancy depends on."""
+
+    threads_per_cta: int
+    regs_per_thread: int
+    shmem_per_cta: int = 0
+    live_fraction: float = 0.5     # live / allocated registers at stalls
+
+    def __post_init__(self) -> None:
+        if self.threads_per_cta <= 0 or self.threads_per_cta % 32:
+            raise ValueError("threads_per_cta must be a positive x32")
+        if self.regs_per_thread <= 0:
+            raise ValueError("regs_per_thread must be positive")
+        if not 0.0 < self.live_fraction <= 1.0:
+            raise ValueError("live_fraction must be in (0, 1]")
+
+    @property
+    def warps_per_cta(self) -> int:
+        return self.threads_per_cta // 32
+
+    @property
+    def warp_registers_per_cta(self) -> int:
+        return self.warps_per_cta * self.regs_per_thread
+
+    @property
+    def live_warp_registers_per_cta(self) -> int:
+        return max(1, math.ceil(self.warp_registers_per_cta
+                                * self.live_fraction))
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """CTA counts and the constraint that produced them."""
+
+    active: int
+    resident: int
+    binding: Limit
+
+    @property
+    def pending(self) -> int:
+        return self.resident - self.active
+
+
+def _scheduler_limits(fp: KernelFootprint, config: GPUConfig
+                      ) -> Dict[Limit, int]:
+    return {
+        Limit.CTA_SLOTS: config.max_ctas_per_sm,
+        Limit.WARP_SLOTS: config.max_warps_per_sm // fp.warps_per_cta,
+        Limit.THREAD_SLOTS: config.max_threads_per_sm // fp.threads_per_cta,
+    }
+
+
+def _tightest(limits: Dict[Limit, int]) -> tuple:
+    binding = min(limits, key=lambda k: limits[k])
+    return limits[binding], binding
+
+
+def baseline_occupancy(fp: KernelFootprint, config: GPUConfig) -> Occupancy:
+    """Conventional GPU: full register allocations, no pending CTAs."""
+    limits = _scheduler_limits(fp, config)
+    limits[Limit.REGISTERS] = (config.rf_warp_registers
+                               // fp.warp_registers_per_cta)
+    if fp.shmem_per_cta:
+        limits[Limit.SHARED_MEMORY] = (config.shared_memory_bytes
+                                       // fp.shmem_per_cta)
+    count, binding = _tightest(limits)
+    count = max(1, count)
+    return Occupancy(active=count, resident=count, binding=binding)
+
+
+def virtual_thread_occupancy(fp: KernelFootprint,
+                             config: GPUConfig) -> Occupancy:
+    """Virtual Thread: residency bounded by RF/shmem, activity by slots."""
+    base = baseline_occupancy(fp, config)
+    resident_limits = {
+        Limit.REGISTERS: config.rf_warp_registers
+        // fp.warp_registers_per_cta,
+    }
+    if fp.shmem_per_cta:
+        resident_limits[Limit.SHARED_MEMORY] = (
+            config.shared_memory_bytes // fp.shmem_per_cta)
+    resident, binding = _tightest(resident_limits)
+    active, __ = _tightest(_scheduler_limits(fp, config))
+    active = min(active, resident)
+    if resident <= base.resident:
+        binding = base.binding
+    return Occupancy(active=max(1, active), resident=max(1, resident),
+                     binding=binding)
+
+
+def finereg_occupancy(fp: KernelFootprint, config: GPUConfig) -> Occupancy:
+    """FineReg: actives in the ACRF, pendings as live sets in the PCRF."""
+    sched, __ = _tightest(_scheduler_limits(fp, config))
+    acrf_ctas = config.acrf_entries // fp.warp_registers_per_cta
+    active = min(sched, acrf_ctas)
+    if fp.shmem_per_cta:
+        active = min(active,
+                     config.shared_memory_bytes // fp.shmem_per_cta)
+    active = max(1, active)
+    pcrf_ctas = config.pcrf_entries // fp.live_warp_registers_per_cta
+    resident = active + pcrf_ctas
+    binding = Limit.REGISTERS
+    if fp.shmem_per_cta:
+        shmem_ctas = config.shared_memory_bytes // fp.shmem_per_cta
+        if shmem_ctas < resident:
+            resident = shmem_ctas
+            binding = Limit.SHARED_MEMORY
+    if resident > config.max_resident_ctas:
+        resident = config.max_resident_ctas
+        binding = Limit.RESIDENCY
+    warp_cap = config.max_resident_warps // fp.warps_per_cta
+    if resident > warp_cap:
+        resident = warp_cap
+        binding = Limit.RESIDENCY
+    return Occupancy(active=active, resident=max(active, resident),
+                     binding=binding)
+
+
+def occupancy_report(fp: KernelFootprint,
+                     config: Optional[GPUConfig] = None) -> str:
+    """Human-readable comparison of the three schemes."""
+    config = config if config is not None else GPUConfig()
+    rows = [
+        ("baseline", baseline_occupancy(fp, config)),
+        ("virtual_thread", virtual_thread_occupancy(fp, config)),
+        ("finereg", finereg_occupancy(fp, config)),
+    ]
+    lines = [
+        f"kernel: {fp.threads_per_cta} threads/CTA, "
+        f"{fp.regs_per_thread} regs/thread "
+        f"({fp.warp_registers_per_cta * 128 // 1024} KB/CTA), "
+        f"shmem {fp.shmem_per_cta // 1024} KB, "
+        f"live ~{fp.live_fraction:.0%}",
+    ]
+    for name, occ in rows:
+        lines.append(
+            f"  {name:16} active={occ.active:<3} pending={occ.pending:<3} "
+            f"resident={occ.resident:<3} bound by {occ.binding.value}")
+    return "\n".join(lines)

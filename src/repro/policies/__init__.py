@@ -1,0 +1,24 @@
+"""Register-file management policies: the paper's baseline and all four
+compared schemes (Virtual Thread, Reg+DRAM/Zorua-like, RegMutex, FineReg)
+plus the unified on-chip memory variants of Fig 19."""
+
+from repro.policies.base import PendingTracker, RegisterFilePolicy
+from repro.policies.baseline import BaselinePolicy
+from repro.policies.virtual_thread import VirtualThreadPolicy
+from repro.policies.reg_dram import RegDRAMPolicy
+from repro.policies.regmutex import RegMutexPolicy
+from repro.policies.finereg import FineRegPolicy
+from repro.policies.finereg_adaptive import AdaptiveFineRegPolicy
+from repro.policies.unified_memory import apply_unified_memory
+
+__all__ = [
+    "AdaptiveFineRegPolicy",
+    "BaselinePolicy",
+    "FineRegPolicy",
+    "PendingTracker",
+    "RegDRAMPolicy",
+    "RegMutexPolicy",
+    "RegisterFilePolicy",
+    "VirtualThreadPolicy",
+    "apply_unified_memory",
+]

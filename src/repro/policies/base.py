@@ -1,0 +1,188 @@
+"""Policy interface and shared machinery.
+
+A :class:`RegisterFilePolicy` is instantiated per SM and owns that SM's
+register-capacity bookkeeping.  The SM calls into it at well-defined points:
+
+* ``fill(now)``       -- launch CTAs while resources allow (start / after retire)
+* ``on_cta_stalled``  -- an active CTA's warps are all blocked long-term
+* ``on_cta_finished`` -- a CTA retired; its registers are free
+* ``on_tick``         -- top of every SM step (must be O(1) in the common case)
+* ``on_issue``        -- optional per-instruction hook (only RegMutex uses it)
+
+``PendingTracker`` implements the cheap-readiness machinery every switching
+policy needs: a pending CTA's warps do not execute, so the cycle at which its
+stall clears is known exactly at switch-out time and can sit in a heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.sim.cta import CTASim, CTAState
+from repro.sim.warp import FOREVER
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.sm import StreamingMultiprocessor
+
+
+class PendingTracker:
+    """Readiness heap over pending CTAs."""
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._ready: List[CTASim] = []
+
+    def add(self, cta: CTASim, ready_time: int) -> None:
+        heapq.heappush(self._heap, (ready_time, cta.cta_id, cta))
+
+    def drain_ready(self, now: int) -> None:
+        """Move CTAs whose stall has cleared into the ready list."""
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            __, __, cta = heapq.heappop(heap)
+            if cta.state is CTAState.PENDING:
+                self._ready.append(cta)
+            elif (cta.state is CTAState.TRANSIT
+                  and cta.transit_target is CTAState.PENDING):
+                # Still on its way out; revisit once the switch settles.
+                heapq.heappush(heap, (cta.transit_until + 1, cta.cta_id, cta))
+            # CTAs that left PENDING by other means are simply dropped.
+
+    def ready_ctas(self, now: int) -> List[CTASim]:
+        self.drain_ready(now)
+        self._ready = [c for c in self._ready if c.state is CTAState.PENDING]
+        return self._ready
+
+    def pop_ready(self, now: int, cta: Optional[CTASim] = None
+                  ) -> Optional[CTASim]:
+        """Take one ready CTA (oldest first, or a specific one)."""
+        ready = self.ready_ctas(now)
+        if not ready:
+            return None
+        if cta is None:
+            cta = min(ready, key=lambda c: c.cta_id)
+        ready.remove(cta)
+        return cta
+
+    def has_ready(self, now: int) -> bool:
+        return bool(self.ready_ctas(now))
+
+    def next_ready_time(self) -> int:
+        return self._heap[0][0] if self._heap else FOREVER
+
+    def __len__(self) -> int:
+        return len(self._heap) + len(self._ready)
+
+
+class RegisterFilePolicy:
+    """Base policy = shared launch loop + no-op switching (subclasses extend).
+
+    ``rf_capacity_entries``/``rf_used_entries`` are in warp-registers.
+    """
+
+    name = "abstract"
+    needs_issue_hook = False
+
+    def __init__(self, sm: "StreamingMultiprocessor") -> None:
+        self.sm = sm
+        self.config = sm.config
+        self.kernel = sm.kernel
+        self.rf_capacity_entries = sm.config.rf_warp_registers
+        self.rf_used_entries = 0
+        self._cta_regs = self.kernel.warp_registers_per_cta
+        # Set when the policy wanted to switch but storage was depleted;
+        # consumed by classify_idle for Fig 14 attribution.
+        self._blocked_on_rf = False
+        self._next_idle_check = 0
+
+    # ------------------------------------------------------------------
+    # Launching
+    # ------------------------------------------------------------------
+    def can_launch(self) -> bool:
+        """May one more CTA start right now?"""
+        return (self.sm.scheduler_slots_free()
+                and self.sm.shmem_free(self.kernel.shmem_per_cta)
+                and self.register_space_for_launch())
+
+    def register_space_for_launch(self) -> bool:
+        return self.rf_used_entries + self._cta_regs <= self.rf_capacity_entries
+
+    def fill(self, now: int) -> int:
+        """Launch CTAs until a limit binds; returns how many started."""
+        launched = 0
+        while self.can_launch():
+            cta = self.sm.launch_new_cta(now)
+            if cta is None:
+                break
+            self.rf_used_entries += self._cta_regs
+            self.note_launched(cta, now)
+            launched += 1
+        return launched
+
+    def note_launched(self, cta: CTASim, now: int) -> None:
+        """Subclass hook (status monitors etc.)."""
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def on_cta_stalled(self, cta: CTASim, now: int) -> None:
+        """Baseline: stalls are simply waited out."""
+
+    def on_cta_finished(self, cta: CTASim, now: int) -> None:
+        self.rf_used_entries -= self._cta_regs
+        self.fill(now)
+
+    def on_tick(self, now: int) -> None:
+        """Called at the top of every SM step; default does nothing."""
+
+    def on_idle(self, now: int) -> None:
+        """Called when this SM issued nothing this cycle.
+
+        This is where switching policies act: every CTA that could issue has
+        already done so, so any fully stalled CTA can be parked with zero
+        opportunity cost.  A short cooldown bounds the rescan cost while one
+        SM idles and another keeps the global clock ticking cycle by cycle.
+        """
+        if now < self._next_idle_check:
+            return
+        if not self._act_on_idle(now):
+            self._next_idle_check = now + 16
+
+    def _act_on_idle(self, now: int) -> bool:
+        """Subclass hook: try to switch CTAs; return True if anything moved."""
+        return False
+
+    def stalled_active_ctas(self, now: int):
+        """Active CTAs that are completely stalled and worth parking."""
+        threshold = self.config.min_park_cycles
+        out = []
+        for cta in self.sm.active_ctas:
+            if cta.fully_stalled(now, min_remaining=1) and \
+                    cta.earliest_resume(now) - now >= threshold:
+                out.append(cta)
+        return out
+
+    def on_issue(self, warp, static_index: int, now: int) -> bool:
+        """Per-instruction hook (RegMutex); True = may issue."""
+        return True
+
+    # ------------------------------------------------------------------
+    # Idle attribution & wake-up support
+    # ------------------------------------------------------------------
+    def classify_idle(self, dt: int) -> str:
+        """Attribute an idle period: 'rf', 'srp', or 'other' (Fig 14)."""
+        if self._blocked_on_rf:
+            return "rf"
+        return "other"
+
+    def next_event(self, now: int) -> int:
+        """Earliest cycle a policy-driven event (pending ready) can fire."""
+        return FOREVER
+
+    # ------------------------------------------------------------------
+    # Result extras
+    # ------------------------------------------------------------------
+    def extras(self) -> dict:
+        """Policy-specific numbers merged into the SimResult assembly."""
+        return {}

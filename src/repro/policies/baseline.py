@@ -1,0 +1,16 @@
+"""Conventional GPU register-file management (the paper's Baseline).
+
+CTAs get their full static register allocation from the monolithic 256 KB
+register file and keep it until retirement.  No CTA ever goes pending; a
+fully stalled CTA simply waits for its memory operations.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import RegisterFilePolicy
+
+
+class BaselinePolicy(RegisterFilePolicy):
+    """Table-I limits, monolithic register file, no CTA switching."""
+
+    name = "baseline"

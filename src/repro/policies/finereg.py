@@ -1,0 +1,270 @@
+"""FineReg: fine-grained register file management (the paper's contribution).
+
+The register file is split into an ACRF (active CTAs, full allocations) and a
+PCRF (pending CTAs, live registers only).  When every warp of an active CTA
+blocks on long-latency operations, the RMU decodes the live registers at each
+warp's stalled PC from the compiler-generated bit vectors and, if they fit,
+spills them into the PCRF; the freed ACRF space hosts either a brand-new CTA
+or a pending CTA whose stall has cleared.  When the PCRF is full, FineReg
+degrades to pure context switching -- allowed whenever the stalled CTA's live
+set fits in the PCRF counting the slots the restored CTA vacates (V-E).
+
+Timing: a switch transaction's latency is the RMU's pipelined chain traversal
+(4 cycles + one register per cycle) plus any bit-vector-cache miss penalties
+(a DRAM round trip each, with 12 bytes of traffic counted against the
+off-chip bus).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.acrf import ACRFAllocator
+from repro.core.pcrf import PCRF
+from repro.core.rmu import RegisterManagementUnit
+from repro.core.status_monitor import (
+    CTAStatusMonitor,
+    ContextLocation,
+    RegisterLocation,
+)
+from repro.policies.base import PendingTracker, RegisterFilePolicy
+from repro.sim.cta import CTASim, CTAState
+
+#: Pipeline-context backup latency (shared-memory side of a switch).
+CONTEXT_SWITCH_LATENCY = 36
+
+
+class FineRegPolicy(RegisterFilePolicy):
+    """ACRF/PCRF split with live-register-only pending storage."""
+
+    name = "finereg"
+
+    def __init__(self, sm) -> None:
+        super().__init__(sm)
+        config = self.config
+        self.acrf = ACRFAllocator(config.acrf_entries)
+        self.pcrf = PCRF(min(config.pcrf_entries, 1024))
+        self.rmu = RegisterManagementUnit(
+            self.pcrf,
+            sm.gpu.liveness,
+            cache_entries=config.bitvector_cache_entries,
+            pcrf_access_latency=config.pcrf_access_latency,
+            dram_latency=config.dram_latency,
+        )
+        self.monitor = CTAStatusMonitor(config.max_resident_ctas)
+        self.pending = PendingTracker()
+        self.rf_capacity_entries = config.acrf_entries
+        self.failed_spills = 0
+        self.switch_pairs = 0
+        self.blocked_restores = 0
+        # Residency throttle: beyond a few stall-periods' worth of pending
+        # CTAs there is nothing left to hide, and every extra resident CTA
+        # costs cold-start traffic.  The hardware caps at 128 CTAs / 512
+        # warps (V-F); the launch heuristic stops well before when the
+        # pending pool is already deep relative to the active complement.
+        active_cap = min(
+            config.max_ctas_per_sm,
+            config.max_warps_per_sm // self.kernel.warps_per_cta,
+            config.max_threads_per_sm // self.kernel.geometry.threads_per_cta,
+            max(1, config.acrf_entries // self._cta_regs),
+        )
+        self._resident_cap = min(config.max_resident_ctas, 3 * active_cap)
+        #: New-CTA launches pause while the DRAM backlog exceeds this.
+        self.bus_backlog_threshold = config.dram_latency
+
+    # ------------------------------------------------------------------
+    # Launching: bounded by ACRF + scheduler slots + residency caps.
+    # ------------------------------------------------------------------
+    def can_launch(self) -> bool:
+        return (self.sm.scheduler_slots_free()
+                and self.sm.shmem_free(self.kernel.shmem_per_cta)
+                and self.acrf.can_allocate(self._cta_regs)
+                and self._residency_headroom())
+
+    def register_space_for_launch(self) -> bool:
+        return self.acrf.can_allocate(self._cta_regs)
+
+    def _residency_headroom(self) -> bool:
+        config = self.config
+        resident = self.sm.resident_ctas
+        warps = (resident + 1) * self.kernel.warps_per_cta
+        return (resident < self._resident_cap
+                and warps <= config.max_resident_warps)
+
+    def note_launched(self, cta: CTASim, now: int) -> None:
+        self.acrf.allocate(cta.cta_id, self._cta_regs)
+        self.rf_used_entries = self.acrf.used
+        self.monitor.launch(cta.cta_id)
+
+    # ------------------------------------------------------------------
+    # Core event: an active CTA completely stalled.
+    # ------------------------------------------------------------------
+    def _act_on_idle(self, now: int) -> bool:
+        """The SM starves: move stalled live sets to the PCRF and refill."""
+        acted = False
+        for cta in self.stalled_active_ctas(now):
+            if not self._try_switch_out(cta, now):
+                break
+            acted = True
+        return acted
+
+    def _try_switch_out(self, cta: CTASim, now: int) -> bool:
+        warp_pcs = self._stalled_warp_pcs(cta)
+        if not warp_pcs:
+            return False
+        candidate = self._peek_ready(now)
+        # Launch brand-new CTAs only while the off-chip bus has headroom:
+        # on a saturated channel extra residents add compulsory traffic and
+        # queueing delay without any latency left to hide.
+        bus_ok = self.sm.gpu.hierarchy.dram.backlog(now) \
+            < self.bus_backlog_threshold
+        can_host_new = (bus_ok
+                        and self.sm.gpu.ctas_remaining > 0
+                        and self._residency_headroom()
+                        and self.sm.shmem_free(self.kernel.shmem_per_cta))
+        if candidate is None and not can_host_new:
+            return False  # parking buys nothing; wake up in place
+
+        live_count = max(1, self.rmu.live_count_of(warp_pcs))
+        if self.rmu.can_spill(live_count, None):
+            self._spill(cta, warp_pcs, now)
+            # Resume ready pending CTAs first (oldest work, and its PCRF
+            # slots free up); only launch fresh CTAs when nothing is ready.
+            self._restore_ready(now)
+            if candidate is None:
+                self.fill(now)
+            self._blocked_on_rf = False
+            return True
+
+        if candidate is not None and \
+                self.rmu.can_spill(live_count, candidate.cta_id):
+            # PCRF full, but the swap-out credit covers us (paper V-E):
+            # restore the candidate's chain out while the stalled CTA's
+            # live set streams in through the 128-byte transfer buffer.
+            live, fetch_latency, misses = self.rmu.live_set_of(warp_pcs)
+            self._release_acrf(cta, now, fetch_latency, misses)
+            self._restore(self.pending.pop_ready(now, candidate), now)
+            self._finish_spill(cta, live, fetch_latency, now)
+            self.switch_pairs += 1
+            self._blocked_on_rf = False
+            return True
+
+        # PCRF depleted: the stalled CTA must remain in the ACRF (V-B).
+        self.failed_spills += 1
+        self.rmu.stats.rejected_switches += 1
+        self._blocked_on_rf = True
+        return False
+
+    # ------------------------------------------------------------------
+    def _spill(self, cta: CTASim, warp_pcs: List[Tuple[int, int]],
+               now: int) -> None:
+        live, fetch_latency, misses = self.rmu.live_set_of(warp_pcs)
+        self._release_acrf(cta, now, fetch_latency, misses)
+        self._finish_spill(cta, live, fetch_latency, now)
+
+    def _release_acrf(self, cta: CTASim, now: int, fetch_latency: int,
+                      misses: int) -> None:
+        """First half of a switch-out: free the ACRF and start the transit."""
+        freed = self.acrf.release(cta.cta_id)
+        assert freed == self._cta_regs
+        self.rf_used_entries = self.acrf.used
+        if misses:
+            # Cold bit vectors are fetched from the reserved off-chip area.
+            self.sm.gpu.hierarchy.bulk_transfer(now, misses * 12, "bitvector")
+
+    def _finish_spill(self, cta: CTASim, live, fetch_latency: int,
+                      now: int) -> None:
+        """Second half: chain the live registers into the PCRF."""
+        cost = self.rmu.spill(cta.cta_id, live, fetch_latency)
+        latency = max(cost.cycles, CONTEXT_SWITCH_LATENCY)
+        self.sm.deactivate_cta(cta, now, latency)
+        self.pending.add(cta, max(now + latency, cta.earliest_resume(now)))
+        self.monitor.set_context(cta.cta_id, ContextLocation.SHARED_MEMORY)
+        self.monitor.set_registers(cta.cta_id, RegisterLocation.PCRF)
+        self.sm.stats.pcrf_writes += self.pcrf.live_count_of(cta.cta_id)
+
+    def _restore(self, cta: CTASim, now: int) -> None:
+        restored = self.rmu.pending_live_count(cta.cta_id)
+        cost = self.rmu.restore(cta.cta_id)
+        self.acrf.allocate(cta.cta_id, self._cta_regs)
+        self.rf_used_entries = self.acrf.used
+        latency = max(cost.cycles, CONTEXT_SWITCH_LATENCY)
+        self.sm.activate_cta(cta, now, latency)
+        self.monitor.set_context(cta.cta_id, ContextLocation.PIPELINE)
+        self.monitor.set_registers(cta.cta_id, RegisterLocation.ACRF)
+        self.sm.stats.pcrf_reads += restored
+
+    def _peek_ready(self, now: int) -> Optional[CTASim]:
+        """The pending CTA the status monitor would pick, without removal."""
+        ready = self.pending.ready_ctas(now)
+        if not ready:
+            return None
+        by_id = {cta.cta_id: cta for cta in ready}
+        choice = self.monitor.select_switch_candidate(by_id)
+        if choice is None:
+            choice = min(by_id)
+        return by_id[choice]
+
+    def _select_ready(self, now: int) -> Optional[CTASim]:
+        cta = self._peek_ready(now)
+        if cta is None:
+            return None
+        return self.pending.pop_ready(now, cta)
+
+    def _stalled_warp_pcs(self, cta: CTASim) -> List[Tuple[int, int]]:
+        """(warp_id, stalled PC) for each unfinished warp of the CTA."""
+        pcs = []
+        for warp in cta.warps:
+            if warp.finished:
+                continue
+            static_index = warp.trace[warp.pos] if \
+                warp.pos < len(warp.trace) else None
+            if static_index is None:
+                continue
+            pcs.append((warp.warp_id, static_index * 4))
+        return pcs
+
+    # ------------------------------------------------------------------
+    def on_cta_finished(self, cta: CTASim, now: int) -> None:
+        self.acrf.release(cta.cta_id)
+        self.rf_used_entries = self.acrf.used
+        self.monitor.retire(cta.cta_id)
+        self._restore_ready(now)
+        self.fill(now)
+
+    def on_tick(self, now: int) -> None:
+        if self.pending.has_ready(now):
+            self._restore_ready(now)
+
+    def _restore_ready(self, now: int) -> None:
+        while (self.sm.scheduler_slots_free()
+               and self.acrf.can_allocate(self._cta_regs)):
+            candidate = self._select_ready(now)
+            if candidate is None:
+                break
+            self._restore(candidate, now)
+            self._blocked_on_rf = False
+        if (self.pending.has_ready(now) and self.sm.scheduler_slots_free()
+                and not self.acrf.can_allocate(self._cta_regs)):
+            # A ready CTA is waiting on ACRF space (adaptive-split signal).
+            self.blocked_restores += 1
+
+    def next_event(self, now: int) -> int:
+        return self.pending.next_ready_time()
+
+    # ------------------------------------------------------------------
+    def classify_idle(self, dt: int) -> str:
+        if self._blocked_on_rf:
+            return "rf"
+        return "other"
+
+    def extras(self) -> dict:
+        cache = self.rmu.bitvector_cache.stats
+        return {
+            "pcrf_spills": self.rmu.stats.spills,
+            "pcrf_restores": self.rmu.stats.restores,
+            "failed_spills": self.failed_spills,
+            "switch_pairs": self.switch_pairs,
+            "bitvector_hits": cache.hits,
+            "bitvector_misses": cache.misses,
+        }

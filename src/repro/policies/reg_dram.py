@@ -1,0 +1,143 @@
+"""Reg+DRAM: a Zorua-like configuration (paper VI-A).
+
+Extends Virtual Thread with CTA context switching *through off-chip DRAM*:
+when the register file is full and an active CTA stalls, its entire register
+allocation is written out to a reserved DRAM region, making room either for a
+fresh CTA or for a DRAM-pending CTA that has become ready.  Every such switch
+moves the CTA's full static register footprint over the memory bus, which is
+exactly the traffic the paper blames for Reg+DRAM's weak returns (Fig 15).
+
+The number of DRAM-pending CTAs is capped (``dram_pending_limit``); the
+experiment harness sweeps this cap per application, mirroring the paper's
+"best-performance setup for every application".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.policies.base import PendingTracker
+from repro.policies.virtual_thread import VirtualThreadPolicy
+from repro.sim.cta import CTASim, CTAState
+
+#: Default cap on CTAs parked in DRAM (per SM).
+DEFAULT_DRAM_PENDING_LIMIT = 8
+
+
+class RegDRAMPolicy(VirtualThreadPolicy):
+    """Virtual Thread + full-context CTA parking in off-chip DRAM."""
+
+    name = "reg_dram"
+
+    def __init__(self, sm, dram_pending_limit: int = DEFAULT_DRAM_PENDING_LIMIT
+                 ) -> None:
+        super().__init__(sm)
+        self.dram_pending_limit = dram_pending_limit
+        self.dram_pending = PendingTracker()
+        self._dram_count = 0
+        self.context_spills = 0
+        self.context_restores = 0
+
+    # ------------------------------------------------------------------
+    def _act_on_idle(self, now: int) -> bool:
+        acted = False
+        for cta in self.stalled_active_ctas(now):
+            # On-chip options first (plain Virtual Thread behaviour).
+            candidate = self.pending.pop_ready(now)
+            if candidate is not None:
+                self._park(cta, now)
+                self.sm.activate_cta(candidate, now, self.switch_latency)
+                acted = True
+                continue
+            if self._grid_remaining() and self.register_space_for_launch() \
+                    and self.sm.shmem_free(self.kernel.shmem_per_cta):
+                self._park(cta, now)
+                self.fill(now)
+                acted = True
+                continue
+            # RF is full: consider the DRAM path.
+            dram_candidate = self.dram_pending.pop_ready(now)
+            if dram_candidate is not None:
+                self._swap_via_dram(cta, dram_candidate, now)
+                acted = True
+                continue
+            if self._dram_count < self.dram_pending_limit and \
+                    self._grid_remaining():
+                self._spill_to_dram(cta, now)
+                self.fill(now)
+                acted = True
+                continue
+            break
+        return acted
+
+    # ------------------------------------------------------------------
+    def _spill_to_dram(self, cta: CTASim, now: int) -> None:
+        """Write the CTA's full register context out to DRAM."""
+        nbytes = self.kernel.register_bytes_per_cta
+        done = self.sm.gpu.hierarchy.bulk_transfer(now, nbytes,
+                                                   "context_spill")
+        self.sm.deactivate_cta(cta, now, done - now)
+        self.dram_pending.add(cta, max(done, cta.earliest_resume(now)))
+        self._dram_count += 1
+        self.rf_used_entries -= self._cta_regs
+        self.context_spills += 1
+
+    def _restore_from_dram(self, cta: CTASim, now: int) -> int:
+        """Read a parked CTA's register context back; returns ready cycle."""
+        nbytes = self.kernel.register_bytes_per_cta
+        done = self.sm.gpu.hierarchy.bulk_transfer(now, nbytes,
+                                                   "context_restore")
+        self._dram_count -= 1
+        self.rf_used_entries += self._cta_regs
+        self.context_restores += 1
+        return done
+
+    def _swap_via_dram(self, stalled: CTASim, incoming: CTASim,
+                       now: int) -> None:
+        spill_bytes = self.kernel.register_bytes_per_cta
+        spill_done = self.sm.gpu.hierarchy.bulk_transfer(
+            now, spill_bytes, "context_spill")
+        self.sm.deactivate_cta(stalled, now, spill_done - now)
+        self.dram_pending.add(
+            stalled, max(spill_done, stalled.earliest_resume(now)))
+        self.context_spills += 1
+        restore_done = self._restore_from_dram(incoming, now)
+        self._dram_count += 1  # net zero with the spill above
+        self.rf_used_entries -= self._cta_regs  # net zero with restore
+        self.sm.activate_cta(incoming, now, restore_done - now)
+
+    # ------------------------------------------------------------------
+    def on_cta_finished(self, cta: CTASim, now: int) -> None:
+        self.rf_used_entries -= self._cta_regs
+        if self.sm.scheduler_slots_free():
+            candidate = self.pending.pop_ready(now)
+            if candidate is not None:
+                self.sm.activate_cta(candidate, now, self.switch_latency)
+            elif self.register_space_for_launch():
+                dram_candidate = self.dram_pending.pop_ready(now)
+                if dram_candidate is not None:
+                    done = self._restore_from_dram(dram_candidate, now)
+                    self.sm.activate_cta(dram_candidate, now, done - now)
+        self.fill(now)
+
+    def on_tick(self, now: int) -> None:
+        super().on_tick(now)
+        if not self.dram_pending.has_ready(now):
+            return
+        while (self.sm.scheduler_slots_free()
+               and self.register_space_for_launch()):
+            candidate = self.dram_pending.pop_ready(now)
+            if candidate is None:
+                break
+            done = self._restore_from_dram(candidate, now)
+            self.sm.activate_cta(candidate, now, done - now)
+
+    def next_event(self, now: int) -> int:
+        return min(self.pending.next_ready_time(),
+                   self.dram_pending.next_ready_time())
+
+    def extras(self) -> dict:
+        return {
+            "context_spills": self.context_spills,
+            "context_restores": self.context_restores,
+        }

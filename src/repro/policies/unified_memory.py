@@ -1,0 +1,53 @@
+"""Unified on-chip local memory (UM) variants for Fig 19.
+
+UM [10] coalesces the PCRF, shared memory, and L1 data cache into one 272 KB
+(= 128 + 96 + 48) pool per SM.  Whatever the kernel's resident CTAs do not
+claim as shared memory (and, under FineReg+UM, as PCRF) becomes extra L1
+capacity.  We partition the pool statically at launch time -- the paper's
+benefit ("indulge in large L1 cache if a kernel uses small numbers of
+registers and shared memory") is a per-kernel property, so a static split
+captures it.
+"""
+
+from __future__ import annotations
+
+from repro.config import KB, GPUConfig
+from repro.isa.kernel import Kernel
+
+#: Total unified pool per SM: PCRF + shared memory + L1 (Fig 19).
+UM_POOL_BYTES = (128 + 96 + 48) * KB
+
+#: Minimum L1 capacity retained regardless of pool pressure.
+MIN_L1_BYTES = 16 * KB
+
+
+def unified_l1_bytes(config: GPUConfig, kernel: Kernel,
+                     reserve_pcrf: bool) -> int:
+    """L1 capacity under the UM partition for a given kernel.
+
+    ``reserve_pcrf`` is True for FineReg+UM (the PCRF region stays carved
+    out); UM-only and VT+UM give the would-be PCRF share back to the pool.
+    """
+    pool = UM_POOL_BYTES
+    if reserve_pcrf:
+        pool -= config.pcrf_bytes
+    # Shared-memory demand: what a full active complement would allocate.
+    if kernel.shmem_per_cta:
+        max_ctas = min(
+            config.max_ctas_per_sm,
+            config.max_warps_per_sm // kernel.warps_per_cta,
+            config.shared_memory_bytes // kernel.shmem_per_cta,
+        )
+        pool -= max_ctas * kernel.shmem_per_cta
+    l1 = max(MIN_L1_BYTES, pool)
+    # Round down to a valid capacity (multiple of assoc * line size).
+    granule = config.l1_assoc * config.cache_line_bytes
+    return l1 - l1 % granule
+
+
+def apply_unified_memory(gpu, reserve_pcrf: bool) -> int:
+    """Resize every SM's L1 to the UM partition; returns the L1 size."""
+    l1_bytes = unified_l1_bytes(gpu.config, gpu.kernel, reserve_pcrf)
+    for l1 in gpu.hierarchy.l1s:
+        l1.resize(l1_bytes)
+    return l1_bytes

@@ -1,0 +1,92 @@
+"""Virtual Thread [45]: resident CTAs beyond the scheduling limit.
+
+CTAs launch until the *register file or shared memory* is full, even past the
+CTA/warp/thread scheduling limits; CTAs beyond the active limit wait in
+pending mode with their full register allocation kept in the RF and their
+pipeline context backed up in shared memory.  When an active CTA fully
+stalls, a ready pending CTA is switched in — a fast on-chip operation, since
+no register data moves.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import PendingTracker, RegisterFilePolicy
+from repro.sim.cta import CTASim, CTAState
+
+#: Pipeline-context save/restore latency via shared memory (cycles).
+VT_SWITCH_LATENCY = 36
+
+
+class VirtualThreadPolicy(RegisterFilePolicy):
+    """Active set bounded by scheduler limits; residency bounded by RF/shmem."""
+
+    name = "virtual_thread"
+
+    def __init__(self, sm) -> None:
+        super().__init__(sm)
+        self.pending = PendingTracker()
+        self.switch_latency = VT_SWITCH_LATENCY
+
+    # ------------------------------------------------------------------
+    # Launching: registers bound residency, scheduler slots bound activity.
+    # ------------------------------------------------------------------
+    def can_launch(self) -> bool:
+        return (self.sm.scheduler_slots_free()
+                and self.sm.shmem_free(self.kernel.shmem_per_cta)
+                and self.register_space_for_launch())
+
+    # ------------------------------------------------------------------
+    def _act_on_idle(self, now: int) -> bool:
+        """The SM starves: swap out stalled CTAs for runnable work."""
+        acted = False
+        for cta in self.stalled_active_ctas(now):
+            candidate = self.pending.pop_ready(now)
+            if candidate is not None:
+                # Swap: stalled goes pending, ready pending becomes active.
+                self._park(cta, now)
+                self.sm.activate_cta(candidate, now, self.switch_latency)
+                acted = True
+                continue
+            if self._grid_remaining() and self.register_space_for_launch() \
+                    and self.sm.shmem_free(self.kernel.shmem_per_cta):
+                # Park the stalled CTA and bring a brand-new one in.
+                self._park(cta, now)
+                self.fill(now)
+                acted = True
+                continue
+            break  # no residency headroom; stalled CTAs wait in place
+        return acted
+
+    def on_cta_finished(self, cta: CTASim, now: int) -> None:
+        self.rf_used_entries -= self._cta_regs
+        if self.sm.scheduler_slots_free():
+            candidate = self.pending.pop_ready(now)
+            if candidate is not None:
+                self.sm.activate_cta(candidate, now, self.switch_latency)
+        self.fill(now)
+
+    def on_tick(self, now: int) -> None:
+        if not self.pending.has_ready(now):
+            return
+        while self.sm.scheduler_slots_free():
+            candidate = self.pending.pop_ready(now)
+            if candidate is None:
+                break
+            self.sm.activate_cta(candidate, now, self.switch_latency)
+
+    def next_event(self, now: int) -> int:
+        return self.pending.next_ready_time()
+
+    # ------------------------------------------------------------------
+    def worth_parking(self, cta: CTASim, now: int) -> bool:
+        """Park only for stalls long enough to amortize the switch."""
+        return cta.earliest_resume(now) - now >= self.config.min_park_cycles
+
+    def _park(self, cta: CTASim, now: int) -> None:
+        """Deactivate a stalled CTA and track its exact wake-up time."""
+        self.sm.deactivate_cta(cta, now, self.switch_latency)
+        self.pending.add(
+            cta, max(now + self.switch_latency, cta.earliest_resume(now)))
+
+    def _grid_remaining(self) -> bool:
+        return self.sm.gpu.ctas_remaining > 0

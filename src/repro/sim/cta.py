@@ -1,0 +1,132 @@
+"""Per-CTA state: warps, activity status, barrier bookkeeping, and the
+stall-clustering timer that feeds paper Table III."""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.sim.warp import FOREVER, WarpSim
+
+
+class CTAState(enum.Enum):
+    ACTIVE = "active"       # warps are schedulable
+    PENDING = "pending"     # switched out (context/registers backed up)
+    TRANSIT = "transit"     # a switch is in flight; schedulable afterwards
+    FINISHED = "finished"
+
+
+class CTASim:
+    """One cooperative thread array resident on an SM."""
+
+    __slots__ = (
+        "cta_id", "warps", "state", "transit_until", "transit_target",
+        "barrier_arrived", "first_issue_cycle", "stall_recorded",
+        "launch_cycle", "pending_since", "shmem_bytes",
+    )
+
+    def __init__(self, cta_id: int, warps: List[WarpSim],
+                 shmem_bytes: int = 0) -> None:
+        self.cta_id = cta_id
+        self.warps = warps
+        self.state = CTAState.ACTIVE
+        self.transit_until = 0
+        self.transit_target: Optional[CTAState] = None
+        self.barrier_arrived = 0
+        self.first_issue_cycle: Optional[int] = None
+        self.stall_recorded = False
+        self.launch_cycle = 0
+        self.pending_since = 0
+        self.shmem_bytes = shmem_bytes
+
+    # ------------------------------------------------------------------
+    @property
+    def num_warps(self) -> int:
+        return len(self.warps)
+
+    @property
+    def num_threads(self) -> int:
+        return self.num_warps * 32
+
+    def unfinished_warps(self) -> int:
+        return sum(1 for warp in self.warps if not warp.finished)
+
+    @property
+    def finished(self) -> bool:
+        return all(warp.finished for warp in self.warps)
+
+    # ------------------------------------------------------------------
+    # Stall analysis
+    # ------------------------------------------------------------------
+    def fully_stalled(self, now: int, min_remaining: int = 0) -> bool:
+        """True when every unfinished warp is blocked (paper IV-A trigger).
+
+        ``min_remaining`` filters out short ALU-dependency bubbles: the CTA
+        counts as *completely stalled* only if no warp can issue within that
+        many cycles.  A runnable warp (blocked_until <= now) always defeats
+        the stall.
+        """
+        threshold = max(1, min_remaining)
+        saw_unfinished = False
+        for warp in self.warps:
+            if warp.finished:
+                continue
+            saw_unfinished = True
+            if warp.blocked_until - now < threshold:
+                return False
+        return saw_unfinished
+
+    def earliest_resume(self, now: int) -> int:
+        """Absolute cycle when the first blocked warp could issue again."""
+        earliest = FOREVER
+        for warp in self.warps:
+            if not warp.finished and warp.blocked_until < earliest:
+                earliest = warp.blocked_until
+        return max(now, earliest)
+
+    def is_ready(self, now: int) -> bool:
+        """For a pending CTA: has its stall condition cleared?"""
+        return any(not warp.finished and warp.blocked_until <= now
+                   for warp in self.warps)
+
+    # ------------------------------------------------------------------
+    # Barrier bookkeeping (driven by the SM issue loop)
+    # ------------------------------------------------------------------
+    def arrive_at_barrier(self, warp: WarpSim, now: int) -> bool:
+        """Register a warp at the CTA barrier; returns True if released."""
+        warp.wait_at_barrier()
+        self.barrier_arrived += 1
+        return self.maybe_release_barrier(now)
+
+    def maybe_release_barrier(self, now: int) -> bool:
+        """Release the barrier once every unfinished warp has arrived."""
+        if self.barrier_arrived and \
+                self.barrier_arrived >= self.unfinished_warps():
+            for warp in self.warps:
+                warp.release_barrier(now)
+            self.barrier_arrived = 0
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # State transitions
+    # ------------------------------------------------------------------
+    def begin_transit(self, until: int, target: CTAState) -> None:
+        self.state = CTAState.TRANSIT
+        self.transit_until = until
+        self.transit_target = target
+
+    def settle_transit(self, now: int) -> bool:
+        """Complete an in-flight switch whose latency has elapsed."""
+        if self.state is CTAState.TRANSIT and now >= self.transit_until:
+            assert self.transit_target is not None
+            self.state = self.transit_target
+            self.transit_target = None
+            if self.state is CTAState.PENDING:
+                self.pending_since = now
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CTA(id={self.cta_id}, state={self.state.value}, "
+                f"warps={self.unfinished_warps()}/{self.num_warps})")

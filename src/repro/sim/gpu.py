@@ -1,0 +1,198 @@
+"""Top-level GPU: SMs + shared memory hierarchy + the simulation loop.
+
+The loop steps all SMs one cycle at a time but skips ahead over dead time:
+when no SM issues anything, the clock jumps to the earliest future event
+(warp wake-up, switch completion, pending-CTA readiness).  This keeps pure
+Python simulation tractable without changing any observable timing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from repro.config import GPUConfig
+from repro.core.liveness import LivenessAnalysis, LivenessTable
+from repro.isa.kernel import Kernel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.sm import StreamingMultiprocessor
+from repro.sim.stats import SimResult
+from repro.sim.warp import FOREVER
+
+#: A policy factory builds one policy instance for a given SM.
+PolicyFactory = Callable[[StreamingMultiprocessor], "object"]
+
+
+class GPU:
+    """A simulated GPU executing one kernel launch."""
+
+    def __init__(self, config: GPUConfig, kernel: Kernel,
+                 policy_factory: PolicyFactory,
+                 trace_provider, address_model,
+                 liveness: Optional[LivenessTable] = None,
+                 sample_usage: bool = False) -> None:
+        self.config = config
+        self.kernel = kernel
+        self.trace_provider = trace_provider
+        self.address_model = address_model
+        self.liveness = liveness if liveness is not None else \
+            LivenessAnalysis(kernel.cfg).run(kernel.regs_per_thread)
+        self.hierarchy = MemoryHierarchy(config)
+        self.tracer = None  # set by sim.tracing.attach_tracer
+        if hasattr(address_model, "warm_l2"):
+            address_model.warm_l2(self.hierarchy.l2)
+        self._grid = deque(range(kernel.geometry.grid_ctas))
+        self.completed_ctas = 0
+        self.sms: List[StreamingMultiprocessor] = []
+        for sm_id in range(config.num_sms):
+            sm = StreamingMultiprocessor(sm_id, config, kernel, self,
+                                         sample_usage=sample_usage)
+            sm.policy = policy_factory(sm)
+            self.sms.append(sm)
+
+    # ------------------------------------------------------------------
+    # Grid dispatch
+    # ------------------------------------------------------------------
+    def next_cta(self) -> Optional[int]:
+        if not self._grid:
+            return None
+        return self._grid.popleft()
+
+    @property
+    def ctas_remaining(self) -> int:
+        return len(self._grid)
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 10_000_000) -> SimResult:
+        """Simulate until the grid drains; returns the aggregate result."""
+        now = 0
+        # Initial fill.
+        for sm in self.sms:
+            sm.policy.fill(now)
+        timed_out = False
+        sms = self.sms
+        while True:
+            if not self._grid and all(not sm.busy for sm in sms):
+                break
+            if now >= max_cycles:
+                timed_out = True
+                break
+            issued = 0
+            for sm in sms:
+                sm_issued = sm.step(now)
+                if not sm_issued and sm.busy:
+                    # This SM starves: let its policy switch CTAs.
+                    sm.policy.on_idle(now)
+                issued += sm_issued
+            if issued:
+                dt = 1
+                idle = False
+            else:
+                nxt = self._next_event(now)
+                if nxt >= FOREVER:
+                    self._raise_deadlock(now)
+                dt = max(1, nxt - now)
+                idle = True
+            for sm in sms:
+                sm.accumulate(dt, idle)
+            now += dt
+        return self._build_result(now, timed_out)
+
+    def _next_event(self, now: int) -> int:
+        earliest = FOREVER
+        for sm in self.sms:
+            t = sm.next_event(now)
+            if t < earliest:
+                earliest = t
+        return earliest
+
+    def _raise_deadlock(self, now: int) -> None:
+        detail = []
+        for sm in self.sms:
+            detail.append(
+                f"SM{sm.sm_id}: active={len(sm.active_ctas)} "
+                f"pending={len(sm.pending_ctas)} transit={len(sm.transit_ctas)}"
+            )
+        raise RuntimeError(
+            f"simulation deadlock at cycle {now} "
+            f"(grid remaining={len(self._grid)}): " + "; ".join(detail)
+        )
+
+    # ------------------------------------------------------------------
+    def _build_result(self, cycles: int, timed_out: bool) -> SimResult:
+        cycles = max(1, cycles)
+        num_sms = len(self.sms)
+        instructions = sum(sm.stats.instructions for sm in self.sms)
+        active_cta = sum(sm.stats.active_cta_cycles for sm in self.sms)
+        pending_cta = sum(sm.stats.pending_cta_cycles for sm in self.sms)
+        warp_cycles = sum(sm.stats.active_warp_cycles for sm in self.sms)
+        l1_acc = sum(l1.stats.accesses for l1 in self.hierarchy.l1s)
+        l1_hits = sum(l1.stats.read_hits + l1.stats.write_hits
+                      for l1 in self.hierarchy.l1s)
+        l2 = self.hierarchy.l2.stats
+        stall_latencies = [lat for sm in self.sms
+                           for lat in sm.stats.stall_latencies]
+        window = [u for sm in self.sms for u in sm.stats.window_usage]
+        extras: Dict[str, float] = {}
+        for sm in self.sms:
+            for key, value in sm.policy.extras().items():
+                extras[key] = extras.get(key, 0) + value
+        bv_hits = extras.get("bitvector_hits")
+        bv_misses = extras.get("bitvector_misses")
+        bv_rate = None
+        if bv_hits is not None and (bv_hits + bv_misses):
+            bv_rate = bv_hits / (bv_hits + bv_misses)
+        completed = sum(sm.stats.cta_launches for sm in self.sms) \
+            - sum(sm.resident_ctas for sm in self.sms)
+        return SimResult(
+            policy=self.sms[0].policy.name,
+            workload=self.kernel.name,
+            cycles=cycles,
+            instructions=instructions,
+            num_sms=num_sms,
+            avg_active_ctas_per_sm=active_cta / cycles / num_sms,
+            avg_pending_ctas_per_sm=pending_cta / cycles / num_sms,
+            max_resident_ctas=max(sm.stats.max_resident_ctas
+                                  for sm in self.sms),
+            avg_active_threads_per_sm=warp_cycles * 32 / cycles / num_sms,
+            dram_traffic_bytes=self.hierarchy.dram_traffic_bytes,
+            dram_traffic_by_class=self.hierarchy.traffic_by_class(),
+            l1_hit_rate=l1_hits / l1_acc if l1_acc else 0.0,
+            l2_hit_rate=l2.hit_rate,
+            idle_cycles=sum(sm.stats.idle_cycles for sm in self.sms),
+            rf_depletion_cycles=sum(sm.stats.rf_depletion_cycles
+                                    for sm in self.sms),
+            srp_stall_cycles=sum(sm.stats.srp_stall_cycles
+                                 for sm in self.sms),
+            cta_switch_events=sum(sm.stats.cta_switch_events
+                                  for sm in self.sms),
+            rf_reads=sum(sm.stats.rf_reads for sm in self.sms),
+            rf_writes=sum(sm.stats.rf_writes for sm in self.sms),
+            pcrf_reads=sum(sm.stats.pcrf_reads for sm in self.sms),
+            pcrf_writes=sum(sm.stats.pcrf_writes for sm in self.sms),
+            shmem_accesses=sum(sm.stats.shmem_accesses for sm in self.sms),
+            l1_accesses=l1_acc,
+            l2_accesses=l2.accesses,
+            mean_stall_latency=(sum(stall_latencies) / len(stall_latencies)
+                                if stall_latencies else None),
+            window_usage_bounds=((min(window), sum(window) / len(window),
+                                  max(window)) if window else None),
+            bitvector_hit_rate=bv_rate,
+            completed_ctas=completed,
+            timed_out=timed_out,
+        )
+
+
+def run_kernel(config: GPUConfig, kernel: Kernel,
+               policy_factory: PolicyFactory, trace_provider, address_model,
+               liveness: Optional[LivenessTable] = None,
+               sample_usage: bool = False,
+               max_cycles: int = 10_000_000,
+               post_setup: Optional[Callable[[GPU], None]] = None
+               ) -> SimResult:
+    """Convenience wrapper: build a GPU, optionally tweak it, and run."""
+    gpu = GPU(config, kernel, policy_factory, trace_provider, address_model,
+              liveness=liveness, sample_usage=sample_usage)
+    if post_setup is not None:
+        post_setup(gpu)
+    return gpu.run(max_cycles=max_cycles)

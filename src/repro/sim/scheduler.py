@@ -1,0 +1,102 @@
+"""Greedy-then-oldest (GTO) warp scheduler.
+
+Each SM has four schedulers (Table I); warps of active CTAs are distributed
+round-robin across them.  A scheduler keeps issuing from its current warp
+("greedy") until that warp blocks, then falls back to the oldest runnable
+warp it owns (warp lists are kept in launch order, so a linear scan finds the
+oldest).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.sim.warp import WarpSim
+
+#: The issue callback: (warp, now) -> True if the warp issued an instruction.
+IssueFn = Callable[[WarpSim, int], bool]
+
+
+class GTOScheduler:
+    """One of the SM's warp schedulers."""
+
+    __slots__ = ("scheduler_id", "warps", "_current")
+
+    def __init__(self, scheduler_id: int) -> None:
+        self.scheduler_id = scheduler_id
+        self.warps: List[WarpSim] = []
+        self._current: Optional[WarpSim] = None
+
+    # ------------------------------------------------------------------
+    def add_warp(self, warp: WarpSim) -> None:
+        self.warps.append(warp)
+
+    def remove_warp(self, warp: WarpSim) -> None:
+        self.warps.remove(warp)
+        if self._current is warp:
+            self._current = None
+
+    def remove_cta(self, cta_id: int) -> None:
+        """Drop all warps belonging to a CTA (it went pending or finished)."""
+        self.warps = [w for w in self.warps if w.cta.cta_id != cta_id]
+        if self._current is not None and self._current.cta.cta_id == cta_id:
+            self._current = None
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.warps)
+
+    # ------------------------------------------------------------------
+    def issue(self, now: int, try_issue: IssueFn) -> bool:
+        """Attempt to issue one instruction this cycle.
+
+        Greedy: retry the current warp first.  Then oldest-first over the
+        remaining runnable warps.  ``try_issue`` may refuse (dependency not
+        ready), in which case it must have set the warp's ``blocked_until``
+        so the warp is skipped cheaply for the rest of the stall.
+        """
+        current = self._current
+        if current is not None:
+            if current.finished:
+                self._current = None
+            elif current.is_runnable(now) and try_issue(current, now):
+                return True
+
+        for warp in self.warps:
+            if warp is current:
+                continue
+            if warp.is_runnable(now) and try_issue(warp, now):
+                self._current = warp
+                return True
+        return False
+
+    def has_runnable(self, now: int) -> bool:
+        return any(warp.is_runnable(now) for warp in self.warps)
+
+
+class LRRScheduler(GTOScheduler):
+    """Loose round-robin: rotate through warps instead of running one
+    greedily.  Included for the scheduler ablation (Table I uses GTO)."""
+
+    __slots__ = ("_next",)
+
+    def __init__(self, scheduler_id: int) -> None:
+        super().__init__(scheduler_id)
+        self._next = 0
+
+    def issue(self, now: int, try_issue: IssueFn) -> bool:
+        warps = self.warps
+        count = len(warps)
+        for offset in range(count):
+            warp = warps[(self._next + offset) % count]
+            if warp.is_runnable(now) and try_issue(warp, now):
+                self._next = (self._next + offset + 1) % count
+                self._current = warp
+                return True
+        return False
+
+
+SCHEDULER_KINDS = {
+    "gto": GTOScheduler,
+    "lrr": LRRScheduler,
+}

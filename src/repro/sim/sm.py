@@ -1,0 +1,344 @@
+"""Streaming multiprocessor: issue loop, resource tracking, policy hooks.
+
+The SM owns four GTO warp schedulers, the lists of active/pending/in-transit
+CTAs, and the per-SM L1 (via the shared :class:`MemoryHierarchy`).  All
+register-file management decisions are delegated to the attached
+:class:`~repro.policies.base.RegisterFilePolicy`; the SM provides the
+mechanics (launching CTAs, moving warps in and out of schedulers, timing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.config import GPUConfig
+from repro.isa.instructions import Opcode
+from repro.isa.kernel import Kernel
+from repro.sim.cta import CTASim, CTAState
+from repro.sim.scheduler import SCHEDULER_KINDS
+from repro.sim.stats import SMStats
+from repro.sim.warp import FOREVER, WarpSim
+
+#: Issued-instruction window length for Fig-5 register-usage sampling.
+USAGE_WINDOW = 1000
+
+
+class StreamingMultiprocessor:
+    """One SM of the simulated GPU."""
+
+    def __init__(self, sm_id: int, config: GPUConfig, kernel: Kernel,
+                 gpu, sample_usage: bool = False) -> None:
+        self.sm_id = sm_id
+        self.config = config
+        self.kernel = kernel
+        self.gpu = gpu
+        self.policy = None  # attached by the GPU after construction
+        scheduler_cls = SCHEDULER_KINDS[config.warp_scheduling]
+        self.schedulers = [scheduler_cls(i)
+                           for i in range(config.num_warp_schedulers)]
+        self.active_ctas: List[CTASim] = []
+        self.pending_ctas: List[CTASim] = []
+        self.transit_ctas: List[CTASim] = []
+        self.stats = SMStats()
+        self.shmem_used = 0
+        self._active_warps = 0
+        self._active_threads = 0
+        self._incoming_ctas = 0
+        self._last_step_issued = 0
+        self._next_sched = 0
+        self._instrs = kernel.cfg.instructions
+        self._sample_usage = sample_usage
+        self._window_regs: Set[Tuple[int, int]] = set()
+        self._window_count = 0
+        # Latencies pulled out of config for the hot loop.
+        self._alu_lat = config.alu_latency
+        self._sfu_lat = config.sfu_latency
+        self._shmem_lat = config.shared_mem_latency
+        self._stall_threshold = config.cta_switch_threshold
+        self._rf_banks = config.rf_banks if config.model_rf_banks else 0
+
+    # ------------------------------------------------------------------
+    # Resource queries (used by policies)
+    # ------------------------------------------------------------------
+    @property
+    def resident_ctas(self) -> int:
+        return (len(self.active_ctas) + len(self.pending_ctas)
+                + len(self.transit_ctas))
+
+    def scheduler_slots_free(self) -> bool:
+        """Can one more CTA become active under the Table-I limits?
+
+        CTAs in transit toward ACTIVE already own their slots.
+        """
+        kernel = self.kernel
+        config = self.config
+        incoming = self._incoming_ctas
+        ctas = len(self.active_ctas) + incoming
+        warps = self._active_warps + incoming * kernel.warps_per_cta
+        threads = self._active_threads \
+            + incoming * kernel.geometry.threads_per_cta
+        return (ctas < config.max_ctas_per_sm
+                and warps + kernel.warps_per_cta <= config.max_warps_per_sm
+                and threads + kernel.geometry.threads_per_cta
+                <= config.max_threads_per_sm)
+
+    def shmem_free(self, nbytes: int) -> bool:
+        return self.shmem_used + nbytes <= self.config.shared_memory_bytes
+
+    # ------------------------------------------------------------------
+    # CTA lifecycle (mechanics; policies decide when)
+    # ------------------------------------------------------------------
+    def launch_new_cta(self, now: int) -> Optional[CTASim]:
+        """Pull the next CTA off the grid and start it as active."""
+        cta_id = self.gpu.next_cta()
+        if cta_id is None:
+            return None
+        kernel = self.kernel
+        warps = []
+        for warp_id in range(kernel.warps_per_cta):
+            trace = self.gpu.trace_provider.trace_for(cta_id, warp_id)
+            global_id = cta_id * kernel.warps_per_cta + warp_id
+            warps.append(WarpSim(warp_id, global_id, cta_id, trace))
+        cta = CTASim(cta_id, warps, shmem_bytes=kernel.shmem_per_cta)
+        for warp in warps:
+            warp.cta = cta
+        cta.launch_cycle = now
+        self.shmem_used += cta.shmem_bytes
+        self.active_ctas.append(cta)
+        self._attach_warps(cta)
+        self.stats.cta_launches += 1
+        if self.gpu.tracer is not None:
+            from repro.sim.tracing import EventKind
+            self.gpu.tracer.record(now, self.sm_id, EventKind.LAUNCH, cta_id)
+        return cta
+
+    def deactivate_cta(self, cta: CTASim, now: int, latency: int) -> None:
+        """Move an active CTA toward PENDING (switch-out in flight)."""
+        self.active_ctas.remove(cta)
+        self._detach_warps(cta)
+        cta.begin_transit(now + latency, CTAState.PENDING)
+        self.transit_ctas.append(cta)
+        self.stats.cta_switch_events += 1
+        if self.gpu.tracer is not None:
+            from repro.sim.tracing import EventKind
+            self.gpu.tracer.record(now, self.sm_id, EventKind.SWITCH_OUT,
+                                   cta.cta_id)
+
+    def activate_cta(self, cta: CTASim, now: int, latency: int) -> None:
+        """Move a pending CTA toward ACTIVE (switch-in in flight)."""
+        self.pending_ctas.remove(cta)
+        cta.begin_transit(now + latency, CTAState.ACTIVE)
+        self.transit_ctas.append(cta)
+        self._incoming_ctas += 1
+        self.stats.cta_switch_events += 1
+        if self.gpu.tracer is not None:
+            from repro.sim.tracing import EventKind
+            self.gpu.tracer.record(now, self.sm_id, EventKind.SWITCH_IN,
+                                   cta.cta_id)
+
+    def retire_cta(self, cta: CTASim, now: int) -> None:
+        """A finished CTA releases shmem and scheduler slots."""
+        cta.state = CTAState.FINISHED
+        self.shmem_used -= cta.shmem_bytes
+        if self.gpu.tracer is not None:
+            from repro.sim.tracing import EventKind
+            self.gpu.tracer.record(now, self.sm_id, EventKind.RETIRE,
+                                   cta.cta_id)
+        if self.policy is not None:
+            self.policy.on_cta_finished(cta, now)
+
+    def _attach_warps(self, cta: CTASim) -> None:
+        for warp in cta.warps:
+            if warp.finished:
+                continue
+            self.schedulers[self._next_sched].add_warp(warp)
+            self._next_sched = (self._next_sched + 1) % len(self.schedulers)
+        self._active_warps += cta.unfinished_warps()
+        self._active_threads += cta.unfinished_warps() * 32
+
+    def _detach_warps(self, cta: CTASim) -> None:
+        for scheduler in self.schedulers:
+            scheduler.remove_cta(cta.cta_id)
+        self._active_warps -= cta.unfinished_warps()
+        self._active_threads -= cta.unfinished_warps() * 32
+
+    # ------------------------------------------------------------------
+    # Simulation step
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> int:
+        """Advance one cycle; returns the number of instructions issued."""
+        if self.transit_ctas:
+            self._settle_transits(now)
+        if self.policy is not None:
+            self.policy.on_tick(now)
+        issued = 0
+        for scheduler in self.schedulers:
+            if scheduler.issue(now, self._try_issue):
+                issued += 1
+        self._last_step_issued = issued
+        return issued
+
+    def _settle_transits(self, now: int) -> None:
+        remaining = []
+        for cta in self.transit_ctas:
+            if cta.settle_transit(now):
+                if cta.state is CTAState.ACTIVE:
+                    self._incoming_ctas -= 1
+                    self.active_ctas.append(cta)
+                    self._attach_warps(cta)
+                else:
+                    self.pending_ctas.append(cta)
+            else:
+                remaining.append(cta)
+        self.transit_ctas = remaining
+
+    # ------------------------------------------------------------------
+    # Instruction issue (the hot path)
+    # ------------------------------------------------------------------
+    def _try_issue(self, warp: WarpSim, now: int) -> bool:
+        instr = self._instrs[warp.trace[warp.pos]]
+        srcs = instr.srcs
+        if srcs:
+            ready = warp.operands_ready_at(srcs)
+            if ready > now:
+                warp.blocked_until = ready
+                if ready - now >= self._stall_threshold:
+                    self._on_long_block(warp, now)
+                return False
+        if self.policy is not None and self.policy.needs_issue_hook:
+            if not self.policy.on_issue(warp, warp.trace[warp.pos], now):
+                return False
+
+        cta = warp.cta
+        if cta.first_issue_cycle is None:
+            cta.first_issue_cycle = now
+        warp.pos += 1
+        stats = self.stats
+        stats.instructions += 1
+        stats.rf_reads += len(srcs)
+        if instr.dest is not None:
+            stats.rf_writes += 1
+
+        bank_penalty = 0
+        if self._rf_banks and len(srcs) > 1:
+            # Operand-collector serialization: sources mapping to the same
+            # bank are read over extra cycles.
+            banks = {reg % self._rf_banks for reg in srcs}
+            bank_penalty = len(srcs) - len(banks)
+            if bank_penalty:
+                stats.rf_bank_conflicts += bank_penalty
+        if self._sample_usage:
+            self._sample_window(warp, instr)
+
+        op = instr.opcode
+        if op is Opcode.IALU or op is Opcode.FALU:
+            warp.ready_at[instr.dest] = now + self._alu_lat + bank_penalty
+        elif op is Opcode.LDG:
+            address = self.gpu.address_model.address_for(warp, instr)
+            done = self.gpu.hierarchy.load(self.sm_id, address, now)
+            warp.ready_at[instr.dest] = done
+        elif op is Opcode.STG:
+            address = self.gpu.address_model.address_for(warp, instr)
+            self.gpu.hierarchy.store(self.sm_id, address, now)
+        elif op is Opcode.LDS:
+            warp.ready_at[instr.dest] = now + self._shmem_lat
+            stats.shmem_accesses += 1
+        elif op is Opcode.STS:
+            stats.shmem_accesses += 1
+        elif op is Opcode.SFU:
+            warp.ready_at[instr.dest] = now + self._sfu_lat
+        elif op is Opcode.BAR:
+            cta.arrive_at_barrier(warp, now)
+            if warp.blocked_until == FOREVER:
+                self._on_long_block(warp, now)
+        elif op is Opcode.BRA:
+            pass  # path already resolved in the trace
+        elif op is Opcode.EXIT:
+            self._finish_warp(warp, now)
+        return True
+
+    def _finish_warp(self, warp: WarpSim, now: int) -> None:
+        warp.finish()
+        self._active_warps -= 1
+        self._active_threads -= 32
+        for scheduler in self.schedulers:
+            if warp in scheduler.warps:
+                scheduler.remove_warp(warp)
+                break
+        cta = warp.cta
+        cta.maybe_release_barrier(now)
+        if cta.finished:
+            self.active_ctas.remove(cta)
+            self.retire_cta(cta, now)
+
+    def _on_long_block(self, warp: WarpSim, now: int) -> None:
+        """A warp just blocked for a while; check for a complete CTA stall."""
+        cta = warp.cta
+        if cta.state is not CTAState.ACTIVE:
+            return
+        if not cta.fully_stalled(now, min_remaining=self._stall_threshold):
+            return
+        if not cta.stall_recorded and cta.first_issue_cycle is not None:
+            cta.stall_recorded = True
+            self.stats.stall_latencies.append(now - cta.first_issue_cycle)
+        if self.policy is not None:
+            self.policy.on_cta_stalled(cta, now)
+
+    # ------------------------------------------------------------------
+    # Fig-5 sampling
+    # ------------------------------------------------------------------
+    def _sample_window(self, warp: WarpSim, instr) -> None:
+        gid = warp.global_warp_id
+        for reg in instr.registers:
+            self._window_regs.add((gid, reg))
+        self._window_count += 1
+        if self._window_count >= USAGE_WINDOW:
+            allocated = sum(
+                cta.unfinished_warps() * self.kernel.regs_per_thread
+                for cta in self.active_ctas
+            )
+            if allocated:
+                usage = len(self._window_regs) / allocated
+                self.stats.window_usage.append(min(1.0, usage))
+            self._window_regs.clear()
+            self._window_count = 0
+
+    # ------------------------------------------------------------------
+    # Bookkeeping for the global loop
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return self.resident_ctas > 0
+
+    def next_event(self, now: int) -> int:
+        """Earliest future cycle at which this SM's state can change."""
+        earliest = FOREVER
+        for cta in self.active_ctas:
+            t = cta.earliest_resume(now)
+            if t < earliest:
+                earliest = t
+        for cta in self.transit_ctas:
+            if cta.transit_until < earliest:
+                earliest = cta.transit_until
+        if self.policy is not None:
+            t = self.policy.next_event(now)
+            if t < earliest:
+                earliest = t
+        return earliest
+
+    def accumulate(self, dt: int, idle: bool) -> None:
+        self.stats.accumulate(
+            dt,
+            active_ctas=len(self.active_ctas),
+            pending_ctas=len(self.pending_ctas) + len(self.transit_ctas),
+            active_warps=self._active_warps,
+        )
+        idle = idle or not self._last_step_issued
+        if idle and self.busy:
+            self.stats.idle_cycles += dt
+            if self.policy is not None:
+                reason = self.policy.classify_idle(dt)
+                if reason == "rf":
+                    self.stats.rf_depletion_cycles += dt
+                elif reason == "srp":
+                    self.stats.srp_stall_cycles += dt

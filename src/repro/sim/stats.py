@@ -1,0 +1,120 @@
+"""Simulation statistics.
+
+``SMStats`` accumulates per-SM counters during the run (time-weighted where
+the quantity is a level, e.g. resident CTAs).  ``SimResult`` is the frozen
+whole-GPU summary the experiment harness consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class SMStats:
+    """Mutable per-SM counters."""
+
+    instructions: int = 0
+    # Time-weighted integrals (divide by elapsed cycles for averages).
+    active_cta_cycles: float = 0.0
+    pending_cta_cycles: float = 0.0
+    active_warp_cycles: float = 0.0
+    # Peak concurrency.
+    max_resident_ctas: int = 0
+    # Stall taxonomy: cycles where the SM issued nothing, attributed.
+    idle_cycles: int = 0
+    rf_depletion_cycles: int = 0     # schedulable CTA exists, RF space doesn't
+    srp_stall_cycles: int = 0        # RegMutex: warps waiting on SRP
+    # Switching activity.
+    cta_switch_events: int = 0
+    cta_launches: int = 0
+    # Register-file event counts (energy model inputs).
+    rf_reads: int = 0
+    rf_writes: int = 0
+    rf_bank_conflicts: int = 0
+    pcrf_reads: int = 0
+    pcrf_writes: int = 0
+    shmem_accesses: int = 0
+    # Table III: per-CTA cycles from first issue to complete stall.
+    stall_latencies: List[int] = field(default_factory=list)
+    # Fig 5: per-window register usage fractions (optional sampling).
+    window_usage: List[float] = field(default_factory=list)
+
+    def accumulate(self, dt: float, active_ctas: int, pending_ctas: int,
+                   active_warps: int) -> None:
+        self.active_cta_cycles += dt * active_ctas
+        self.pending_cta_cycles += dt * pending_ctas
+        self.active_warp_cycles += dt * active_warps
+        resident = active_ctas + pending_ctas
+        if resident > self.max_resident_ctas:
+            self.max_resident_ctas = resident
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Immutable outcome of one kernel launch simulation."""
+
+    policy: str
+    workload: str
+    cycles: int
+    instructions: int
+    num_sms: int
+    # Concurrency.
+    avg_active_ctas_per_sm: float
+    avg_pending_ctas_per_sm: float
+    max_resident_ctas: int
+    avg_active_threads_per_sm: float
+    # Memory.
+    dram_traffic_bytes: int
+    dram_traffic_by_class: Dict[str, int]
+    l1_hit_rate: float
+    l2_hit_rate: float
+    # Stalls and switching.
+    idle_cycles: int
+    rf_depletion_cycles: int
+    srp_stall_cycles: int
+    cta_switch_events: int
+    # Energy-model event counts.
+    rf_reads: int
+    rf_writes: int
+    pcrf_reads: int
+    pcrf_writes: int
+    shmem_accesses: int
+    l1_accesses: int
+    l2_accesses: int
+    # Characterization extras.
+    mean_stall_latency: Optional[float]
+    window_usage_bounds: Optional[Tuple[float, float, float]]
+    bitvector_hit_rate: Optional[float]
+    completed_ctas: int
+    timed_out: bool
+
+    @property
+    def ipc(self) -> float:
+        """Whole-GPU instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def ipc_per_sm(self) -> float:
+        return self.ipc / self.num_sms
+
+    @property
+    def avg_resident_ctas_per_sm(self) -> float:
+        return self.avg_active_ctas_per_sm + self.avg_pending_ctas_per_sm
+
+    @property
+    def rf_depletion_fraction(self) -> float:
+        """Fraction of execution time stalled on register-file depletion
+        (paper Fig 14b)."""
+        return self.rf_depletion_cycles / self.cycles if self.cycles else 0.0
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        if baseline.ipc == 0:
+            raise ZeroDivisionError("baseline IPC is zero")
+        return self.ipc / baseline.ipc
+
+    def traffic_ratio_over(self, baseline: "SimResult") -> float:
+        if baseline.dram_traffic_bytes == 0:
+            return 1.0
+        return self.dram_traffic_bytes / baseline.dram_traffic_bytes

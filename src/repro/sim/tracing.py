@@ -1,0 +1,96 @@
+"""Opt-in event tracing for simulation runs.
+
+Attach an :class:`EventTracer` to a GPU before running to record the CTA
+lifecycle (launches, switch-outs, switch-ins, retirements).  Useful for
+debugging policies and for teaching -- the recorded timeline shows exactly
+how a register-file management scheme rotates CTAs through the SM.
+
+The hot path pays a single ``is not None`` check when tracing is off.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+
+class EventKind(enum.Enum):
+    LAUNCH = "launch"
+    SWITCH_OUT = "switch_out"    # active -> pending
+    SWITCH_IN = "switch_in"      # pending -> active
+    RETIRE = "retire"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timeline entry."""
+
+    cycle: int
+    sm_id: int
+    kind: EventKind
+    cta_id: int
+
+    def __str__(self) -> str:
+        return (f"[{self.cycle:>8}] SM{self.sm_id} "
+                f"{self.kind.value:<10} CTA {self.cta_id}")
+
+
+class EventTracer:
+    """Bounded in-memory event log."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self.events: List[Event] = []
+        self.dropped = 0
+
+    def record(self, cycle: int, sm_id: int, kind: EventKind,
+               cta_id: int) -> None:
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(Event(cycle, sm_id, kind, cta_id))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def of_kind(self, kind: EventKind) -> List[Event]:
+        return [e for e in self.events if e.kind is kind]
+
+    def for_cta(self, cta_id: int) -> List[Event]:
+        return [e for e in self.events if e.cta_id == cta_id]
+
+    def residency_of(self, cta_id: int) -> Optional[int]:
+        """Cycles between a CTA's launch and retirement, if both recorded."""
+        events = self.for_cta(cta_id)
+        launch = next((e for e in events if e.kind is EventKind.LAUNCH),
+                      None)
+        retire = next((e for e in events if e.kind is EventKind.RETIRE),
+                      None)
+        if launch is None or retire is None:
+            return None
+        return retire.cycle - launch.cycle
+
+    def switch_count(self, cta_id: int) -> int:
+        """Round trips through the pending state for one CTA."""
+        return len([e for e in self.for_cta(cta_id)
+                    if e.kind is EventKind.SWITCH_OUT])
+
+    def timeline(self, limit: int = 50) -> str:
+        lines = [str(e) for e in self.events[:limit]]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)
+
+
+def attach_tracer(gpu, capacity: int = 100_000) -> EventTracer:
+    """Create a tracer and hook it into every SM of a GPU."""
+    tracer = EventTracer(capacity)
+    gpu.tracer = tracer
+    return tracer

@@ -1,0 +1,26 @@
+"""Synthetic workload suite reproducing the paper's 18 benchmarks."""
+
+from repro.workloads.spec import WorkloadSpec, WorkloadType
+from repro.workloads.generator import WorkloadInstance, build_workload
+from repro.workloads.traces import AddressModel, TraceProvider
+from repro.workloads.suite import (
+    ALL_SPECS,
+    SPEC_BY_ABBREV,
+    TYPE_R_SPECS,
+    TYPE_S_SPECS,
+    get_spec,
+)
+
+__all__ = [
+    "ALL_SPECS",
+    "AddressModel",
+    "SPEC_BY_ABBREV",
+    "TYPE_R_SPECS",
+    "TYPE_S_SPECS",
+    "TraceProvider",
+    "WorkloadInstance",
+    "WorkloadSpec",
+    "WorkloadType",
+    "build_workload",
+    "get_spec",
+]

@@ -1,0 +1,108 @@
+"""Workload characterization: measure a synthetic benchmark's properties.
+
+Used to validate that generated kernels actually exhibit the envelope their
+spec promises (instruction mix, divergence cost, liveness profile, memory
+locality), and as a user-facing analysis tool for custom kernels.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.isa.cfg import EdgeKind
+from repro.isa.instructions import AccessPattern, Opcode, is_long_latency
+from repro.workloads.generator import WorkloadInstance
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Static + trace-sampled properties of one workload instance."""
+
+    name: str
+    static_instructions: int
+    dynamic_instructions_per_warp: float
+    opcode_mix: Dict[str, float]
+    global_memory_fraction: float
+    pattern_mix: Dict[str, float]
+    divergence_overhead: float       # extra instrs from serialized arms
+    mean_live_fraction: float
+    max_live_count: int
+    loop_blocks: int
+    barrier_count: int
+
+    def summary_lines(self):
+        yield f"workload {self.name}:"
+        yield (f"  {self.static_instructions} static instructions, "
+               f"{self.dynamic_instructions_per_warp:.0f} dynamic per warp")
+        mix = ", ".join(f"{op}={frac:.0%}"
+                        for op, frac in sorted(self.opcode_mix.items()))
+        yield f"  opcode mix: {mix}"
+        pats = ", ".join(f"{p}={frac:.0%}"
+                         for p, frac in sorted(self.pattern_mix.items()))
+        yield f"  global-memory patterns: {pats or 'none'}"
+        yield (f"  divergence overhead: {self.divergence_overhead:.1%} "
+               f"extra dynamic instructions")
+        yield (f"  liveness: mean {self.mean_live_fraction:.0%} of the "
+               f"allocation, peak {self.max_live_count} registers")
+
+
+def characterize(instance: WorkloadInstance,
+                 sample_ctas: int = 8) -> WorkloadProfile:
+    """Profile a workload by sampling per-warp traces."""
+    kernel = instance.kernel
+    cfg = kernel.cfg
+    instructions = cfg.instructions
+
+    opcode_counts: Counter = Counter()
+    pattern_counts: Counter = Counter()
+    total_dynamic = 0
+    warps_sampled = 0
+    ctas = min(sample_ctas, kernel.geometry.grid_ctas)
+    for cta_id in range(ctas):
+        for warp_id in range(kernel.warps_per_cta):
+            trace = instance.trace_provider.trace_for(cta_id, warp_id)
+            total_dynamic += len(trace)
+            warps_sampled += 1
+            for index in trace:
+                instr = instructions[index]
+                opcode_counts[instr.opcode.value] += 1
+                if is_long_latency(instr.opcode):
+                    pattern_counts[instr.pattern.value] += 1
+
+    dynamic_total = sum(opcode_counts.values())
+    global_ops = sum(pattern_counts.values())
+    # Divergence overhead: compare against the shortest (uniform) trace.
+    min_trace = min(
+        len(instance.trace_provider.trace_for(cta_id, warp_id))
+        for cta_id in range(ctas)
+        for warp_id in range(kernel.warps_per_cta)
+    )
+    mean_trace = total_dynamic / warps_sampled
+    divergence_overhead = mean_trace / min_trace - 1.0 if min_trace else 0.0
+
+    liveness = instance.liveness
+    max_live = max(liveness.live_count_at_index(i)
+                   for i in range(liveness.num_instructions))
+
+    return WorkloadProfile(
+        name=kernel.name,
+        static_instructions=cfg.num_instructions,
+        dynamic_instructions_per_warp=mean_trace,
+        opcode_mix={op: count / dynamic_total
+                    for op, count in opcode_counts.items()},
+        global_memory_fraction=(
+            (opcode_counts.get(Opcode.LDG.value, 0)
+             + opcode_counts.get(Opcode.STG.value, 0)) / dynamic_total),
+        pattern_mix={p: count / global_ops
+                     for p, count in pattern_counts.items()} if global_ops
+        else {},
+        divergence_overhead=divergence_overhead,
+        mean_live_fraction=liveness.mean_live_fraction(),
+        max_live_count=max_live,
+        loop_blocks=sum(1 for b in cfg.blocks
+                        if b.edge_kind is EdgeKind.LOOP_BACK),
+        barrier_count=sum(1 for i in instructions
+                          if i.opcode is Opcode.BAR),
+    )

@@ -1,0 +1,329 @@
+"""Synthetic kernel generator.
+
+``build_workload`` turns a :class:`WorkloadSpec` into a runnable
+:class:`WorkloadInstance`: a structured CFG whose register def/use structure
+hits the spec's liveness/usage targets, plus the trace and address providers
+the simulator consumes.
+
+Register layout (``R`` = regs_per_thread):
+
+* a small set of *long-lived* registers defined in the prologue and consumed
+  in the epilogue (live through the whole kernel -- these set the liveness
+  floor at stall points);
+* a rotating pool of *short-lived* registers the loop body cycles through
+  (defined by a load or ALU op, consumed shortly after, then dead) -- the
+  pool width sets the per-window usage fraction;
+* register indices for the body pool are spread across ``[n_long, R)`` so
+  RegMutex-style high-register pressure occurs naturally.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.config import GPUConfig, Scale
+from repro.core.liveness import LivenessAnalysis, LivenessTable
+from repro.isa.cfg import ControlFlowGraph, EdgeKind
+from repro.isa.instructions import AccessPattern, Instruction, Opcode
+from repro.isa.kernel import Kernel, LaunchGeometry
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.traces import AddressModel, TraceProvider
+
+
+@dataclass
+class WorkloadInstance:
+    """Everything the simulator needs to run one synthetic benchmark."""
+
+    spec: WorkloadSpec
+    kernel: Kernel
+    trace_provider: TraceProvider
+    address_model: AddressModel
+    _liveness: Optional[LivenessTable] = field(default=None, repr=False)
+
+    @property
+    def liveness(self) -> LivenessTable:
+        if self._liveness is None:
+            analysis = LivenessAnalysis(self.kernel.cfg)
+            self._liveness = analysis.run(self.kernel.regs_per_thread)
+        return self._liveness
+
+
+def baseline_resident_ctas(spec: WorkloadSpec, config: GPUConfig) -> int:
+    """CTAs per SM a conventional GPU can host (Table-I limits)."""
+    limits = [
+        config.max_ctas_per_sm,
+        config.max_warps_per_sm // spec.warps_per_cta,
+        config.max_threads_per_sm // spec.threads_per_cta,
+        config.rf_warp_registers // spec.warp_registers_per_cta,
+    ]
+    if spec.shmem_per_cta:
+        limits.append(config.shared_memory_bytes // spec.shmem_per_cta)
+    return max(1, min(limits))
+
+
+def build_workload(spec: WorkloadSpec, config: GPUConfig,
+                   scale: Scale) -> WorkloadInstance:
+    """Generate the kernel, grid, traces, and address streams for a spec."""
+    cfg = _build_cfg(spec)
+    occupancy = baseline_resident_ctas(spec, config)
+    grid_per_sm = max(2, math.ceil(occupancy * spec.grid_multiplier
+                                   * _grid_factor(scale)))
+    geometry = LaunchGeometry(
+        threads_per_cta=spec.threads_per_cta,
+        grid_ctas=grid_per_sm * config.num_sms,
+    )
+    kernel = Kernel(
+        name=spec.abbrev,
+        cfg=cfg,
+        geometry=geometry,
+        regs_per_thread=spec.regs_per_thread,
+        shmem_per_cta=spec.shmem_per_cta,
+    )
+    stable = zlib.crc32(spec.abbrev.encode()) & 0xFFFF
+    provider = TraceProvider(cfg, seed=spec.seed ^ stable,
+                             trace_scale=scale.trace_scale)
+    addresses = AddressModel()
+    return WorkloadInstance(spec=spec, kernel=kernel,
+                            trace_provider=provider, address_model=addresses)
+
+
+def _grid_factor(scale: Scale) -> float:
+    """Shrink grids for the smaller presets (tests / quick benches)."""
+    return {"tiny": 0.45, "small": 1.0, "paper": 1.6}.get(scale.name, 1.0)
+
+
+# ----------------------------------------------------------------------
+# CFG construction
+# ----------------------------------------------------------------------
+def _build_cfg(spec: WorkloadSpec) -> ControlFlowGraph:
+    layout = _RegisterLayout(spec)
+    cfg = ControlFlowGraph()
+    rng = random.Random(spec.seed * 7919 + 13)
+
+    prologue = _prologue_instructions(spec, layout)
+    body_blocks = _body_blocks(spec, layout, rng)
+    epilogue = _epilogue_instructions(spec, layout)
+
+    # Block ids: 0 = prologue, 1..k = body chain, k+1(,k+2) = branch arms if
+    # any, last = epilogue.  We must know ids up front for successor wiring,
+    # so lay out the chain first.
+    num_body = len(body_blocks)
+    first_body = 1
+    epilogue_id = first_body + num_body
+
+    cfg.add_block(prologue, EdgeKind.FALLTHROUGH, successors=(first_body,))
+    for offset, (instrs, kind, div_prob) in enumerate(body_blocks):
+        block_id = first_body + offset
+        if kind == "branch":
+            # successors: the two arm blocks are the next two ids.
+            cfg.add_block(instrs, EdgeKind.BRANCH,
+                          successors=(block_id + 1, block_id + 2),
+                          divergence_prob=div_prob)
+        elif kind == "loopback":
+            cfg.add_block(instrs, EdgeKind.LOOP_BACK,
+                          successors=(first_body, epilogue_id),
+                          mean_trip_count=spec.loop_trips)
+        elif kind.startswith("arm:"):
+            tail_offset = int(kind.split(":", 1)[1])
+            cfg.add_block(instrs, EdgeKind.FALLTHROUGH,
+                          successors=(first_body + tail_offset,))
+        else:
+            cfg.add_block(instrs, EdgeKind.FALLTHROUGH,
+                          successors=(block_id + 1,))
+    cfg.add_block(epilogue, EdgeKind.EXIT)
+    return cfg.freeze()
+
+
+class _RegisterLayout:
+    """Partition of the architectural registers per the module docstring."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        regs = spec.regs_per_thread
+        # Long-lived registers anchor the live fraction at stall points;
+        # in-flight load destinations add roughly mem_burst on top.
+        want_live = max(1, round(spec.live_fraction * regs))
+        self.n_long = max(1, min(regs - 2, want_live - spec.mem_burst))
+        pool_size = max(2, round(spec.usage_fraction * regs) - self.n_long)
+        # Spread the short-lived pool across the whole allocation [n_long,
+        # regs): real allocators use the full index range, which is what
+        # gives RegMutex's BRS/SRP boundary (a register-index split) its
+        # meaning.  Long-lived values keep the low indices.
+        span = regs - self.n_long
+        step = max(1, span // pool_size)
+        self.pool = list(range(self.n_long, regs, step))[:pool_size]
+        if not self.pool:
+            self.pool = [regs - 1]
+        self._next = 0
+        # A couple of dedicated roles.
+        self.addr_reg = 0                    # address base (long-lived)
+        self.acc_reg = self.n_long - 1 if self.n_long > 1 else 0
+
+    def long_regs(self) -> List[int]:
+        return list(range(self.n_long))
+
+    def next_short(self) -> int:
+        reg = self.pool[self._next % len(self.pool)]
+        self._next += 1
+        return reg
+
+    def recent_short(self, back: int = 1) -> int:
+        index = (self._next - back) % len(self.pool)
+        return self.pool[index]
+
+
+def _pattern_cycle(spec: WorkloadSpec, rng: random.Random):
+    """Yield access patterns following the spec's locality mix."""
+    def draw() -> AccessPattern:
+        roll = rng.random()
+        if roll < spec.stream_frac:
+            return AccessPattern.STREAM
+        if roll < spec.stream_frac + spec.reuse_frac:
+            return AccessPattern.REUSE
+        return AccessPattern.SHARED_WS
+    return draw
+
+
+def _prologue_instructions(spec: WorkloadSpec,
+                           layout: _RegisterLayout) -> List[Instruction]:
+    """Define every long-lived register (parameter loads + setup ALU)."""
+    out: List[Instruction] = []
+    longs = layout.long_regs()
+    # The first long registers are kernel parameters: constant-cache-class
+    # accesses (low latency, on-chip) -- a cold DRAM miss here would stall
+    # every warp at launch, which real kernels do not do.
+    for index, reg in enumerate(longs):
+        if index < 2:
+            out.append(Instruction(Opcode.LDS, reg, (layout.addr_reg,)))
+        else:
+            src = longs[index - 1]
+            out.append(Instruction(Opcode.IALU, reg, (src,)))
+    if not longs:
+        out.append(Instruction(Opcode.IALU, layout.addr_reg, ()))
+    return out
+
+
+def _body_iteration(spec: WorkloadSpec, layout: _RegisterLayout,
+                    rng: random.Random) -> List[Instruction]:
+    """One loop iteration: load burst, compute phase, stores, extras."""
+    out: List[Instruction] = []
+    draw_pattern = _pattern_cycle(spec, rng)
+    loaded: List[int] = []
+    for _ in range(spec.mem_burst):
+        dest = layout.next_short()
+        out.append(Instruction(Opcode.LDG, dest, (layout.addr_reg,),
+                               draw_pattern()))
+        loaded.append(dest)
+    for _ in range(spec.shmem_ops_per_iter):
+        dest = layout.next_short()
+        out.append(Instruction(Opcode.LDS, dest, (layout.addr_reg,)))
+        loaded.append(dest)
+    # Compute phase: consume the loads (creating the stall point), chain
+    # through short registers, and occasionally touch long-lived state.
+    total_compute = spec.mem_burst * spec.compute_per_mem
+    for i in range(total_compute):
+        dest = layout.next_short()
+        if i < len(loaded):
+            srcs = (loaded[i], layout.acc_reg)
+        elif rng.random() < 0.25:
+            srcs = (layout.recent_short(1),
+                    layout.long_regs()[i % max(1, layout.n_long)])
+        else:
+            srcs = (layout.recent_short(1), layout.recent_short(2))
+        out.append(Instruction(Opcode.FALU, dest, srcs))
+    for _ in range(spec.sfu_per_iter):
+        dest = layout.next_short()
+        out.append(Instruction(Opcode.SFU, dest, (layout.recent_short(2),)))
+    for _ in range(spec.stores_per_iter):
+        # Output writes mostly land in the CTA's resident output tile;
+        # only a damped fraction streams fresh lines (write-once outputs
+        # coalesce far better than the read streams).
+        if rng.random() < 0.4 * spec.stream_frac:
+            pattern = AccessPattern.STREAM
+        else:
+            pattern = AccessPattern.REUSE
+        out.append(Instruction(Opcode.STG, None,
+                               (layout.recent_short(1), layout.addr_reg),
+                               pattern))
+    return out
+
+
+def _body_blocks(spec: WorkloadSpec, layout: _RegisterLayout,
+                 rng: random.Random):
+    """The loop body as (instructions, kind, divergence) block descriptors."""
+    blocks = []
+    iteration = _body_iteration(spec, layout, rng)
+    if spec.branch_region:
+        # Split: head (loads) | branch | arm A | arm B | tail w/ loop-back.
+        split = max(1, spec.mem_burst)
+        head = iteration[:split]
+        head.append(Instruction(Opcode.BRA, None,
+                                (layout.recent_short(1),)))
+        rest = iteration[split:]
+        half = max(1, len(rest) // 2)
+        arm_a = rest[:half] or [Instruction(Opcode.IALU, layout.next_short(),
+                                            (layout.acc_reg,))]
+        arm_b = _arm_b_instructions(spec, layout, rng, len(arm_a))
+        tail = rest[half:] or [Instruction(Opcode.IALU, layout.next_short(),
+                                           (layout.acc_reg,))]
+        if spec.has_barrier:
+            tail.append(Instruction(Opcode.BAR))
+        tail.append(Instruction(Opcode.BRA, None, (layout.acc_reg,)))
+        blocks.append((head, "branch", spec.divergence_prob))
+        blocks.append((arm_a, "fallthrough_to_tail", 0.0))
+        blocks.append((arm_b, "fallthrough_to_tail", 0.0))
+        blocks.append((tail, "loopback", 0.0))
+    else:
+        if spec.has_barrier:
+            iteration.append(Instruction(Opcode.BAR))
+        iteration.append(Instruction(Opcode.BRA, None, (layout.acc_reg,)))
+        blocks.append((iteration, "loopback", 0.0))
+    return _wire_branch_arms(blocks)
+
+
+def _arm_b_instructions(spec: WorkloadSpec, layout: _RegisterLayout,
+                        rng: random.Random, length: int) -> List[Instruction]:
+    """The not-taken arm: similar compute, slightly different registers."""
+    out: List[Instruction] = []
+    for _ in range(max(1, length)):
+        dest = layout.next_short()
+        out.append(Instruction(Opcode.FALU, dest,
+                               (layout.recent_short(2), layout.acc_reg)))
+    return out
+
+
+def _wire_branch_arms(blocks):
+    """Fix up arm successors: arms fall through to the tail block.
+
+    ``_build_cfg`` wires FALLTHROUGH blocks to ``block_id + 1``, which is
+    wrong for arm A (it would fall into arm B).  Mark arms so the builder
+    can instead target the tail.
+    """
+    wired = []
+    for index, (instrs, kind, div) in enumerate(blocks):
+        if kind == "fallthrough_to_tail":
+            # Tail is the last block of the body chain.
+            wired.append((instrs, f"arm:{len(blocks) - 1}", div))
+        else:
+            wired.append((instrs, kind, div))
+    return wired
+
+
+def _epilogue_instructions(spec: WorkloadSpec,
+                           layout: _RegisterLayout) -> List[Instruction]:
+    """Consume every long-lived register, store results, and exit."""
+    out: List[Instruction] = []
+    longs = layout.long_regs()
+    for i in range(0, len(longs), 2):
+        srcs = tuple(longs[i:i + 2])
+        out.append(Instruction(Opcode.FALU, layout.next_short(), srcs))
+    # One result store per CTA tile (REUSE region: the output tile's lines
+    # are already resident, so the epilogue does not tax DRAM bandwidth).
+    out.append(Instruction(Opcode.STG, None,
+                           (layout.recent_short(1), layout.addr_reg),
+                           AccessPattern.REUSE))
+    out.append(Instruction(Opcode.EXIT))
+    return out

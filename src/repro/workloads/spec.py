@@ -1,0 +1,97 @@
+"""Workload specification: the per-benchmark resource/behaviour envelope.
+
+Each of the paper's 18 benchmarks (Table II) is described by a
+:class:`WorkloadSpec` capturing the properties FineReg's behaviour actually
+depends on: the CTA resource footprint (registers, threads, shared memory),
+the memory/compute mix and locality of its inner loop, its control-flow
+character (divergence, barriers, loop trip counts), and liveness/usage
+targets matching the paper's Fig 5 characterization.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config import MAX_REGS_PER_THREAD, WARP_SIZE
+
+
+class WorkloadType(enum.Enum):
+    """Paper Table II classification of the scheduling limit."""
+
+    TYPE_S = "S"    # bounded by CTA/warp scheduler resources
+    TYPE_R = "R"    # bounded by register file or shared memory size
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Envelope of one synthetic benchmark."""
+
+    name: str
+    abbrev: str
+    wtype: WorkloadType
+    # Resource footprint.
+    threads_per_cta: int
+    regs_per_thread: int
+    shmem_per_cta: int = 0
+    # Inner-loop composition.
+    mem_burst: int = 2            # global loads per iteration
+    compute_per_mem: int = 4      # ALU ops per load
+    stores_per_iter: int = 1
+    shmem_ops_per_iter: int = 0
+    sfu_per_iter: int = 0
+    loop_trips: int = 16
+    # Memory locality mix over the global loads (fractions sum to <= 1;
+    # remainder uses the L2-resident shared working set).
+    stream_frac: float = 0.6
+    reuse_frac: float = 0.3
+    # Control flow.
+    divergence_prob: float = 0.0
+    branch_region: bool = False
+    has_barrier: bool = False
+    # Register-usage character (paper Fig 5 / PCRF demand).
+    live_fraction: float = 0.4    # live registers at stall points / allocated
+    usage_fraction: float = 0.55  # registers touched per window / allocated
+    # Grid sizing: resident-CTA multiples of the baseline occupancy.
+    grid_multiplier: float = 4.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threads_per_cta % WARP_SIZE or self.threads_per_cta <= 0:
+            raise ValueError(f"{self.abbrev}: bad threads_per_cta")
+        if not 0 < self.regs_per_thread <= MAX_REGS_PER_THREAD:
+            raise ValueError(f"{self.abbrev}: bad regs_per_thread")
+        if self.mem_burst < 1 or self.loop_trips < 1:
+            raise ValueError(f"{self.abbrev}: loop must do work")
+        if self.stream_frac < 0 or self.reuse_frac < 0 or \
+                self.stream_frac + self.reuse_frac > 1.0 + 1e-9:
+            raise ValueError(f"{self.abbrev}: bad locality mix")
+        if not 0.0 <= self.divergence_prob <= 1.0:
+            raise ValueError(f"{self.abbrev}: bad divergence probability")
+        if not 0.0 < self.live_fraction <= 1.0:
+            raise ValueError(f"{self.abbrev}: bad live fraction")
+        if not 0.0 < self.usage_fraction <= 1.0:
+            raise ValueError(f"{self.abbrev}: bad usage fraction")
+        if self.branch_region is False and self.divergence_prob > 0:
+            raise ValueError(f"{self.abbrev}: divergence needs a branch region")
+
+    @property
+    def warps_per_cta(self) -> int:
+        return self.threads_per_cta // WARP_SIZE
+
+    @property
+    def warp_registers_per_cta(self) -> int:
+        return self.warps_per_cta * self.regs_per_thread
+
+    @property
+    def register_bytes_per_cta(self) -> int:
+        return self.warp_registers_per_cta * 128
+
+    @property
+    def cta_overhead_bytes(self) -> int:
+        """On-chip cost of one extra CTA (paper Fig 3)."""
+        return self.register_bytes_per_cta + self.shmem_per_cta
+
+    @property
+    def is_type_s(self) -> bool:
+        return self.wtype is WorkloadType.TYPE_S

@@ -1,0 +1,182 @@
+"""The 18-application benchmark suite (paper Table II).
+
+Each spec's resource envelope is tuned to reproduce the app's published
+character: Type-S apps hit the CTA/warp scheduler limit with register file
+to spare; Type-R apps exhaust registers (or, for TA, shared memory) first.
+Footprints span the paper's Fig 3 range (~4-37 KB per extra CTA), loop
+composition targets Table III's stall-clustering order (fast-stalling BF up
+to compute-heavy SG/FD), and liveness/usage targets follow Fig 5 (average
+~55% usage; MC/NW/LI/SR/TA with very low worst cases).
+
+Locality mixes matter: ``stream_frac`` buys DRAM traffic (bandwidth-bound
+behaviour -- BF/KM/SY2 are the paper's memory-intensive trio), ``reuse_frac``
+hits the L1, and the remainder walks an L2-resident shared working set
+(long latency-bound stalls that CTA switching can hide without spending
+off-chip bandwidth).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.spec import WorkloadSpec, WorkloadType
+
+_S = WorkloadType.TYPE_S
+_R = WorkloadType.TYPE_R
+
+TYPE_S_SPECS: Tuple[WorkloadSpec, ...] = (
+    WorkloadSpec(
+        name="Breadth-First Search", abbrev="BF", wtype=_S,
+        threads_per_cta=256, regs_per_thread=8, shmem_per_cta=0,
+        mem_burst=3, compute_per_mem=2, stores_per_iter=1,
+        loop_trips=10, stream_frac=0.5, reuse_frac=0.1,
+        branch_region=True, divergence_prob=0.35,
+        live_fraction=0.45, usage_fraction=0.55, seed=11,
+    ),
+    WorkloadSpec(
+        name="BiCGStab", abbrev="BI", wtype=_S,
+        threads_per_cta=128, regs_per_thread=16, shmem_per_cta=0,
+        mem_burst=2, compute_per_mem=5, stores_per_iter=1,
+        loop_trips=18, stream_frac=0.25, reuse_frac=0.3,
+        live_fraction=0.45, usage_fraction=0.6, seed=12,
+    ),
+    WorkloadSpec(
+        name="Convolution Separable", abbrev="CS", wtype=_S,
+        threads_per_cta=64, regs_per_thread=16, shmem_per_cta=2048,
+        mem_burst=2, compute_per_mem=6, stores_per_iter=1,
+        shmem_ops_per_iter=2, loop_trips=14,
+        stream_frac=0.2, reuse_frac=0.4,
+        live_fraction=0.4, usage_fraction=0.6, seed=13,
+    ),
+    WorkloadSpec(
+        name="Fluid Dynamics", abbrev="FD", wtype=_S,
+        threads_per_cta=128, regs_per_thread=16, shmem_per_cta=1024,
+        mem_burst=2, compute_per_mem=3, stores_per_iter=1,
+        loop_trips=22, stream_frac=0.12, reuse_frac=0.3,
+        live_fraction=0.5, usage_fraction=0.65, seed=14,
+    ),
+    WorkloadSpec(
+        name="Kmeans", abbrev="KM", wtype=_S,
+        threads_per_cta=128, regs_per_thread=14, shmem_per_cta=0,
+        mem_burst=3, compute_per_mem=3, stores_per_iter=1,
+        loop_trips=14, stream_frac=0.35, reuse_frac=0.2,
+        live_fraction=0.4, usage_fraction=0.5, seed=15,
+    ),
+    WorkloadSpec(
+        name="Monte Carlo", abbrev="MC", wtype=_S,
+        threads_per_cta=64, regs_per_thread=18, shmem_per_cta=0,
+        mem_burst=1, compute_per_mem=8, stores_per_iter=1,
+        sfu_per_iter=3, loop_trips=20, stream_frac=0.25, reuse_frac=0.35,
+        live_fraction=0.15, usage_fraction=0.35, seed=16,
+    ),
+    WorkloadSpec(
+        name="Needleman-Wunsch", abbrev="NW", wtype=_S,
+        threads_per_cta=64, regs_per_thread=16, shmem_per_cta=2048,
+        mem_burst=2, compute_per_mem=3, stores_per_iter=1,
+        shmem_ops_per_iter=2, has_barrier=True, loop_trips=8,
+        stream_frac=0.3, reuse_frac=0.2,
+        live_fraction=0.2, usage_fraction=0.4, seed=17,
+    ),
+    WorkloadSpec(
+        name="Stencil", abbrev="ST", wtype=_S,
+        threads_per_cta=128, regs_per_thread=16, shmem_per_cta=1536,
+        mem_burst=2, compute_per_mem=5, stores_per_iter=1,
+        shmem_ops_per_iter=1, loop_trips=16,
+        stream_frac=0.25, reuse_frac=0.4,
+        live_fraction=0.45, usage_fraction=0.6, seed=18,
+    ),
+    WorkloadSpec(
+        name="Symmetric Rank 2k", abbrev="SY2", wtype=_S,
+        threads_per_cta=64, regs_per_thread=14, shmem_per_cta=0,
+        mem_burst=2, compute_per_mem=4, stores_per_iter=1,
+        loop_trips=16, stream_frac=0.45, reuse_frac=0.15,
+        live_fraction=0.35, usage_fraction=0.55, seed=19,
+    ),
+)
+
+TYPE_R_SPECS: Tuple[WorkloadSpec, ...] = (
+    WorkloadSpec(
+        name="Transpose Vector Multiply", abbrev="AT", wtype=_R,
+        threads_per_cta=128, regs_per_thread=38, shmem_per_cta=0,
+        mem_burst=2, compute_per_mem=4, stores_per_iter=1,
+        loop_trips=14, stream_frac=0.3, reuse_frac=0.25,
+        live_fraction=0.3, usage_fraction=0.55, seed=21,
+    ),
+    WorkloadSpec(
+        name="CFD Solver", abbrev="CF", wtype=_R,
+        threads_per_cta=192, regs_per_thread=40, shmem_per_cta=0,
+        mem_burst=3, compute_per_mem=4, stores_per_iter=1,
+        loop_trips=12, stream_frac=0.3, reuse_frac=0.3,
+        branch_region=True, divergence_prob=0.2,
+        live_fraction=0.3, usage_fraction=0.55, seed=22,
+    ),
+    WorkloadSpec(
+        name="Hotspot", abbrev="HS", wtype=_R,
+        threads_per_cta=256, regs_per_thread=34, shmem_per_cta=3072,
+        mem_burst=2, compute_per_mem=5, stores_per_iter=1,
+        shmem_ops_per_iter=2, has_barrier=True, loop_trips=10,
+        stream_frac=0.35, reuse_frac=0.35,
+        live_fraction=0.32, usage_fraction=0.6, seed=23,
+    ),
+    WorkloadSpec(
+        name="LIBOR", abbrev="LI", wtype=_R,
+        threads_per_cta=64, regs_per_thread=50, shmem_per_cta=0,
+        mem_burst=1, compute_per_mem=10, stores_per_iter=1,
+        sfu_per_iter=2, loop_trips=14, stream_frac=0.4, reuse_frac=0.35,
+        live_fraction=0.14, usage_fraction=0.3, seed=24,
+    ),
+    WorkloadSpec(
+        name="Lattice-Boltzmann", abbrev="LB", wtype=_R,
+        threads_per_cta=128, regs_per_thread=48, shmem_per_cta=0,
+        mem_burst=3, compute_per_mem=3, stores_per_iter=2,
+        loop_trips=10, stream_frac=0.35, reuse_frac=0.25,
+        live_fraction=0.3, usage_fraction=0.6, seed=25,
+    ),
+    WorkloadSpec(
+        name="SGEMM", abbrev="SG", wtype=_R,
+        threads_per_cta=128, regs_per_thread=44, shmem_per_cta=8192,
+        mem_burst=2, compute_per_mem=10, stores_per_iter=1,
+        shmem_ops_per_iter=2, has_barrier=True, loop_trips=18,
+        stream_frac=0.3, reuse_frac=0.4,
+        live_fraction=0.35, usage_fraction=0.7, seed=26,
+    ),
+    WorkloadSpec(
+        name="Sradv2", abbrev="SR", wtype=_R,
+        threads_per_cta=256, regs_per_thread=34, shmem_per_cta=0,
+        mem_burst=2, compute_per_mem=4, stores_per_iter=1,
+        loop_trips=12, stream_frac=0.35, reuse_frac=0.3,
+        branch_region=True, divergence_prob=0.15,
+        live_fraction=0.15, usage_fraction=0.35, seed=27,
+    ),
+    WorkloadSpec(
+        name="Two Point Angular", abbrev="TA", wtype=_R,
+        threads_per_cta=192, regs_per_thread=24, shmem_per_cta=18432,
+        mem_burst=2, compute_per_mem=6, stores_per_iter=1,
+        shmem_ops_per_iter=3, has_barrier=True, loop_trips=12,
+        stream_frac=0.2, reuse_frac=0.45,
+        live_fraction=0.15, usage_fraction=0.35, seed=28,
+    ),
+    WorkloadSpec(
+        name="Transpose", abbrev="TR", wtype=_R,
+        threads_per_cta=256, regs_per_thread=34, shmem_per_cta=2048,
+        mem_burst=2, compute_per_mem=3, stores_per_iter=2,
+        shmem_ops_per_iter=1, loop_trips=12,
+        stream_frac=0.35, reuse_frac=0.25,
+        live_fraction=0.25, usage_fraction=0.55, seed=29,
+    ),
+)
+
+ALL_SPECS: Tuple[WorkloadSpec, ...] = TYPE_S_SPECS + TYPE_R_SPECS
+
+SPEC_BY_ABBREV: Dict[str, WorkloadSpec] = {
+    spec.abbrev: spec for spec in ALL_SPECS
+}
+
+
+def get_spec(abbrev: str) -> WorkloadSpec:
+    """Look up a benchmark by its Table-II abbreviation."""
+    try:
+        return SPEC_BY_ABBREV[abbrev.upper()]
+    except KeyError:
+        known = ", ".join(sorted(SPEC_BY_ABBREV))
+        raise KeyError(f"unknown benchmark {abbrev!r}; known: {known}")

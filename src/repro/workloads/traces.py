@@ -1,0 +1,156 @@
+"""Dynamic trace and address generation for synthetic kernels.
+
+``TraceProvider`` turns a kernel CFG into per-warp dynamic instruction
+traces: loops are unrolled with CTA-uniform trip counts and diverging
+branches are resolved per warp (a diverged warp executes both paths
+serially, matching PDOM reconvergence; a uniform warp takes one side).
+
+``AddressModel`` produces the synthetic address streams attached to global
+memory instructions: STREAM walks fresh cache lines per warp, REUSE cycles a
+small per-CTA working set (L1-resident), and SHARED_WS cycles a large
+working set shared by all CTAs (L2-resident, L1-hostile).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.isa.cfg import ControlFlowGraph, EdgeKind
+from repro.isa.instructions import AccessPattern, Instruction
+
+LINE = 128
+
+
+class TraceProvider:
+    """Deterministic per-warp dynamic traces from a structured CFG."""
+
+    def __init__(self, cfg: ControlFlowGraph, seed: int,
+                 trace_scale: float = 1.0) -> None:
+        if not cfg.frozen:
+            raise ValueError("trace generation requires a frozen CFG")
+        self._cfg = cfg
+        self._seed = seed
+        self._trace_scale = trace_scale
+        self._trip_cache: Dict[int, Dict[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    def trips_for_cta(self, cta_id: int) -> Dict[int, int]:
+        """CTA-uniform trip count per loop (keyed by loop-back block id)."""
+        cached = self._trip_cache.get(cta_id)
+        if cached is not None:
+            return cached
+        rng = random.Random((self._seed << 20) ^ cta_id)
+        trips: Dict[int, int] = {}
+        for block in self._cfg.blocks:
+            if block.edge_kind is EdgeKind.LOOP_BACK:
+                mean = block.mean_trip_count * self._trace_scale
+                jitter = rng.uniform(0.85, 1.15)
+                trips[block.block_id] = max(1, round(mean * jitter))
+        self._trip_cache[cta_id] = trips
+        if len(self._trip_cache) > 4096:
+            self._trip_cache.clear()
+        return trips
+
+    def trace_for(self, cta_id: int, warp_id: int) -> List[int]:
+        """The dynamic trace (static instruction indices) of one warp."""
+        cfg = self._cfg
+        rng = random.Random((self._seed << 40) ^ (cta_id << 10) ^ warp_id)
+        trips = self.trips_for_cta(cta_id)
+        remaining = dict(trips)
+        out: List[int] = []
+        block_id = 0
+        while True:
+            block = cfg.blocks[block_id]
+            first = cfg.first_index(block_id)
+            out.extend(range(first, first + len(block.instructions)))
+            kind = block.edge_kind
+            if kind is EdgeKind.EXIT:
+                return out
+            if kind is EdgeKind.FALLTHROUGH:
+                block_id = block.successors[0]
+            elif kind is EdgeKind.LOOP_BACK:
+                if remaining[block_id] > 1:
+                    remaining[block_id] -= 1
+                    block_id = block.successors[0]
+                else:
+                    remaining[block_id] = trips[block_id]  # rearm (outer reuse)
+                    block_id = block.successors[1]
+            else:  # BRANCH
+                taken, not_taken = block.successors
+                if rng.random() < block.divergence_prob:
+                    # Diverged: serialize both paths up to reconvergence.
+                    reconv = cfg.reconvergence_block(block_id)
+                    self._emit_path(out, taken, reconv)
+                    self._emit_path(out, not_taken, reconv)
+                    block_id = reconv
+                elif rng.random() < block.taken_prob:
+                    block_id = taken
+                else:
+                    block_id = not_taken
+
+    def _emit_path(self, out: List[int], start: int, stop: int) -> None:
+        cfg = self._cfg
+        block_id = start
+        while block_id != stop:
+            block = cfg.blocks[block_id]
+            first = cfg.first_index(block_id)
+            out.extend(range(first, first + len(block.instructions)))
+            if block.edge_kind is not EdgeKind.FALLTHROUGH:
+                raise RuntimeError(
+                    f"branch path through B{block_id} is not linear"
+                )
+            block_id = block.successors[0]
+
+
+class AddressModel:
+    """Synthetic address streams for the three locality classes.
+
+    REUSE models spatial locality: ``reuse_spatial`` consecutive accesses
+    fall in the same 128-byte line before the stream advances (a float4-wide
+    coalesced walk), so roughly (spatial-1)/spatial of REUSE touches hit the
+    L1 regardless of trace length.  SHARED_WS walks a region sized to be
+    L2-resident but L1-hostile: first touches warm the L2, later ones hit
+    there and stall the warp for the L2 round trip without spending any
+    off-chip bandwidth.
+    """
+
+    #: Region bases far enough apart that streams never alias.
+    SHARED_BASE = 1 << 46
+
+    def __init__(self, reuse_kb: float = 1.0,
+                 shared_ws_kb: float = 128.0,
+                 reuse_spatial: int = 4) -> None:
+        self.reuse_lines = max(1, int(reuse_kb * 1024 / LINE))
+        self.shared_lines = max(1, int(shared_ws_kb * 1024 / LINE))
+        self.reuse_spatial = max(1, reuse_spatial)
+
+    def warm_l2(self, l2) -> None:
+        """Pre-install the shared working set's lines in the L2.
+
+        Models steady state: the shared structure (lookup tables, matrix
+        panels) is L2-resident for the whole kernel in the paper's long
+        simulations; short scaled-down runs would otherwise measure nothing
+        but its compulsory misses.  Stats are reset afterwards so warming
+        doesn't count as traffic.
+        """
+        for index in range(self.shared_lines):
+            l2.access(self.SHARED_BASE + index * LINE)
+        l2.stats.read_hits = 0
+        l2.stats.read_misses = 0
+
+    def address_for(self, warp, instr: Instruction) -> int:
+        pattern = instr.pattern
+        if pattern is AccessPattern.STREAM:
+            warp.stream_counter += 1
+            return warp.stream_base + warp.stream_counter * LINE
+        if pattern is AccessPattern.REUSE:
+            index = (warp.reuse_counter // self.reuse_spatial) \
+                % self.reuse_lines
+            warp.reuse_counter += 1
+            return warp.reuse_base + index * LINE
+        # SHARED_WS: stride through an L2-resident region, per-warp phase.
+        warp.shared_counter += 1
+        index = (warp.shared_counter * 7 + warp.global_warp_id * 13) \
+            % self.shared_lines
+        return self.SHARED_BASE + index * LINE

@@ -1,0 +1,140 @@
+"""Tests for the textual kernel assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.cfg import EdgeKind
+from repro.isa.instructions import AccessPattern, Opcode
+
+GOOD = """
+# a tiny streaming kernel
+.block entry
+    lds   R0, R0
+    ialu  R1, R0
+.endblock -> body
+
+.block body loop=8
+    ldg   R2, R0 @stream
+    falu  R3, R2, R1
+    bra   R3
+.endblock -> body, tail
+
+.block tail
+    stg   R3, R0 @reuse
+    exit
+.endblock
+"""
+
+
+class TestHappyPath:
+    def test_assembles_three_blocks(self):
+        cfg = assemble(GOOD)
+        assert len(cfg.blocks) == 3
+        assert cfg.frozen
+
+    def test_edge_kinds_inferred(self):
+        cfg = assemble(GOOD)
+        kinds = [b.edge_kind for b in cfg.blocks]
+        assert kinds == [EdgeKind.FALLTHROUGH, EdgeKind.LOOP_BACK,
+                         EdgeKind.EXIT]
+        assert cfg.blocks[1].mean_trip_count == 8.0
+
+    def test_operands_and_patterns(self):
+        cfg = assemble(GOOD)
+        load = cfg.blocks[1].instructions[0]
+        assert load.opcode is Opcode.LDG
+        assert load.dest == 2
+        assert load.srcs == (0,)
+        assert load.pattern is AccessPattern.STREAM
+        store = cfg.blocks[2].instructions[0]
+        assert store.dest is None
+        assert store.srcs == (3, 0)
+        assert store.pattern is AccessPattern.REUSE
+
+    def test_branch_block(self):
+        cfg = assemble("""
+.block head branch=0.5
+    ialu R0
+    bra  R0
+.endblock -> left, right
+.block left
+    ialu R1, R0
+.endblock -> tail
+.block right
+    ialu R2, R0
+.endblock -> tail
+.block tail
+    exit
+.endblock
+""")
+        assert cfg.blocks[0].edge_kind is EdgeKind.BRANCH
+        assert cfg.blocks[0].divergence_prob == 0.5
+        assert cfg.reconvergence_block(0) == 3
+
+    def test_assembled_kernel_runs(self):
+        from repro.config import GPUConfig, TINY
+        from repro.isa.kernel import Kernel, LaunchGeometry
+        from repro.policies.baseline import BaselinePolicy
+        from repro.sim.gpu import GPU
+        from repro.workloads.traces import AddressModel, TraceProvider
+        cfg = assemble(GOOD)
+        kernel = Kernel("asm", cfg, LaunchGeometry(64, 4),
+                        regs_per_thread=8)
+        gpu = GPU(GPUConfig().with_num_sms(1), kernel, BaselinePolicy,
+                  TraceProvider(cfg, seed=1), AddressModel())
+        result = gpu.run(max_cycles=TINY.max_cycles)
+        assert result.completed_ctas == 4
+        assert not result.timed_out
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblyError, match="unknown opcode"):
+            assemble(".block a\n    frob R1\n.endblock")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError, match="register"):
+            assemble(".block a\n    ialu R99\n.endblock")
+
+    def test_unknown_pattern(self):
+        with pytest.raises(AssemblyError, match="pattern"):
+            assemble(".block a\n    ldg R1, R0 @magic\n.endblock")
+
+    def test_missing_destination(self):
+        with pytest.raises(AssemblyError, match="destination"):
+            assemble(".block a\n    ldg\n.endblock")
+
+    def test_instruction_outside_block(self):
+        with pytest.raises(AssemblyError, match="outside"):
+            assemble("ialu R1")
+
+    def test_nested_block(self):
+        with pytest.raises(AssemblyError, match="nested"):
+            assemble(".block a\n.block b\n.endblock\n.endblock")
+
+    def test_unclosed_block(self):
+        with pytest.raises(AssemblyError, match="unclosed"):
+            assemble(".block a\n    ialu R1")
+
+    def test_unknown_successor(self):
+        with pytest.raises(AssemblyError, match="unknown block"):
+            assemble(".block a\n    ialu R1\n.endblock -> nowhere")
+
+    def test_duplicate_block(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble(".block a\n    ialu R1\n.endblock -> a\n"
+                     ".block a\n    exit\n.endblock")
+
+    def test_structural_validation_bubbles_up(self):
+        # Two exit blocks -> CFG validation failure at freeze time.
+        with pytest.raises(AssemblyError, match="invalid CFG"):
+            assemble(".block a\n    exit\n.endblock\n"
+                     ".block b\n    exit\n.endblock")
+
+    def test_empty_input(self):
+        with pytest.raises(AssemblyError, match="no blocks"):
+            assemble("   \n# only a comment\n")
+
+    def test_pattern_on_alu_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".block a\n    ialu R1 @stream\n.endblock")

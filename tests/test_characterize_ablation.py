@@ -1,0 +1,79 @@
+"""Tests for workload characterization and the ablation experiments."""
+
+import pytest
+
+from repro.config import TINY
+from repro.experiments import (
+    ablation_bitvector_cache,
+    ablation_pcrf_latency,
+    ablation_switch_policy,
+)
+from repro.workloads.characterize import WorkloadProfile, characterize
+from repro.workloads.suite import get_spec
+
+
+class TestCharacterize:
+    def test_profile_fields(self, km_workload):
+        profile = characterize(km_workload)
+        assert profile.name == "KM"
+        assert profile.static_instructions \
+            == km_workload.kernel.num_static_instructions
+        assert profile.dynamic_instructions_per_warp > 0
+        assert abs(sum(profile.opcode_mix.values()) - 1.0) < 1e-9
+
+    def test_memory_fraction_tracks_spec(self, km_workload):
+        profile = characterize(km_workload)
+        # KM: mem_burst 3 + 1 store over a ~17-instruction iteration.
+        assert 0.1 <= profile.global_memory_fraction <= 0.5
+
+    def test_pattern_mix_tracks_spec(self, km_workload):
+        profile = characterize(km_workload)
+        spec = km_workload.spec
+        measured_stream = profile.pattern_mix.get("stream", 0.0)
+        # Store damping keeps measured stream below the raw spec fraction,
+        # but the ordering across classes must hold.
+        assert measured_stream > 0
+        assert abs(measured_stream - spec.stream_frac) < 0.35
+
+    def test_divergent_app_has_overhead(self, config):
+        from repro.workloads.generator import build_workload
+        bf = characterize(build_workload(get_spec("BF"), config, TINY))
+        km = characterize(build_workload(get_spec("KM"), config, TINY))
+        assert bf.divergence_overhead > km.divergence_overhead
+
+    def test_barrier_count(self, config):
+        from repro.workloads.generator import build_workload
+        nw = characterize(build_workload(get_spec("NW"), config, TINY))
+        assert nw.barrier_count >= 1
+
+    def test_summary_lines_render(self, km_workload):
+        lines = list(characterize(km_workload).summary_lines())
+        assert any("opcode mix" in line for line in lines)
+
+
+class TestAblations:
+    def test_bitvector_cache_hit_rate_grows_with_size(self, tiny_runner):
+        res = ablation_bitvector_cache.run(tiny_runner, apps=("KM",),
+                                           sizes=(1, 32))
+        assert res.summary["hit_rate_32"] >= res.summary["hit_rate_1"]
+
+    def test_default_cache_size_saturates(self, tiny_runner):
+        res = ablation_bitvector_cache.run(tiny_runner, apps=("KM",),
+                                           sizes=(32, 64))
+        # Paper V-C: 32 entries are enough; doubling buys (almost) nothing.
+        assert res.summary["hit_rate_64"] - res.summary["hit_rate_32"] < 0.05
+
+    def test_switch_policy_ablation(self, tiny_runner):
+        res = ablation_switch_policy.run(tiny_runner, apps=("KM",),
+                                         thresholds=(40, 640))
+        assert "speedup_park_40" in res.summary
+        assert "speedup_gto" in res.summary
+        assert "speedup_lrr" in res.summary
+
+    def test_pcrf_latency_degrades_gracefully(self, tiny_runner):
+        res = ablation_pcrf_latency.run(tiny_runner, apps=("KM",),
+                                        latencies=(4, 128))
+        fast = res.summary["speedup_lat_4"]
+        slow = res.summary["speedup_lat_128"]
+        assert slow <= fast + 0.05
+        assert slow > 0.7 * fast   # hidden, not collapsed (paper V-E)

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_MODULES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "KM"])
+        assert args.policy == "finereg"
+        assert args.scale == "tiny"
+
+    def test_figure_choices_cover_the_evaluation(self):
+        expected = {"fig02", "fig03", "fig04", "fig05", "table03", "fig12",
+                    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+                    "fig19"}
+        assert set(EXPERIMENT_MODULES) == expected
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "KM", "--policy", "magic"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Breadth-First Search" in out
+        assert "SGEMM" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "PCRF tags" in out
+        assert "KB" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "km", "--policy", "baseline",
+                     "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "completed CTAs" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "nw", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "finereg" in out
+        assert "NW" in out
+
+    def test_figure_with_app_subset(self, capsys):
+        assert main(["figure", "fig03", "--scale", "tiny",
+                     "--apps", "KM,LB"]) == 0
+        out = capsys.readouterr().out
+        assert "fig03" in out

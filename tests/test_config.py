@@ -1,0 +1,139 @@
+"""Tests for the Table-I GPU configuration and scale presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    GPUConfig,
+    PAPER,
+    SCALES,
+    SMALL,
+    TINY,
+    WARP_REGISTER_BYTES,
+    default_config,
+)
+
+
+class TestTableIDefaults:
+    """The defaults must be the paper's Table I verbatim."""
+
+    def test_sm_count(self):
+        assert GPUConfig().num_sms == 16
+
+    def test_clock(self):
+        assert GPUConfig().clock_mhz == 1126
+
+    def test_simd_width(self):
+        assert GPUConfig().simd_width == 32
+
+    def test_warp_limits(self):
+        config = GPUConfig()
+        assert config.max_warps_per_sm == 64
+        assert config.max_threads_per_sm == 2048
+        assert config.max_ctas_per_sm == 32
+
+    def test_schedulers(self):
+        assert GPUConfig().num_warp_schedulers == 4
+
+    def test_memory_sizes(self):
+        config = GPUConfig()
+        assert config.register_file_bytes == 256 * 1024
+        assert config.shared_memory_bytes == 96 * 1024
+        assert config.l1_size_bytes == 48 * 1024
+        assert config.l2_size_bytes == 2048 * 1024
+
+    def test_dram_bandwidth(self):
+        assert GPUConfig().dram_bandwidth_gbps == pytest.approx(352.5)
+
+
+class TestDerivedCapacities:
+    def test_rf_warp_registers(self):
+        assert GPUConfig().rf_warp_registers == 2048
+
+    def test_pcrf_entries_matches_paper(self):
+        # 128 KB PCRF = 1,024 registers (paper V-F: 21 bits x 1,024 tags).
+        assert GPUConfig().pcrf_entries == 1024
+
+    def test_acrf_plus_pcrf_is_whole_rf(self):
+        config = GPUConfig()
+        assert config.acrf_entries + config.pcrf_entries \
+            == config.rf_warp_registers
+
+    def test_dram_bytes_per_cycle(self):
+        config = GPUConfig()
+        expected = 352.5e9 / (1126e6)
+        assert config.dram_bytes_per_cycle == pytest.approx(expected)
+
+
+class TestValidation:
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ValueError):
+            GPUConfig(num_sms=0)
+
+    def test_rejects_unaligned_rf(self):
+        with pytest.raises(ValueError):
+            GPUConfig(register_file_bytes=100)
+
+    def test_rejects_pcrf_as_large_as_rf(self):
+        with pytest.raises(ValueError):
+            GPUConfig(pcrf_bytes=256 * 1024)
+
+    def test_rejects_warp_thread_mismatch(self):
+        with pytest.raises(ValueError):
+            GPUConfig(max_warps_per_sm=128, max_threads_per_sm=2048)
+
+
+class TestVariants:
+    def test_scheduling_scale(self):
+        config = GPUConfig().with_scheduling_scale(2.0)
+        assert config.max_ctas_per_sm == 64
+        assert config.max_warps_per_sm == 128
+        assert config.max_threads_per_sm == 4096
+        # Memory untouched.
+        assert config.register_file_bytes == 256 * 1024
+
+    def test_memory_scale(self):
+        config = GPUConfig().with_memory_scale(1.5)
+        assert config.register_file_bytes == 384 * 1024
+        assert config.shared_memory_bytes == 144 * 1024
+        assert config.max_ctas_per_sm == 32
+
+    def test_memory_scale_keeps_alignment(self):
+        config = GPUConfig().with_memory_scale(1.3)
+        assert config.register_file_bytes % WARP_REGISTER_BYTES == 0
+
+    def test_rf_split(self):
+        config = GPUConfig().with_rf_split(160, 96)
+        assert config.pcrf_bytes == 96 * 1024
+        assert config.acrf_entries == 160 * 1024 // WARP_REGISTER_BYTES
+
+    def test_rf_split_must_sum_to_rf(self):
+        with pytest.raises(ValueError):
+            GPUConfig().with_rf_split(128, 96)
+
+    def test_num_sms_scales_bandwidth(self):
+        config = GPUConfig().with_num_sms(4)
+        assert config.num_sms == 4
+        assert config.dram_bandwidth_gbps == pytest.approx(352.5 / 4)
+
+    def test_variants_are_fresh_instances(self):
+        base = GPUConfig()
+        assert base.with_num_sms(2) is not base
+        assert dataclasses.asdict(base) == dataclasses.asdict(GPUConfig())
+
+
+class TestScales:
+    def test_presets_registered(self):
+        assert set(SCALES) == {"tiny", "small", "paper"}
+
+    def test_scale_ordering(self):
+        assert TINY.trace_scale < SMALL.trace_scale < PAPER.trace_scale
+        assert TINY.num_sms <= SMALL.num_sms <= PAPER.num_sms
+
+    def test_grid_size(self):
+        assert SMALL.grid_size(2) == SMALL.grid_ctas_per_sm * 2
+
+    def test_default_config_uses_scale_sms(self):
+        assert default_config(TINY).num_sms == TINY.num_sms
+        assert default_config(SMALL).num_sms == SMALL.num_sms

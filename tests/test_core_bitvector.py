@@ -1,0 +1,81 @@
+"""Tests for the 64-bit live-register bit vectors."""
+
+import pytest
+
+from repro.config import MAX_REGS_PER_THREAD
+from repro.core.bitvector import (
+    BITVECTOR_STORAGE_BYTES,
+    EMPTY,
+    LiveBitVector,
+)
+
+
+class TestConstruction:
+    def test_from_registers(self):
+        vec = LiveBitVector.from_registers([0, 3, 63])
+        assert vec.is_live(0) and vec.is_live(3) and vec.is_live(63)
+        assert not vec.is_live(1)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            LiveBitVector.from_registers([64])
+        with pytest.raises(ValueError):
+            LiveBitVector(1 << 64)
+
+    def test_empty_is_falsy(self):
+        assert not EMPTY
+        assert LiveBitVector.from_registers([5])
+
+    def test_storage_constant_matches_paper(self):
+        # 4-byte PC + 64-bit vector = 12 bytes per static instruction (V-F).
+        assert BITVECTOR_STORAGE_BYTES == 12
+
+
+class TestQueries:
+    def test_registers_sorted(self):
+        vec = LiveBitVector.from_registers([9, 2, 40])
+        assert vec.registers() == (2, 9, 40)
+
+    def test_count_is_popcount(self):
+        assert LiveBitVector.from_registers(range(10)).count() == 10
+        assert EMPTY.count() == 0
+
+    def test_iteration(self):
+        assert list(LiveBitVector.from_registers([1, 2])) == [1, 2]
+
+    def test_is_live_range_checked(self):
+        with pytest.raises(ValueError):
+            EMPTY.is_live(MAX_REGS_PER_THREAD)
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = LiveBitVector.from_registers([1, 2])
+        b = LiveBitVector.from_registers([2, 3])
+        assert (a | b).registers() == (1, 2, 3)
+
+    def test_intersect(self):
+        a = LiveBitVector.from_registers([1, 2])
+        b = LiveBitVector.from_registers([2, 3])
+        assert (a & b).registers() == (2,)
+
+    def test_minus(self):
+        a = LiveBitVector.from_registers([1, 2, 3])
+        b = LiveBitVector.from_registers([2])
+        assert (a - b).registers() == (1, 3)
+
+    def test_with_register(self):
+        assert EMPTY.with_register(7).registers() == (7,)
+
+    def test_without_register(self):
+        vec = LiveBitVector.from_registers([7, 8])
+        assert vec.without_register(7).registers() == (8,)
+
+    def test_without_absent_register_is_noop(self):
+        vec = LiveBitVector.from_registers([7])
+        assert vec.without_register(8) == vec
+
+    def test_immutability(self):
+        vec = LiveBitVector.from_registers([1])
+        vec.with_register(2)
+        assert vec.registers() == (1,)

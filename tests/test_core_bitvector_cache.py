@@ -1,0 +1,84 @@
+"""Tests for the RMU's live bit-vector cache (paper V-C, Fig 10)."""
+
+import pytest
+
+from repro.core.bitvector import LiveBitVector
+from repro.core.bitvector_cache import BitVectorCache
+
+
+def vec(*regs):
+    return LiveBitVector.from_registers(regs)
+
+
+class TestStructure:
+    def test_default_is_32_entries(self):
+        assert BitVectorCache().num_entries == 32
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            BitVectorCache(12)
+        with pytest.raises(ValueError):
+            BitVectorCache(0)
+
+    def test_storage_matches_paper(self):
+        # 32 entries x 12 bytes = 384 bytes (paper V-F).
+        assert BitVectorCache(32).storage_bytes == 384
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = BitVectorCache()
+        assert cache.lookup(0x40) is None
+        cache.fill(0x40, vec(1, 2))
+        assert cache.lookup(0x40) == vec(1, 2)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_conflicting_pcs_evict(self):
+        cache = BitVectorCache(32)
+        # Two PCs mapping to the same index conflict (direct-mapped).
+        pc_a = 0
+        pc_b = None
+        for candidate in range(4, 1 << 16, 4):
+            if cache._index_of(candidate) == cache._index_of(pc_a):
+                pc_b = candidate
+                break
+        assert pc_b is not None
+        cache.fill(pc_a, vec(1))
+        cache.fill(pc_b, vec(2))
+        assert cache.lookup(pc_a) is None      # evicted
+        assert cache.lookup(pc_b) == vec(2)
+
+    def test_contains_does_not_count(self):
+        cache = BitVectorCache()
+        cache.fill(0x10, vec(3))
+        before = cache.stats.accesses
+        assert cache.contains(0x10)
+        assert not cache.contains(0x20)
+        assert cache.stats.accesses == before
+
+    def test_flush(self):
+        cache = BitVectorCache()
+        cache.fill(0x10, vec(3))
+        cache.flush()
+        assert not cache.contains(0x10)
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = BitVectorCache()
+        cache.lookup(0x0)            # miss
+        cache.fill(0x0, vec(1))
+        cache.lookup(0x0)            # hit
+        cache.lookup(0x0)            # hit
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_miss_traffic(self):
+        cache = BitVectorCache()
+        cache.lookup(0x0)
+        cache.lookup(0x4)
+        # Each miss fetches a 12-byte vector from off-chip memory.
+        assert cache.stats.miss_traffic_bytes == 24
+
+    def test_empty_hit_rate_is_zero(self):
+        assert BitVectorCache().stats.hit_rate == 0.0

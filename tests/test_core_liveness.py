@@ -1,0 +1,149 @@
+"""Tests for the compile-time liveness analysis (paper V-A, Figs 7 and 9)."""
+
+import pytest
+
+from conftest import build_branch_cfg, build_loop_cfg, liveness_for
+from repro.core.liveness import LivenessAnalysis
+from repro.isa.cfg import ControlFlowGraph, EdgeKind
+from repro.isa.instructions import AccessPattern, Instruction, Opcode
+
+
+def straightline_cfg():
+    """Mirrors the paper's Fig 7 example structure:
+
+    0x00: FALU R1 <- R0       (R0 live-in, dies here as source... )
+    0x04: IALU R2 <- R1
+    0x08: FALU R3 <- R2, R1
+    0x0c: STG  (R3, R0)
+    0x10: EXIT
+    """
+    cfg = ControlFlowGraph()
+    cfg.add_block([
+        Instruction(Opcode.FALU, 1, (0,)),
+        Instruction(Opcode.IALU, 2, (1,)),
+        Instruction(Opcode.FALU, 3, (2, 1)),
+    ], EdgeKind.FALLTHROUGH, successors=(1,))
+    cfg.add_block([
+        Instruction(Opcode.STG, None, (3, 0), AccessPattern.STREAM),
+        Instruction(Opcode.EXIT),
+    ], EdgeKind.EXIT)
+    return cfg.freeze()
+
+
+class TestStraightLine:
+    def test_live_at_entry(self):
+        table = liveness_for(straightline_cfg())
+        # At pc 0: R0 is read now and again by the store -> live.
+        # R1, R2, R3 are defined before use -> dead.
+        assert table.live_at_pc(0).registers() == (0,)
+
+    def test_live_before_store(self):
+        table = liveness_for(straightline_cfg())
+        # At the STG (index 3): its sources R3 and R0 are live.
+        assert table.live_at_index(3).registers() == (0, 3)
+
+    def test_dest_kills_liveness(self):
+        table = liveness_for(straightline_cfg())
+        # At index 1 (IALU R2 <- R1): R1 live (src now and at index 2),
+        # R0 live (store), R2 dead (being written), R3 dead.
+        assert table.live_at_index(1).registers() == (0, 1)
+
+    def test_exit_has_no_live_registers_beyond_uses(self):
+        table = liveness_for(straightline_cfg())
+        assert table.live_at_index(4).count() == 0
+
+
+class TestFig7Rule:
+    """"A register is alive if used as a source of any following instruction
+    until used again as a destination."""
+
+    def test_redefinition_ends_live_range(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block([
+            Instruction(Opcode.IALU, 1, (0,)),   # uses R0
+            Instruction(Opcode.IALU, 0, (1,)),   # redefines R0
+            Instruction(Opcode.IALU, 2, (0,)),   # uses new R0
+        ], EdgeKind.FALLTHROUGH, successors=(1,))
+        cfg.add_block([Instruction(Opcode.EXIT)], EdgeKind.EXIT)
+        table = liveness_for(cfg.freeze())
+        # At index 1: R0 about to be overwritten -> only R1 live.
+        assert table.live_at_index(1).registers() == (1,)
+        # At index 0: old R0 is read by instruction 0 itself -> live.
+        assert 0 in table.live_at_index(0).registers()
+
+
+class TestBranches:
+    def test_branch_merges_both_paths(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block([
+            Instruction(Opcode.IALU, 0, ()),
+            Instruction(Opcode.BRA, None, (0,)),
+        ], EdgeKind.BRANCH, successors=(1, 2))
+        cfg.add_block([
+            Instruction(Opcode.FALU, 3, (1,)),   # left arm reads R1
+        ], EdgeKind.FALLTHROUGH, successors=(3,))
+        cfg.add_block([
+            Instruction(Opcode.FALU, 3, (2,)),   # right arm reads R2
+        ], EdgeKind.FALLTHROUGH, successors=(3,))
+        cfg.add_block([
+            Instruction(Opcode.STG, None, (3, 0), AccessPattern.STREAM),
+            Instruction(Opcode.EXIT),
+        ], EdgeKind.EXIT)
+        table = liveness_for(cfg.freeze())
+        # At the branch (index 1) both arms' reads are may-live.
+        live = set(table.live_at_index(1).registers())
+        assert {1, 2}.issubset(live)
+
+    def test_arm_only_sees_its_own_path(self):
+        cfg = build_branch_cfg()
+        table = liveness_for(cfg)
+        # Inside arm 1 (reads R0, defines R1): R2 (other arm's def src) is
+        # not live because the reconvergence block only reads R0.
+        arm1_index = cfg.first_index(1)
+        assert 2 not in table.live_at_index(arm1_index).registers()
+
+
+class TestLoops:
+    def test_loop_carried_liveness(self):
+        cfg = build_loop_cfg()
+        table = liveness_for(cfg)
+        # R0 (the loop base pointer loaded in the prologue) is read every
+        # iteration and by the epilogue store -> live throughout the body.
+        body_first = cfg.first_index(1)
+        assert 0 in table.live_at_index(body_first).registers()
+
+    def test_fixpoint_terminates_and_is_consistent(self):
+        cfg = build_loop_cfg()
+        table_a = liveness_for(cfg)
+        table_b = liveness_for(cfg)
+        assert table_a.vectors == table_b.vectors
+
+
+class TestTableProperties:
+    def test_storage_bytes(self):
+        cfg = straightline_cfg()
+        table = liveness_for(cfg)
+        assert table.storage_bytes == 12 * cfg.num_instructions
+
+    def test_mean_live_fraction_bounds(self, km_workload):
+        table = km_workload.liveness
+        assert 0.0 < table.mean_live_fraction() < 1.0
+
+    def test_live_at_pc_rejects_bad_pc(self):
+        table = liveness_for(straightline_cfg())
+        with pytest.raises(ValueError):
+            table.live_at_pc(3)
+
+    def test_blocks_visited_counts(self):
+        cfg = build_branch_cfg()
+        analysis = LivenessAnalysis(cfg)
+        # From the branch head every block is reachable.
+        assert analysis.blocks_visited_from(0) == 4
+        # From one arm: the arm itself plus the reconvergence tail.
+        assert analysis.blocks_visited_from(1) == 2
+
+    def test_loop_visited_once(self):
+        cfg = build_loop_cfg()
+        analysis = LivenessAnalysis(cfg)
+        # Body + exit from the body; the back edge adds no revisits (Fig 9b).
+        assert analysis.blocks_visited_from(1) == 2

@@ -1,0 +1,108 @@
+"""Tests for the register management unit (paper V-C/V-E)."""
+
+import pytest
+
+from conftest import liveness_for
+from repro.core.pcrf import PCRF
+from repro.core.rmu import RegisterManagementUnit
+from repro.isa.cfg import ControlFlowGraph, EdgeKind
+from repro.isa.instructions import AccessPattern, Instruction, Opcode
+
+
+def two_reg_cfg():
+    """Kernel where pc 0 has live set {R0, R1} and pc 8 has {R3}."""
+    cfg = ControlFlowGraph()
+    cfg.add_block([
+        Instruction(Opcode.FALU, 2, (0, 1)),
+        Instruction(Opcode.FALU, 3, (2,)),
+        Instruction(Opcode.STG, None, (3,), AccessPattern.STREAM),
+    ], EdgeKind.FALLTHROUGH, successors=(1,))
+    cfg.add_block([Instruction(Opcode.EXIT)], EdgeKind.EXIT)
+    return cfg.freeze()
+
+
+@pytest.fixture
+def rmu():
+    table = liveness_for(two_reg_cfg())
+    return RegisterManagementUnit(PCRF(16), table, cache_entries=8,
+                                  pcrf_access_latency=4, dram_latency=100)
+
+
+class TestLiveDecoding:
+    def test_first_access_misses_cache(self, rmu):
+        vector, latency = rmu.live_vector_at(0)
+        assert vector.registers() == (0, 1)
+        assert latency == 100
+
+    def test_second_access_hits(self, rmu):
+        rmu.live_vector_at(0)
+        __, latency = rmu.live_vector_at(0)
+        assert latency == 0
+
+    def test_live_set_decodes_per_warp(self, rmu):
+        live, latency, misses = rmu.live_set_of([(0, 0), (1, 0)])
+        assert live == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        assert misses == 1  # same pc: second warp hits the cache
+
+    def test_live_count_matches_decode(self, rmu):
+        assert rmu.live_count_of([(0, 0), (1, 8)]) == 3
+
+
+class TestSpillRestore:
+    def test_spill_then_restore_round_trip(self, rmu):
+        live, lat, __ = rmu.live_set_of([(0, 0)])
+        cost = rmu.spill(7, live, lat)
+        assert rmu.holds(7)
+        assert rmu.pending_live_count(7) == 2
+        assert cost.cycles >= 4 + 1   # pipelined chain + fetch latency
+        restore = rmu.restore(7)
+        assert not rmu.holds(7)
+        assert restore.cycles == 4 + 1  # 2 registers, pipelined
+
+    def test_empty_live_set_gets_placeholder(self, rmu):
+        cost = rmu.spill(1, [], 0)
+        assert rmu.pending_live_count(1) == 1
+        assert cost.cycles == 4
+
+    def test_stats_track_registers(self, rmu):
+        live, lat, __ = rmu.live_set_of([(0, 0)])
+        rmu.spill(3, live, lat)
+        rmu.restore(3)
+        assert rmu.stats.spills == 1
+        assert rmu.stats.restores == 1
+        assert rmu.stats.spilled_registers == 2
+        assert rmu.stats.restored_registers == 2
+        assert rmu.stats.transfers == 2
+
+    def test_restore_unknown_rejected(self, rmu):
+        with pytest.raises(KeyError):
+            rmu.restore(12)
+
+
+class TestFeasibility:
+    def test_can_spill_against_free_space(self, rmu):
+        assert rmu.can_spill(16)
+        assert not rmu.can_spill(17)
+
+    def test_eviction_credit(self, rmu):
+        live = [(0, r) for r in range(10)]
+        rmu.spill(1, live, 0)
+        assert not rmu.can_spill(10)             # only 6 free
+        assert rmu.can_spill(16, restoring_cta=1)  # +10 credit
+
+    def test_transfer_cycles_pipelined(self, rmu):
+        assert rmu._transfer_cycles(0) == 0
+        assert rmu._transfer_cycles(1) == 4
+        assert rmu._transfer_cycles(10) == 13
+
+    def test_pointer_table_budget(self, rmu):
+        # 128 lines x 16 bits = 256 bytes (paper V-F).
+        assert rmu.pointer_table_bytes == 256
+
+
+class TestKernelSwap:
+    def test_set_liveness_flushes_cache(self, rmu):
+        rmu.live_vector_at(0)
+        assert rmu.bitvector_cache.contains(0)
+        rmu.set_liveness(liveness_for(two_reg_cfg()))
+        assert not rmu.bitvector_cache.contains(0)

@@ -1,0 +1,130 @@
+"""Tests for the CTA status monitor (paper V-B, Table IV)."""
+
+import pytest
+
+from repro.core.status_monitor import (
+    CTAStatusMonitor,
+    ContextLocation,
+    RegisterLocation,
+)
+
+
+class TestTableIVEncoding:
+    """The 2-bit encodings must match paper Table IV exactly."""
+
+    def test_context_encoding(self):
+        assert ContextLocation.NOT_LAUNCHED == 0
+        assert ContextLocation.SHARED_MEMORY == 1
+        assert ContextLocation.PIPELINE == 2
+
+    def test_register_encoding(self):
+        assert RegisterLocation.NOT_LAUNCHED == 0
+        assert RegisterLocation.PCRF == 1
+        assert RegisterLocation.ACRF == 2
+
+    def test_active_requires_both_fields_two(self):
+        monitor = CTAStatusMonitor()
+        monitor.launch(0)
+        assert monitor.is_active(0)
+        monitor.set_context(0, ContextLocation.SHARED_MEMORY)
+        assert not monitor.is_active(0)
+        monitor.set_context(0, ContextLocation.PIPELINE)
+        monitor.set_registers(0, RegisterLocation.PCRF)
+        assert not monitor.is_active(0)
+
+
+class TestLifecycle:
+    def test_launch_sets_pipeline_acrf(self):
+        monitor = CTAStatusMonitor()
+        monitor.launch(7)
+        status = monitor.status_of(7)
+        assert status.context is ContextLocation.PIPELINE
+        assert status.registers is RegisterLocation.ACRF
+        assert status.is_active
+
+    def test_untracked_reads_as_not_launched(self):
+        monitor = CTAStatusMonitor()
+        status = monitor.status_of(99)
+        assert status.context is ContextLocation.NOT_LAUNCHED
+        assert not status.is_active
+        assert not status.is_pending
+
+    def test_retire_frees_slot(self):
+        monitor = CTAStatusMonitor(max_ctas=1)
+        monitor.launch(1)
+        monitor.retire(1)
+        monitor.launch(2)  # slot recycled
+        assert monitor.resident_count == 1
+
+    def test_capacity_enforced(self):
+        monitor = CTAStatusMonitor(max_ctas=2)
+        monitor.launch(1)
+        monitor.launch(2)
+        with pytest.raises(MemoryError):
+            monitor.launch(3)
+
+    def test_double_launch_rejected(self):
+        monitor = CTAStatusMonitor()
+        monitor.launch(1)
+        with pytest.raises(KeyError):
+            monitor.launch(1)
+
+    def test_set_on_untracked_rejected(self):
+        monitor = CTAStatusMonitor()
+        with pytest.raises(KeyError):
+            monitor.set_context(5, ContextLocation.PIPELINE)
+
+    def test_cannot_set_not_launched(self):
+        monitor = CTAStatusMonitor()
+        monitor.launch(1)
+        with pytest.raises(ValueError):
+            monitor.set_context(1, ContextLocation.NOT_LAUNCHED)
+        with pytest.raises(ValueError):
+            monitor.set_registers(1, RegisterLocation.NOT_LAUNCHED)
+
+    def test_active_and_pending_partitions(self):
+        monitor = CTAStatusMonitor()
+        monitor.launch(1)
+        monitor.launch(2)
+        monitor.set_context(2, ContextLocation.SHARED_MEMORY)
+        monitor.set_registers(2, RegisterLocation.PCRF)
+        assert monitor.active_ctas() == (1,)
+        assert monitor.pending_ctas() == (2,)
+
+
+class TestSwitchPriority:
+    """Paper V-B: prefer (context=1, register=2), then (1, 1)."""
+
+    def _pending(self, monitor, cta_id, registers):
+        monitor.launch(cta_id)
+        monitor.set_context(cta_id, ContextLocation.SHARED_MEMORY)
+        monitor.set_registers(cta_id, registers)
+
+    def test_prefers_registers_still_in_acrf(self):
+        monitor = CTAStatusMonitor()
+        self._pending(monitor, 1, RegisterLocation.PCRF)
+        self._pending(monitor, 2, RegisterLocation.ACRF)
+        assert monitor.select_switch_candidate([1, 2]) == 2
+
+    def test_falls_back_to_pcrf_candidates(self):
+        monitor = CTAStatusMonitor()
+        self._pending(monitor, 1, RegisterLocation.PCRF)
+        self._pending(monitor, 2, RegisterLocation.PCRF)
+        assert monitor.select_switch_candidate([1, 2]) == 1  # oldest
+
+    def test_no_candidates(self):
+        monitor = CTAStatusMonitor()
+        monitor.launch(1)  # active, not a switch candidate
+        assert monitor.select_switch_candidate([1]) is None
+
+    def test_ties_break_by_lowest_id(self):
+        monitor = CTAStatusMonitor()
+        self._pending(monitor, 9, RegisterLocation.ACRF)
+        self._pending(monitor, 3, RegisterLocation.ACRF)
+        assert monitor.select_switch_candidate([9, 3]) == 3
+
+
+class TestStorage:
+    def test_storage_bits_match_paper(self):
+        # 2 bits/CTA x 128 CTAs per field, two fields = 512 bits (V-F).
+        assert CTAStatusMonitor(128).storage_bits == 512

@@ -1,0 +1,61 @@
+"""Energy-model integration tests over real simulation results."""
+
+import pytest
+
+from repro.energy.model import EnergyConstants, EnergyModel
+
+
+class TestBreakdownShape:
+    def test_leakage_is_material(self, tiny_runner):
+        """Fig 16's savings come largely from leakage: it must be a
+        first-order component of the baseline breakdown."""
+        model = EnergyModel()
+        base = tiny_runner.run("KM", "baseline")
+        breakdown = model.evaluate(base)
+        assert breakdown.leakage / breakdown.total > 0.10
+
+    def test_finereg_components_only_for_finereg(self, tiny_runner):
+        model = EnergyModel()
+        base = model.evaluate(tiny_runner.run("KM", "baseline"))
+        fine = model.evaluate(tiny_runner.run("KM", "finereg"))
+        assert base.finereg == 0.0
+        assert base.cta_switching == 0.0
+        assert fine.finereg > 0.0
+        assert fine.cta_switching > 0.0
+
+    def test_vt_has_switching_but_no_pcrf_energy(self, tiny_runner):
+        model = EnergyModel()
+        vt = model.evaluate(tiny_runner.run("KM", "virtual_thread"))
+        assert vt.finereg == 0.0        # no PCRF accesses
+        assert vt.cta_switching > 0.0   # but it does switch
+
+    def test_speedup_translates_to_energy_saving(self, tiny_runner):
+        """When FineReg is materially faster, it must also use less energy
+        (leakage dominates the delta) -- the Fig 16 causal chain."""
+        model = EnergyModel()
+        base = tiny_runner.run("KM", "baseline")
+        fine = tiny_runner.run("KM", "finereg")
+        speedup = fine.ipc / base.ipc
+        if speedup > 1.1:
+            assert model.energy_ratio(fine, base) < 1.0
+
+    def test_dram_energy_tracks_traffic(self, tiny_runner):
+        model = EnergyModel()
+        rd = tiny_runner.run("LB", "reg_dram", dram_pending_limit=4)
+        vt = tiny_runner.run("LB", "virtual_thread")
+        if rd.dram_traffic_bytes > vt.dram_traffic_bytes:
+            assert model.evaluate(rd).dram_dyn > model.evaluate(vt).dram_dyn
+
+
+class TestCustomConstants:
+    def test_scaling_a_constant_scales_the_component(self, tiny_runner):
+        base = tiny_runner.run("KM", "baseline")
+        cheap = EnergyModel(EnergyConstants(dram_pj_per_byte=1.0))
+        pricey = EnergyModel(EnergyConstants(dram_pj_per_byte=100.0))
+        assert pricey.evaluate(base).dram_dyn \
+            == pytest.approx(100 * cheap.evaluate(base).dram_dyn)
+
+    def test_zero_leakage_allowed(self, tiny_runner):
+        base = tiny_runner.run("KM", "baseline")
+        model = EnergyModel(EnergyConstants(leakage_pj_per_cycle_per_sm=0.0))
+        assert model.evaluate(base).leakage == 0.0

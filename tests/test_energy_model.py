@@ -1,0 +1,92 @@
+"""Tests for the energy model (paper Fig 16)."""
+
+import pytest
+
+from repro.energy.model import EnergyBreakdown, EnergyConstants, EnergyModel
+from repro.sim.stats import SimResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        policy="baseline", workload="unit", cycles=1000, instructions=2000,
+        num_sms=1, avg_active_ctas_per_sm=4.0, avg_pending_ctas_per_sm=0.0,
+        max_resident_ctas=4, avg_active_threads_per_sm=128.0,
+        dram_traffic_bytes=10_000, dram_traffic_by_class={},
+        l1_hit_rate=0.5, l2_hit_rate=0.5, idle_cycles=100,
+        rf_depletion_cycles=0, srp_stall_cycles=0, cta_switch_events=0,
+        rf_reads=4000, rf_writes=1500, pcrf_reads=0, pcrf_writes=0,
+        shmem_accesses=100, l1_accesses=500, l2_accesses=200,
+        mean_stall_latency=None, window_usage_bounds=None,
+        bitvector_hit_rate=None, completed_ctas=4, timed_out=False,
+    )
+    defaults.update(overrides)
+    return SimResult(**defaults)
+
+
+class TestConstants:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyConstants(dram_pj_per_byte=-1.0)
+
+
+class TestBreakdown:
+    def test_total_is_sum_of_components(self):
+        model = EnergyModel()
+        breakdown = model.evaluate(make_result())
+        assert breakdown.total == pytest.approx(
+            breakdown.dram_dyn + breakdown.rf_dyn + breakdown.others_dyn
+            + breakdown.leakage + breakdown.finereg
+            + breakdown.cta_switching)
+
+    def test_component_formulas(self):
+        constants = EnergyConstants()
+        model = EnergyModel(constants)
+        result = make_result()
+        breakdown = model.evaluate(result)
+        assert breakdown.dram_dyn == 10_000 * constants.dram_pj_per_byte
+        assert breakdown.rf_dyn == 5500 * constants.rf_pj_per_access
+        assert breakdown.leakage == 1000 * constants.leakage_pj_per_cycle_per_sm
+        assert breakdown.finereg == 0.0
+        assert breakdown.cta_switching == 0.0
+
+    def test_finereg_components_counted(self):
+        model = EnergyModel()
+        breakdown = model.evaluate(
+            make_result(pcrf_reads=100, pcrf_writes=100,
+                        cta_switch_events=10))
+        assert breakdown.finereg > 0
+        assert breakdown.cta_switching > 0
+
+    def test_as_dict_matches_fig16_legend(self):
+        keys = set(EnergyModel().evaluate(make_result()).as_dict())
+        assert keys == {"DRAM_Dyn", "RF_Dyn", "Others_Dyn", "Leakage",
+                        "FineReg", "CTA_Switching"}
+
+
+class TestComparisons:
+    def test_faster_run_uses_less_leakage(self):
+        model = EnergyModel()
+        slow = model.evaluate(make_result(cycles=2000))
+        fast = model.evaluate(make_result(cycles=1000))
+        assert fast.leakage < slow.leakage
+        assert fast.total < slow.total
+
+    def test_energy_ratio(self):
+        model = EnergyModel()
+        base = make_result(cycles=2000)
+        improved = make_result(cycles=1000)
+        assert model.energy_ratio(improved, base) < 1.0
+
+    def test_normalized_to(self):
+        model = EnergyModel()
+        base = model.evaluate(make_result())
+        normalized = base.normalized_to(base)
+        assert sum(normalized.values()) == pytest.approx(1.0)
+
+    def test_end_to_end_finereg_saves_energy(self, tiny_runner):
+        """Fig 16's headline: the speedup turns into an energy win."""
+        model = EnergyModel()
+        base = tiny_runner.run("KM", "baseline")
+        fine = tiny_runner.run("KM", "finereg")
+        if fine.ipc > base.ipc * 1.02:
+            assert model.energy_ratio(fine, base) < 1.02

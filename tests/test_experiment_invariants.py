@@ -1,0 +1,65 @@
+"""Row-level invariants of the experiment modules and the public API."""
+
+import pytest
+
+from repro import quick_run
+from repro.config import TINY
+from repro.experiments import fig13_performance, fig16_energy
+from repro.experiments.common import (
+    ALL_APPS,
+    MEMORY_INTENSIVE_APPS,
+    TRAFFIC_APPS,
+    TYPE_R_APPS,
+    TYPE_S_APPS,
+)
+
+
+class TestAppGroupDefinitions:
+    def test_groups_partition_the_suite(self):
+        assert len(ALL_APPS) == 18
+        assert set(TYPE_S_APPS) | set(TYPE_R_APPS) == set(ALL_APPS)
+        assert not set(TYPE_S_APPS) & set(TYPE_R_APPS)
+
+    def test_named_subsets_are_valid(self):
+        assert set(MEMORY_INTENSIVE_APPS) <= set(ALL_APPS)
+        assert set(TRAFFIC_APPS) <= set(ALL_APPS)
+        # Paper VI-D names KM, SY2, BF; VI-E names FD, NW, ST.
+        assert set(MEMORY_INTENSIVE_APPS) == {"KM", "SY2", "BF"}
+        assert set(TRAFFIC_APPS) == {"FD", "NW", "ST"}
+
+
+class TestRowInvariants:
+    def test_fig13_baseline_column_is_unity(self, tiny_runner):
+        res = fig13_performance.run(tiny_runner, apps=("KM",))
+        for row in res.rows:
+            assert row[1] == pytest.approx(1.0)
+            # All speedup cells are positive.
+            assert all(cell > 0 for cell in row[1:])
+
+    def test_fig16_baseline_column_is_unity(self, tiny_runner):
+        res = fig16_energy.run(tiny_runner, apps=("KM",))
+        for row in res.rows:
+            assert row[1] == pytest.approx(1.0)
+
+    def test_fig16_breakdown_components_sum_to_ratio(self, tiny_runner):
+        res = fig16_energy.run(tiny_runner, apps=("KM",))
+        components = [res.summary[f"baseline_{c.lower()}"]
+                      for c in ("DRAM_Dyn", "RF_Dyn", "Others_Dyn",
+                                "Leakage", "FineReg", "CTA_Switching")]
+        assert sum(components) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestPublicAPI:
+    def test_quick_run_defaults(self):
+        result = quick_run("NW", scale=TINY)
+        assert result.policy == "finereg"
+        assert result.workload == "NW"
+
+    def test_quick_run_policy_choice(self):
+        result = quick_run("NW", "baseline", TINY)
+        assert result.policy == "baseline"
+
+    def test_package_exports(self):
+        import repro
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

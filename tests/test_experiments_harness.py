@@ -1,0 +1,186 @@
+"""Tests for the experiment runner, report helpers, and the figure modules
+(smoke runs over a reduced app set at tiny scale)."""
+
+import pytest
+
+from repro.config import TINY
+from repro.experiments import (
+    fig02_resources,
+    fig03_cta_overhead,
+    fig04_case_study,
+    fig05_register_usage,
+    fig12_concurrent_ctas,
+    fig13_performance,
+    fig14_rf_stalls,
+    fig15_memory_traffic,
+    fig16_energy,
+    fig17_rf_sensitivity,
+    fig18_sm_scaling,
+    fig19_unified_memory,
+    table03_stall_time,
+)
+from repro.experiments.common import best_reg_dram, best_regmutex
+from repro.experiments.report import (
+    arithmean,
+    format_table,
+    geomean,
+    normalize_to,
+)
+from repro.experiments.runner import ExperimentRunner
+
+APPS = ("KM", "LB")
+
+
+class TestReportHelpers:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_arithmean(self):
+        assert arithmean([1.0, 3.0]) == 2.0
+
+    def test_normalize_to(self):
+        out = normalize_to({"a": 2.0, "b": 4.0}, "a")
+        assert out == {"a": 1.0, "b": 2.0}
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["x", 1.23456]],
+                            title="T", precision=2)
+        assert "T" in text
+        assert "1.23" in text
+        assert "1.235" not in text
+
+
+class TestRunner:
+    def test_memoization(self, tiny_runner):
+        first = tiny_runner.run("KM", "baseline")
+        second = tiny_runner.run("KM", "baseline")
+        assert first is second
+
+    def test_distinct_configs_not_conflated(self, tiny_runner):
+        base = tiny_runner.run("KM", "baseline")
+        scaled = tiny_runner.run(
+            "KM", "baseline",
+            config=tiny_runner.base_config.with_memory_scale(2.0))
+        assert base is not scaled
+
+    def test_unknown_policy(self, tiny_runner):
+        with pytest.raises(KeyError):
+            tiny_runner.run("KM", "nonsense")
+
+    def test_unknown_app(self, tiny_runner):
+        with pytest.raises(KeyError):
+            tiny_runner.run("ZZ", "baseline")
+
+    def test_workload_grid_independent_of_resource_scaling(self, tiny_runner):
+        plain = tiny_runner.workload("KM")
+        scaled = tiny_runner.workload(
+            "KM", tiny_runner.base_config.with_memory_scale(2.0))
+        assert plain is scaled
+
+    def test_sweeps(self, tiny_runner):
+        rd = best_reg_dram(tiny_runner, "KM", limits=(0, 2))
+        vt = tiny_runner.run("KM", "virtual_thread")
+        assert rd.ipc >= vt.ipc * 0.999  # limit 0 == VT is the floor
+        rm, ratio = best_regmutex(tiny_runner, "KM", ratios=(0.2, 0.35))
+        assert ratio in (0.2, 0.35)
+
+
+class TestFigureModules:
+    """Each module must run end to end and produce its summary keys."""
+
+    def test_fig02(self, tiny_runner):
+        res = fig02_resources.run(tiny_runner, apps=APPS)
+        assert "type_s_sched_x2" in res.summary
+        assert len(res.rows) == len(APPS)
+
+    def test_fig03(self, tiny_runner):
+        res = fig03_cta_overhead.run(tiny_runner)
+        assert len(res.rows) == 18
+        assert 0.7 < res.summary["register_share"] <= 1.0
+
+    def test_fig04(self, tiny_runner):
+        res = fig04_case_study.run(tiny_runner)
+        labels = [row[0] for row in res.rows]
+        assert labels == ["Baseline", "Full RF", "Full RF + DRAM", "Ideal"]
+        assert res.summary["full_rf_speedup"] > 0
+
+    def test_fig05(self, tiny_runner):
+        res = fig05_register_usage.run(tiny_runner, apps=APPS)
+        assert 0.0 < res.summary["mean_usage"] <= 1.0
+        for __, low, mean, high in res.rows:
+            assert 0.0 <= low <= mean <= high <= 1.0
+
+    def test_table03(self, tiny_runner):
+        res = table03_stall_time.run(tiny_runner, apps=APPS)
+        assert res.summary["apps_with_stalls"] >= 1
+
+    def test_fig12(self, tiny_runner):
+        res = fig12_concurrent_ctas.run(tiny_runner, apps=APPS)
+        assert res.summary["finereg_cta_ratio"] >= 1.0
+
+    def test_fig13(self, tiny_runner):
+        res = fig13_performance.run(tiny_runner, apps=APPS)
+        assert "finereg_speedup" in res.summary
+        # Baseline column is exactly 1.0 by construction.
+        for row in res.rows:
+            assert row[1] == pytest.approx(1.0)
+
+    def test_fig14(self, tiny_runner):
+        res = fig14_rf_stalls.run(tiny_runner, apps=("KM",),
+                                  ratio_apps=("KM",))
+        assert 0.0 <= res.summary["finereg_stall_fraction"] <= 1.0
+
+    def test_fig15(self, tiny_runner):
+        res = fig15_memory_traffic.run(tiny_runner, apps=("NW",))
+        assert res.summary["reg_dram_traffic_ratio"] >= \
+            res.summary["virtual_thread_traffic_ratio"] * 0.9
+
+    def test_fig16(self, tiny_runner):
+        res = fig16_energy.run(tiny_runner, apps=APPS)
+        assert res.summary["finereg_energy_ratio"] > 0
+
+    def test_fig17(self, tiny_runner):
+        res = fig17_rf_sensitivity.run(tiny_runner, apps=("KM",))
+        assert len(res.rows) == 5
+
+    def test_fig18(self, tiny_runner):
+        res = fig18_sm_scaling.run(tiny_runner, apps=("KM",), ladder=(1,))
+        assert res.summary["overhead_mb_16sm"] > 0.1
+
+    def test_fig19(self, tiny_runner):
+        res = fig19_unified_memory.run(tiny_runner, apps=APPS)
+        assert res.summary["um_speedup"] > 0
+
+    def test_to_text_renders(self, tiny_runner):
+        res = fig03_cta_overhead.run(tiny_runner)
+        text = res.to_text()
+        assert "fig03" in text
+        assert "Summary" in text
+
+
+class TestBarChart:
+    def test_renders_bars_and_values(self):
+        from repro.experiments.report import bar_chart
+        text = bar_chart({"baseline": 1.0, "finereg": 1.5}, title="IPC")
+        assert "IPC" in text
+        assert "finereg" in text
+        assert "1.500" in text
+
+    def test_reference_tick(self):
+        from repro.experiments.report import bar_chart
+        text = bar_chart({"a": 0.5, "b": 2.0}, reference=1.0)
+        assert "|" in text
+
+    def test_rejects_empty_and_negative(self):
+        import pytest
+        from repro.experiments.report import bar_chart
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"x": -1.0})

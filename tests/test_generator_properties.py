@@ -1,0 +1,145 @@
+"""Property-based tests over the workload generator and occupancy model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GPUConfig, TINY
+from repro.isa.instructions import Opcode
+from repro.occupancy import (
+    KernelFootprint,
+    baseline_occupancy,
+    finereg_occupancy,
+    virtual_thread_occupancy,
+)
+from repro.workloads.generator import build_workload
+from repro.workloads.spec import WorkloadSpec, WorkloadType
+
+spec_strategy = st.builds(
+    WorkloadSpec,
+    name=st.just("prop"),
+    abbrev=st.just("PP"),
+    wtype=st.just(WorkloadType.TYPE_S),
+    threads_per_cta=st.sampled_from([32, 64, 128, 256]),
+    regs_per_thread=st.integers(min_value=6, max_value=60),
+    shmem_per_cta=st.sampled_from([0, 1024, 4096]),
+    mem_burst=st.integers(min_value=1, max_value=4),
+    compute_per_mem=st.integers(min_value=1, max_value=8),
+    stores_per_iter=st.integers(min_value=0, max_value=2),
+    loop_trips=st.integers(min_value=1, max_value=20),
+    stream_frac=st.floats(min_value=0.0, max_value=0.5),
+    reuse_frac=st.floats(min_value=0.0, max_value=0.4),
+    live_fraction=st.floats(min_value=0.1, max_value=0.8),
+    usage_fraction=st.floats(min_value=0.2, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+
+
+class TestGeneratedKernels:
+    @given(spec_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_kernel_builds_and_traces_are_valid(self, spec):
+        config = GPUConfig().with_num_sms(1)
+        instance = build_workload(spec, config, TINY)
+        kernel = instance.kernel
+        assert kernel.cfg.frozen
+        n = kernel.num_static_instructions
+        trace = instance.trace_provider.trace_for(0, 0)
+        assert trace, "empty trace"
+        assert all(0 <= idx < n for idx in trace)
+        assert kernel.cfg.instructions[trace[-1]].opcode is Opcode.EXIT
+        # Exactly one EXIT execution per warp.
+        exits = sum(1 for idx in trace
+                    if kernel.cfg.instructions[idx].opcode is Opcode.EXIT)
+        assert exits == 1
+
+    @given(spec_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_liveness_defined_for_every_instruction(self, spec):
+        config = GPUConfig().with_num_sms(1)
+        instance = build_workload(spec, config, TINY)
+        table = instance.liveness
+        assert table.num_instructions \
+            == instance.kernel.num_static_instructions
+        for i in range(table.num_instructions):
+            assert table.live_count_at_index(i) <= spec.regs_per_thread
+
+    @given(spec_strategy, st.integers(min_value=0, max_value=50),
+           st.integers(min_value=0, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_traces_deterministic(self, spec, cta, warp):
+        config = GPUConfig().with_num_sms(1)
+        a = build_workload(spec, config, TINY)
+        b = build_workload(spec, config, TINY)
+        assert a.trace_provider.trace_for(cta, warp) \
+            == b.trace_provider.trace_for(cta, warp)
+
+
+footprints = st.builds(
+    KernelFootprint,
+    threads_per_cta=st.sampled_from([32, 64, 128, 256, 512]),
+    regs_per_thread=st.integers(min_value=4, max_value=64),
+    shmem_per_cta=st.sampled_from([0, 2048, 8192, 32768]),
+    live_fraction=st.floats(min_value=0.05, max_value=1.0),
+)
+
+
+class TestOccupancyProperties:
+    @given(footprints)
+    @settings(max_examples=80, deadline=None)
+    def test_scheme_ordering(self, fp):
+        """VT residency >= baseline; FineReg residency >= baseline;
+        actives never exceed the baseline's scheduler-bound count."""
+        config = GPUConfig()
+        base = baseline_occupancy(fp, config)
+        vt = virtual_thread_occupancy(fp, config)
+        fr = finereg_occupancy(fp, config)
+        assert vt.resident >= base.resident
+        assert fr.resident >= 1
+        assert vt.active <= base.active or vt.active <= vt.resident
+        assert fr.active <= base.active
+
+    @given(footprints)
+    @settings(max_examples=80, deadline=None)
+    def test_counts_are_consistent(self, fp):
+        config = GPUConfig()
+        for occ in (baseline_occupancy(fp, config),
+                    virtual_thread_occupancy(fp, config),
+                    finereg_occupancy(fp, config)):
+            assert occ.active >= 1
+            assert occ.resident >= occ.active
+            assert occ.pending == occ.resident - occ.active
+
+
+class TestSimulatorWorkConservation:
+    """End-to-end property: over random kernels, every policy issues
+    exactly the sum of its warps' trace lengths and drains the grid."""
+
+    @given(spec_strategy, st.sampled_from(
+        ["baseline", "virtual_thread", "finereg"]))
+    @settings(max_examples=12, deadline=None)
+    def test_instructions_equal_trace_lengths(self, spec, policy_name):
+        from repro.experiments.runner import POLICIES
+        from repro.sim.gpu import GPU
+
+        config = GPUConfig().with_num_sms(1)
+        instance = build_workload(spec, config, TINY)
+        kernel = instance.kernel
+        # Keep the run bounded: shrink the grid to at most 8 CTAs.
+        from repro.isa.kernel import LaunchGeometry
+        from repro.isa.kernel import Kernel
+        grid = min(8, kernel.geometry.grid_ctas)
+        kernel = Kernel(kernel.name, kernel.cfg,
+                        LaunchGeometry(kernel.geometry.threads_per_cta,
+                                       grid),
+                        kernel.regs_per_thread, kernel.shmem_per_cta)
+        gpu = GPU(config, kernel, POLICIES[policy_name](),
+                  instance.trace_provider, instance.address_model,
+                  liveness=instance.liveness)
+        result = gpu.run(max_cycles=TINY.max_cycles)
+        expected = sum(
+            len(instance.trace_provider.trace_for(cta, warp))
+            for cta in range(grid)
+            for warp in range(kernel.warps_per_cta)
+        )
+        assert not result.timed_out
+        assert result.instructions == expected
+        assert result.completed_ctas == grid

@@ -1,0 +1,118 @@
+"""Cross-policy integration invariants over the full pipeline.
+
+Every policy must complete the same grid, issue the same instruction count,
+and respect its structural resource limits.  A handful of paper-level shape
+assertions (Type-S/Type-R behaviour) run on representative apps.
+"""
+
+import pytest
+
+from repro import quick_run
+from repro.config import TINY, GPUConfig
+
+POLICIES = ("baseline", "virtual_thread", "reg_dram", "vt_regmutex",
+            "finereg")
+REPRESENTATIVE = ("KM", "CS", "LB", "HS", "NW")
+
+
+class TestWorkConservation:
+    @pytest.mark.parametrize("app", REPRESENTATIVE)
+    def test_all_policies_do_identical_work(self, tiny_runner, app):
+        instructions = set()
+        grid = tiny_runner.workload(app).kernel.geometry.grid_ctas
+        for policy in POLICIES:
+            result = tiny_runner.run(app, policy)
+            instructions.add(result.instructions)
+            assert result.completed_ctas == grid, (app, policy)
+            assert not result.timed_out, (app, policy)
+        assert len(instructions) == 1, f"{app}: work varies across policies"
+
+    @pytest.mark.parametrize("app", REPRESENTATIVE)
+    def test_determinism_across_fresh_runs(self, app):
+        a = quick_run(app, "finereg", TINY)
+        b = quick_run(app, "finereg", TINY)
+        assert a.cycles == b.cycles
+        assert a.instructions == b.instructions
+        assert a.dram_traffic_bytes == b.dram_traffic_bytes
+
+
+class TestStructuralLimits:
+    @pytest.mark.parametrize("app", REPRESENTATIVE)
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_resident_within_monitor_cap(self, tiny_runner, app, policy):
+        result = tiny_runner.run(app, policy)
+        config = tiny_runner.base_config
+        assert result.max_resident_ctas <= config.max_resident_ctas
+
+    @pytest.mark.parametrize("app", REPRESENTATIVE)
+    def test_active_ctas_within_scheduler_limits(self, tiny_runner, app):
+        config = tiny_runner.base_config
+        kernel = tiny_runner.workload(app).kernel
+        warp_limit = config.max_warps_per_sm // kernel.warps_per_cta
+        limit = min(config.max_ctas_per_sm, warp_limit)
+        for policy in POLICIES:
+            result = tiny_runner.run(app, policy)
+            assert result.avg_active_ctas_per_sm <= limit + 0.5, policy
+
+
+class TestPaperShapes:
+    def test_finereg_beats_baseline_on_average(self, tiny_runner):
+        ratios = []
+        for app in REPRESENTATIVE:
+            base = tiny_runner.run(app, "baseline")
+            fine = tiny_runner.run(app, "finereg")
+            ratios.append(fine.ipc / base.ipc)
+        mean = sum(ratios) / len(ratios)
+        assert mean > 1.0, f"FineReg mean speedup {mean:.3f} <= 1"
+
+    def test_finereg_adds_ctas_beyond_vt_for_type_r(self, tiny_runner):
+        vt = tiny_runner.run("LB", "virtual_thread")
+        fine = tiny_runner.run("LB", "finereg")
+        assert fine.avg_resident_ctas_per_sm > vt.avg_resident_ctas_per_sm
+
+    def test_reg_dram_moves_context_traffic_offchip(self, tiny_runner):
+        rd = tiny_runner.run("LB", "reg_dram", dram_pending_limit=4)
+        fine = tiny_runner.run("LB", "finereg")
+        rd_context = (rd.dram_traffic_by_class.get("context_spill", 0)
+                      + rd.dram_traffic_by_class.get("context_restore", 0))
+        fr_extra = fine.dram_traffic_by_class.get("bitvector", 0)
+        if rd.cta_switch_events and fine.cta_switch_events:
+            assert rd_context > fr_extra, \
+                "Zorua-like context traffic should dwarf FineReg bit vectors"
+
+    def test_type_s_scheduler_scaling_helps(self, tiny_runner):
+        base = tiny_runner.run("CS", "baseline")
+        scaled = tiny_runner.run(
+            "CS", "baseline",
+            config=tiny_runner.base_config.with_scheduling_scale(2.0))
+        assert scaled.ipc >= base.ipc * 0.98
+
+    def test_type_r_memory_scaling_helps(self, tiny_runner):
+        base = tiny_runner.run("LB", "baseline")
+        scaled = tiny_runner.run(
+            "LB", "baseline",
+            config=tiny_runner.base_config.with_memory_scale(2.0))
+        assert scaled.ipc >= base.ipc * 0.98
+
+    def test_ta_gains_nothing_anywhere(self, tiny_runner):
+        """TA depletes shared memory: no configuration helps (paper VI-C)."""
+        base = tiny_runner.run("TA", "baseline")
+        for policy in ("virtual_thread", "finereg"):
+            result = tiny_runner.run("TA", policy)
+            assert result.ipc == pytest.approx(base.ipc, rel=0.05)
+
+
+class TestTimeoutPath:
+    def test_max_cycles_produces_partial_result(self):
+        from repro.experiments.runner import ExperimentRunner
+        from repro.policies.baseline import BaselinePolicy
+        from repro.sim.gpu import GPU
+        runner = ExperimentRunner(scale=TINY)
+        instance = runner.workload("KM")
+        gpu = GPU(runner.base_config, instance.kernel, BaselinePolicy,
+                  instance.trace_provider, instance.address_model,
+                  liveness=instance.liveness)
+        result = gpu.run(max_cycles=50)
+        assert result.timed_out
+        # The clock may overshoot the cap by one idle jump, never more.
+        assert result.cycles <= 50 + GPUConfig().dram_latency * 2

@@ -1,0 +1,125 @@
+"""Tests for basic blocks and control-flow graphs."""
+
+import pytest
+
+from conftest import build_branch_cfg, build_linear_cfg, build_loop_cfg
+from repro.isa.cfg import ControlFlowGraph, EdgeKind
+from repro.isa.instructions import Instruction, Opcode
+
+
+class TestFreeze:
+    def test_assigns_four_byte_pcs(self, linear_cfg):
+        pcs = [instr.pc for instr in linear_cfg.instructions]
+        assert pcs == [0, 4, 8, 12, 16]
+
+    def test_freeze_is_idempotent(self, linear_cfg):
+        assert linear_cfg.freeze() is linear_cfg
+
+    def test_cannot_add_after_freeze(self, linear_cfg):
+        with pytest.raises(RuntimeError):
+            linear_cfg.add_block([Instruction(Opcode.EXIT)], EdgeKind.EXIT)
+
+    def test_queries_require_freeze(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block([Instruction(Opcode.EXIT)], EdgeKind.EXIT)
+        with pytest.raises(RuntimeError):
+            __ = cfg.instructions
+
+
+class TestValidation:
+    def test_empty_cfg_rejected(self):
+        with pytest.raises(ValueError):
+            ControlFlowGraph().freeze()
+
+    def test_empty_block_rejected(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block([], EdgeKind.EXIT)
+        with pytest.raises(ValueError):
+            cfg.freeze()
+
+    def test_unknown_successor_rejected(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block([Instruction(Opcode.IALU, 0, ())],
+                      EdgeKind.FALLTHROUGH, successors=(7,))
+        with pytest.raises(ValueError):
+            cfg.freeze()
+
+    def test_exit_block_must_end_in_exit(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block([Instruction(Opcode.IALU, 0, ())], EdgeKind.EXIT)
+        with pytest.raises(ValueError):
+            cfg.freeze()
+
+    def test_exactly_one_exit(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block([Instruction(Opcode.EXIT)], EdgeKind.EXIT)
+        cfg.add_block([Instruction(Opcode.EXIT)], EdgeKind.EXIT)
+        with pytest.raises(ValueError):
+            cfg.freeze()
+
+    def test_loop_back_edge_must_go_backward(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block([Instruction(Opcode.BRA, None, (0,))],
+                      EdgeKind.LOOP_BACK, successors=(1, 1),
+                      mean_trip_count=2)
+        cfg.add_block([Instruction(Opcode.EXIT)], EdgeKind.EXIT)
+        with pytest.raises(ValueError):
+            cfg.freeze()
+
+    def test_loop_needs_trip_count(self, loop_cfg):
+        cfg = ControlFlowGraph()
+        cfg.add_block([Instruction(Opcode.IALU, 0, ())],
+                      EdgeKind.FALLTHROUGH, successors=(1,))
+        cfg.add_block([Instruction(Opcode.BRA, None, (0,))],
+                      EdgeKind.LOOP_BACK, successors=(1, 2),
+                      mean_trip_count=0)
+        cfg.add_block([Instruction(Opcode.EXIT)], EdgeKind.EXIT)
+        with pytest.raises(ValueError):
+            cfg.freeze()
+
+    def test_successor_arity_checked(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block([Instruction(Opcode.BRA, None, (0,))],
+                      EdgeKind.BRANCH, successors=(0,))
+        with pytest.raises(ValueError):
+            cfg.freeze()
+
+
+class TestQueries:
+    def test_block_of_index(self, linear_cfg):
+        assert linear_cfg.block_of(0) == 0
+        assert linear_cfg.block_of(2) == 0
+        assert linear_cfg.block_of(3) == 1
+
+    def test_first_index(self, linear_cfg):
+        assert linear_cfg.first_index(0) == 0
+        assert linear_cfg.first_index(1) == 3
+
+    def test_index_of_pc(self, linear_cfg):
+        assert linear_cfg.index_of_pc(0) == 0
+        assert linear_cfg.index_of_pc(8) == 2
+
+    def test_index_of_bad_pc(self, linear_cfg):
+        with pytest.raises(ValueError):
+            linear_cfg.index_of_pc(2)
+        with pytest.raises(ValueError):
+            linear_cfg.index_of_pc(4000)
+
+    def test_registers_used(self, linear_cfg):
+        assert linear_cfg.registers_used() == (0, 1, 2, 3)
+
+    def test_num_instructions(self, branch_cfg):
+        assert branch_cfg.num_instructions == 6
+
+
+class TestReconvergence:
+    def test_branch_reconverges_at_common_successor(self, branch_cfg):
+        assert branch_cfg.reconvergence_block(0) == 3
+
+    def test_non_branch_block_rejected(self, branch_cfg):
+        with pytest.raises(ValueError):
+            branch_cfg.reconvergence_block(1)
+
+    def test_loop_cfg_has_loop_edge(self, loop_cfg):
+        assert loop_cfg.blocks[1].edge_kind is EdgeKind.LOOP_BACK
+        assert loop_cfg.blocks[1].successors == (1, 2)

@@ -1,0 +1,105 @@
+"""Tests for the static instruction model."""
+
+import pytest
+
+from repro.isa.instructions import (
+    AccessPattern,
+    Instruction,
+    Opcode,
+    alu,
+    is_long_latency,
+    is_memory,
+    load,
+    store,
+)
+
+
+class TestConstruction:
+    def test_alu_requires_dest(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.IALU, None, (1,))
+
+    def test_store_cannot_write(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.STG, 1, (2,), AccessPattern.STREAM)
+
+    def test_barrier_has_no_operands(self):
+        bar = Instruction(Opcode.BAR)
+        assert bar.dest is None
+        assert bar.srcs == ()
+
+    def test_register_range_enforced(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.IALU, 64, ())
+        with pytest.raises(ValueError):
+            Instruction(Opcode.IALU, 1, (-1,))
+
+    def test_global_load_needs_pattern(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LDG, 1, (0,))
+
+    def test_shared_load_needs_no_pattern(self):
+        lds = Instruction(Opcode.LDS, 1, (0,))
+        assert lds.pattern is None
+
+    def test_non_memory_rejects_pattern(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.IALU, 1, (0,), AccessPattern.STREAM)
+
+
+class TestAccessors:
+    def test_registers_includes_dest_and_srcs(self):
+        instr = Instruction(Opcode.FALU, 3, (1, 2))
+        assert set(instr.registers) == {1, 2, 3}
+
+    def test_reads_and_writes(self):
+        instr = Instruction(Opcode.FALU, 3, (1, 2))
+        assert instr.reads(1) and instr.reads(2)
+        assert not instr.reads(3)
+        assert instr.writes(3)
+        assert not instr.writes(1)
+
+    def test_pc_not_part_of_equality(self):
+        a = Instruction(Opcode.IALU, 1, (0,), pc=0)
+        b = Instruction(Opcode.IALU, 1, (0,), pc=4)
+        assert a == b
+
+
+class TestClassification:
+    @pytest.mark.parametrize("opcode", [Opcode.LDG, Opcode.STG, Opcode.LDS,
+                                        Opcode.STS])
+    def test_memory_ops(self, opcode):
+        assert is_memory(opcode)
+
+    @pytest.mark.parametrize("opcode", [Opcode.IALU, Opcode.FALU, Opcode.SFU,
+                                        Opcode.BAR, Opcode.BRA, Opcode.EXIT])
+    def test_non_memory_ops(self, opcode):
+        assert not is_memory(opcode)
+
+    def test_long_latency_is_global_only(self):
+        assert is_long_latency(Opcode.LDG)
+        assert is_long_latency(Opcode.STG)
+        assert not is_long_latency(Opcode.LDS)
+        assert not is_long_latency(Opcode.IALU)
+
+
+class TestConvenienceConstructors:
+    def test_alu_helper(self):
+        instr = alu(3, 1, 2)
+        assert instr.opcode is Opcode.IALU
+        assert instr.dest == 3
+        assert instr.srcs == (1, 2)
+
+    def test_alu_fp_flag(self):
+        assert alu(3, 1, fp=True).opcode is Opcode.FALU
+
+    def test_load_helper_defaults_to_stream(self):
+        instr = load(2, 0)
+        assert instr.opcode is Opcode.LDG
+        assert instr.pattern is AccessPattern.STREAM
+
+    def test_store_helper(self):
+        instr = store(2, 0, AccessPattern.REUSE)
+        assert instr.opcode is Opcode.STG
+        assert instr.dest is None
+        assert instr.pattern is AccessPattern.REUSE

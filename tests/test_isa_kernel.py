@@ -1,0 +1,61 @@
+"""Tests for the kernel model and launch geometry."""
+
+import pytest
+
+from repro.isa.kernel import Kernel, LaunchGeometry
+
+
+class TestLaunchGeometry:
+    def test_warps_per_cta(self):
+        geom = LaunchGeometry(threads_per_cta=256, grid_ctas=10)
+        assert geom.warps_per_cta == 8
+
+    def test_rejects_non_warp_multiple(self):
+        with pytest.raises(ValueError):
+            LaunchGeometry(threads_per_cta=100, grid_ctas=1)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            LaunchGeometry(threads_per_cta=0, grid_ctas=1)
+
+    def test_rejects_over_limit(self):
+        with pytest.raises(ValueError):
+            LaunchGeometry(threads_per_cta=2048, grid_ctas=1)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            LaunchGeometry(threads_per_cta=64, grid_ctas=0)
+
+
+class TestKernel:
+    def test_requires_frozen_cfg(self, linear_cfg):
+        from repro.isa.cfg import ControlFlowGraph, EdgeKind
+        from repro.isa.instructions import Instruction, Opcode
+        cfg = ControlFlowGraph()
+        cfg.add_block([Instruction(Opcode.EXIT)], EdgeKind.EXIT)
+        with pytest.raises(ValueError):
+            Kernel("k", cfg, LaunchGeometry(64, 1), regs_per_thread=8)
+
+    def test_register_allocation_must_cover_named_regs(self, linear_cfg):
+        # linear_cfg names R3, so 3 regs/thread is too few.
+        with pytest.raises(ValueError):
+            Kernel("k", linear_cfg, LaunchGeometry(64, 1), regs_per_thread=3)
+
+    def test_rejects_negative_shmem(self, linear_cfg):
+        with pytest.raises(ValueError):
+            Kernel("k", linear_cfg, LaunchGeometry(64, 1),
+                   regs_per_thread=8, shmem_per_cta=-1)
+
+    def test_register_footprint(self, small_kernel):
+        # 2 warps x 8 regs = 16 warp-registers = 2 KB.
+        assert small_kernel.warp_registers_per_cta == 16
+        assert small_kernel.register_bytes_per_cta == 16 * 128
+
+    def test_cta_overhead_includes_shmem(self, linear_cfg):
+        kernel = Kernel("k", linear_cfg, LaunchGeometry(64, 1),
+                        regs_per_thread=8, shmem_per_cta=4096)
+        assert kernel.cta_overhead_bytes \
+            == kernel.register_bytes_per_cta + 4096
+
+    def test_num_static_instructions(self, small_kernel):
+        assert small_kernel.num_static_instructions == 5

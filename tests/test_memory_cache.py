@@ -1,0 +1,116 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memory.cache import Cache
+
+
+def make_cache(sets=4, assoc=2, line=128, **kw):
+    return Cache("test", sets * assoc * line, assoc, line, **kw)
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        cache = make_cache(sets=8, assoc=2)
+        assert cache.num_sets == 8
+        assert cache.size_bytes == 8 * 2 * 128
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 1000, 8, 128)
+
+
+class TestHitsAndMisses:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(64)   # same 128-byte line
+
+    def test_distinct_lines(self):
+        cache = make_cache()
+        cache.access(0)
+        assert not cache.access(128)
+
+    def test_lru_within_set(self):
+        cache = make_cache(sets=1, assoc=2)
+        cache.access(0)        # line A
+        cache.access(128)      # line B
+        cache.access(0)        # touch A (B becomes LRU)
+        cache.access(256)      # line C evicts B
+        assert cache.access(0)
+        assert not cache.access(128)
+
+    def test_set_isolation(self):
+        cache = make_cache(sets=2, assoc=1)
+        cache.access(0)        # set 0
+        cache.access(128)      # set 1
+        assert cache.access(0)
+        assert cache.access(128)
+
+
+class TestWritePolicy:
+    def test_no_allocate_on_write_by_default(self):
+        cache = make_cache()
+        assert not cache.access(0, is_write=True)
+        assert not cache.access(0)      # still not resident
+
+    def test_allocate_on_write(self):
+        cache = make_cache(allocate_on_write=True)
+        cache.access(0, is_write=True)
+        assert cache.access(0)
+
+    def test_write_hit_counted(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.access(0, is_write=True)
+        assert cache.stats.write_hits == 1
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_hit_rate(self):
+        assert make_cache().stats.hit_rate == 0.0
+
+
+class TestMaintenance:
+    def test_probe_does_not_update(self):
+        cache = make_cache(sets=1, assoc=2)
+        cache.access(0)
+        cache.access(128)
+        assert cache.probe(0)
+        before = cache.stats.accesses
+        cache.probe(0)          # does not refresh LRU nor count
+        assert cache.stats.accesses == before
+        cache.access(256)       # evicts LRU = line 0 (probe didn't refresh)
+        assert not cache.probe(0)
+
+    def test_flush(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.flush()
+        assert not cache.probe(0)
+
+    def test_resize(self):
+        cache = make_cache(sets=4, assoc=2)
+        cache.access(0)
+        cache.resize(2 * 2 * 128)
+        assert cache.num_sets == 2
+        assert not cache.probe(0)   # resize flushes
+
+    def test_resize_validates(self):
+        with pytest.raises(ValueError):
+            make_cache().resize(1000)
+
+    def test_occupancy(self):
+        cache = make_cache(sets=2, assoc=2)
+        cache.access(0)
+        cache.access(128)
+        occ = cache.occupancy()
+        assert occ == {"lines": 2, "capacity": 4}

@@ -1,0 +1,57 @@
+"""Tests for the DRAM bandwidth/latency model."""
+
+import pytest
+
+from repro.memory.dram import DRAM
+
+
+class TestBasics:
+    def test_unloaded_latency(self):
+        dram = DRAM(bytes_per_cycle=16.0, access_latency=100)
+        done = dram.request(now=0, nbytes=128)
+        # 128 B at 16 B/cycle = 8 service cycles, then the access latency.
+        assert done == 108
+
+    def test_bandwidth_queueing(self):
+        dram = DRAM(bytes_per_cycle=16.0, access_latency=100)
+        first = dram.request(0, 128)
+        second = dram.request(0, 128)
+        assert second == first + 8   # serialized behind the first
+
+    def test_idle_channel_resets(self):
+        dram = DRAM(bytes_per_cycle=16.0, access_latency=100)
+        dram.request(0, 128)
+        done = dram.request(1000, 128)
+        assert done == 1108          # no residual queueing
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            DRAM(0, 100)
+        with pytest.raises(ValueError):
+            DRAM(16, 0)
+        dram = DRAM(16, 100)
+        with pytest.raises(ValueError):
+            dram.request(0, 0)
+
+
+class TestStats:
+    def test_traffic_by_class(self):
+        dram = DRAM(16, 100)
+        dram.request(0, 128, "demand_read")
+        dram.request(0, 256, "context_spill")
+        dram.request(0, 128, "demand_read")
+        assert dram.stats.total_bytes == 512
+        assert dram.stats.bytes_by_class == {
+            "demand_read": 256, "context_spill": 256}
+
+    def test_queue_delay_tracked(self):
+        dram = DRAM(16, 100)
+        dram.request(0, 160)
+        dram.request(0, 160)
+        assert dram.stats.total_queue_cycles == 10
+        assert dram.stats.mean_queue_delay == pytest.approx(5.0)
+
+    def test_busy_until(self):
+        dram = DRAM(16, 100)
+        dram.request(0, 160)
+        assert dram.busy_until() == pytest.approx(10.0)

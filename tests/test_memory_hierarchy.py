@@ -1,0 +1,101 @@
+"""Tests for the L1 -> L2 -> DRAM hierarchy."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(GPUConfig().with_num_sms(2))
+
+
+class TestLoadPath:
+    def test_l1_hit_latency(self, hierarchy):
+        config = GPUConfig().with_num_sms(2)
+        warm = hierarchy.load(0, 0x1000, 0)           # warm (miss in flight)
+        done = hierarchy.load(0, 0x1000, warm + 1)
+        assert done == warm + 1 + config.l1_hit_latency
+
+    def test_l2_hit_latency(self, hierarchy):
+        config = GPUConfig().with_num_sms(2)
+        warm = hierarchy.load(0, 0x1000, 0)           # warm L1[0] and L2
+        done = hierarchy.load(1, 0x1000, warm + 1)    # other SM: L1 miss
+        assert done == warm + 1 + config.l2_hit_latency
+
+    def test_cold_miss_goes_to_dram(self, hierarchy):
+        config = GPUConfig().with_num_sms(2)
+        done = hierarchy.load(0, 0x5000, 0)
+        assert done > config.l2_hit_latency
+        assert hierarchy.dram_traffic_bytes == config.cache_line_bytes
+
+    def test_private_l1s(self, hierarchy):
+        hierarchy.load(0, 0x1000, 0)
+        assert hierarchy.l1s[0].probe(0x1000)
+        assert not hierarchy.l1s[1].probe(0x1000)
+
+
+class TestMissMerging:
+    def test_same_line_miss_merges(self, hierarchy):
+        first = hierarchy.load(0, 0x2000, 0)
+        second = hierarchy.load(0, 0x2040, 1)   # same 128-byte line
+        assert second == first
+        assert hierarchy.stats.merged_misses == 1
+        assert hierarchy.dram_traffic_bytes == 128   # one fetch only
+
+    def test_merge_is_per_sm(self, hierarchy):
+        hierarchy.load(0, 0x2000, 0)
+        hierarchy.load(1, 0x2000, 1)
+        assert hierarchy.stats.merged_misses == 0
+
+    def test_expired_miss_not_merged(self, hierarchy):
+        done = hierarchy.load(0, 0x2000, 0)
+        # Access far after completion: L1 now holds the line.
+        assert hierarchy.load(0, 0x2000, done + 10) == \
+            done + 10 + GPUConfig().l1_hit_latency
+
+
+class TestStorePath:
+    def test_store_retires_quickly(self, hierarchy):
+        config = GPUConfig().with_num_sms(2)
+        done = hierarchy.store(0, 0x3000, 0)
+        assert done == config.l1_hit_latency
+
+    def test_store_miss_allocates_on_chip(self, hierarchy):
+        """Write-back L2: a store miss costs no immediate DRAM traffic."""
+        hierarchy.store(0, 0x3000, 0)
+        assert hierarchy.traffic_by_class().get("demand_write", 0) == 0
+        assert hierarchy.l2.probe(0x3000)
+
+    def test_dirty_eviction_writes_back(self):
+        """Thrashing a set full of dirty lines must emit DRAM writes."""
+        import dataclasses
+        config = dataclasses.replace(
+            GPUConfig().with_num_sms(1), l2_size_bytes=8 * 128 * 2,
+            l2_assoc=2, l1_size_bytes=8 * 128)
+        hierarchy = MemoryHierarchy(config)
+        # Fill one L2 set with dirty lines, then overflow it.
+        stride = 8 * 128  # lines mapping to the same L2 set (8 sets)
+        for i in range(4):
+            hierarchy.store(0, i * stride, 0)
+        assert hierarchy.traffic_by_class().get("demand_write", 0) \
+            >= 128  # at least one dirty victim written back
+
+    def test_store_after_load_hits_l2(self, hierarchy):
+        hierarchy.load(0, 0x3000, 0)
+        before = hierarchy.dram_traffic_bytes
+        hierarchy.store(1, 0x3000, 10)   # L2 write hit
+        assert hierarchy.dram_traffic_bytes == before
+
+
+class TestBulkTransfers:
+    def test_bulk_transfer_classed(self, hierarchy):
+        hierarchy.bulk_transfer(0, 4096, "context_spill")
+        assert hierarchy.traffic_by_class()["context_spill"] == 4096
+
+    def test_counts_accumulate(self, hierarchy):
+        hierarchy.load(0, 0, 0)
+        hierarchy.store(0, 1 << 20, 0)
+        assert hierarchy.stats.loads == 1
+        assert hierarchy.stats.stores == 1

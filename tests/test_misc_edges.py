@@ -1,0 +1,90 @@
+"""Remaining edge cases: trace-provider cache bounds, tracker staleness,
+report precision, and config immutability guarantees."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.policies.base import PendingTracker
+from repro.sim.cta import CTASim, CTAState
+from repro.sim.warp import WarpSim
+from repro.workloads.traces import TraceProvider
+
+
+class TestTraceProviderCache:
+    def test_trip_cache_bounded(self, loop_cfg):
+        provider = TraceProvider(loop_cfg, seed=1)
+        for cta in range(4200):
+            provider.trips_for_cta(cta)
+        # The cache clears itself rather than growing without bound.
+        assert len(provider._trip_cache) <= 4097
+
+    def test_trips_survive_cache_clear(self, loop_cfg):
+        provider = TraceProvider(loop_cfg, seed=1)
+        first = dict(provider.trips_for_cta(7))
+        provider._trip_cache.clear()
+        assert provider.trips_for_cta(7) == first  # seeded, not cached state
+
+    def test_requires_frozen_cfg(self):
+        from repro.isa.cfg import ControlFlowGraph, EdgeKind
+        from repro.isa.instructions import Instruction, Opcode
+        cfg = ControlFlowGraph()
+        cfg.add_block([Instruction(Opcode.EXIT)], EdgeKind.EXIT)
+        with pytest.raises(ValueError):
+            TraceProvider(cfg, seed=1)
+
+
+class TestPendingTrackerStaleness:
+    def _pending_cta(self, cta_id):
+        warps = [WarpSim(0, cta_id, cta_id, [0])]
+        cta = CTASim(cta_id, warps)
+        warps[0].cta = cta
+        cta.state = CTAState.PENDING
+        return cta
+
+    def test_stale_ready_entries_filtered(self):
+        tracker = PendingTracker()
+        cta = self._pending_cta(1)
+        tracker.add(cta, ready_time=0)
+        tracker.drain_ready(10)          # now in the ready list
+        cta.state = CTAState.FINISHED    # retired behind the tracker's back
+        assert tracker.pop_ready(10) is None
+
+    def test_duplicate_adds_do_not_double_pop(self):
+        tracker = PendingTracker()
+        cta = self._pending_cta(2)
+        tracker.add(cta, ready_time=0)
+        tracker.add(cta, ready_time=5)
+        first = tracker.pop_ready(10)
+        assert first is cta
+        cta.state = CTAState.ACTIVE      # it was restored
+        assert tracker.pop_ready(10) is None
+
+
+class TestReportPrecision:
+    def test_integer_cells_not_mangled(self):
+        from repro.experiments.report import format_table
+        text = format_table(["a", "b"], [["x", 42]], precision=3)
+        assert " 42" in text
+        assert "42.000" not in text
+
+    def test_zero_precision(self):
+        from repro.experiments.report import format_table
+        text = format_table(["a", "b"], [["x", 3.7]], precision=0)
+        assert "4" in text
+
+
+class TestConfigImmutability:
+    def test_frozen_dataclass(self):
+        config = GPUConfig()
+        with pytest.raises(Exception):
+            config.num_sms = 4
+
+    def test_variant_chains_compose(self):
+        config = (GPUConfig().with_num_sms(2)
+                  .with_scheduling_scale(2.0)
+                  .with_memory_scale(1.5))
+        assert config.num_sms == 2
+        assert config.max_ctas_per_sm == 64
+        assert config.shared_memory_bytes == 144 * 1024
+        # Bandwidth scaling from with_num_sms is preserved.
+        assert config.dram_bandwidth_gbps == pytest.approx(352.5 / 8)

@@ -1,0 +1,126 @@
+"""Tests for the analytical occupancy calculator."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.occupancy import (
+    KernelFootprint,
+    Limit,
+    baseline_occupancy,
+    finereg_occupancy,
+    occupancy_report,
+    virtual_thread_occupancy,
+)
+from repro.workloads.suite import ALL_SPECS, get_spec
+
+
+def fp_of(spec):
+    return KernelFootprint(
+        threads_per_cta=spec.threads_per_cta,
+        regs_per_thread=spec.regs_per_thread,
+        shmem_per_cta=spec.shmem_per_cta,
+        live_fraction=spec.live_fraction,
+    )
+
+
+class TestValidation:
+    def test_bad_threads(self):
+        with pytest.raises(ValueError):
+            KernelFootprint(threads_per_cta=100, regs_per_thread=8)
+
+    def test_bad_live_fraction(self):
+        with pytest.raises(ValueError):
+            KernelFootprint(threads_per_cta=64, regs_per_thread=8,
+                            live_fraction=0.0)
+
+    def test_live_registers_rounded_up(self):
+        fp = KernelFootprint(64, 10, live_fraction=0.33)
+        assert fp.live_warp_registers_per_cta == 7  # ceil(20 * 0.33)
+
+
+class TestBaseline:
+    def test_register_bound_kernel(self):
+        fp = fp_of(get_spec("LB"))  # 4 warps x 48 regs = 192 entries
+        occ = baseline_occupancy(fp, GPUConfig())
+        assert occ.resident == 2048 // 192
+        assert occ.binding is Limit.REGISTERS
+        assert occ.pending == 0
+
+    def test_scheduler_bound_kernel(self):
+        fp = fp_of(get_spec("KM"))
+        occ = baseline_occupancy(fp, GPUConfig())
+        assert occ.binding in (Limit.CTA_SLOTS, Limit.WARP_SLOTS,
+                               Limit.THREAD_SLOTS)
+
+    def test_shmem_bound_kernel(self):
+        fp = fp_of(get_spec("TA"))
+        occ = baseline_occupancy(fp, GPUConfig())
+        assert occ.binding is Limit.SHARED_MEMORY
+
+
+class TestVirtualThread:
+    def test_type_s_gains_residency(self):
+        fp = fp_of(get_spec("KM"))
+        base = baseline_occupancy(fp, GPUConfig())
+        vt = virtual_thread_occupancy(fp, GPUConfig())
+        assert vt.resident > base.resident
+        assert vt.active == base.active
+
+    def test_type_r_gains_nothing(self):
+        fp = fp_of(get_spec("LB"))
+        base = baseline_occupancy(fp, GPUConfig())
+        vt = virtual_thread_occupancy(fp, GPUConfig())
+        assert vt.resident == base.resident
+
+
+class TestFineReg:
+    def test_beats_virtual_thread_everywhere(self):
+        config = GPUConfig()
+        for spec in ALL_SPECS:
+            fp = fp_of(spec)
+            vt = virtual_thread_occupancy(fp, config)
+            fr = finereg_occupancy(fp, config)
+            assert fr.resident >= min(vt.resident, 128), spec.abbrev
+
+    def test_halved_acrf_halves_actives_for_type_r(self):
+        fp = fp_of(get_spec("LB"))
+        config = GPUConfig()
+        base = baseline_occupancy(fp, config)
+        fr = finereg_occupancy(fp, config)
+        assert fr.active == config.acrf_entries \
+            // fp.warp_registers_per_cta
+        assert fr.active < base.active
+
+    def test_live_fraction_drives_pending_capacity(self):
+        lean = KernelFootprint(128, 32, live_fraction=0.2)
+        fat = KernelFootprint(128, 32, live_fraction=0.8)
+        config = GPUConfig()
+        assert finereg_occupancy(lean, config).pending \
+            > finereg_occupancy(fat, config).pending
+
+    def test_residency_cap_binds_tiny_kernels(self):
+        fp = KernelFootprint(32, 2, live_fraction=0.5)
+        occ = finereg_occupancy(fp, GPUConfig())
+        assert occ.resident <= 128
+        assert occ.binding is Limit.RESIDENCY
+
+    def test_matches_simulated_residency_direction(self, tiny_runner):
+        """The analytical model must agree with simulation on who gains."""
+        for app in ("KM", "LB"):
+            spec = get_spec(app)
+            fp = fp_of(spec)
+            config = GPUConfig()
+            analytic_gain = (finereg_occupancy(fp, config).resident
+                             / baseline_occupancy(fp, config).resident)
+            base = tiny_runner.run(app, "baseline")
+            fine = tiny_runner.run(app, "finereg")
+            simulated_gain = (fine.max_resident_ctas
+                              / base.max_resident_ctas)
+            assert (analytic_gain > 1.1) == (simulated_gain > 1.05), app
+
+
+class TestReport:
+    def test_report_renders(self):
+        text = occupancy_report(fp_of(get_spec("SG")))
+        assert "finereg" in text
+        assert "bound by" in text

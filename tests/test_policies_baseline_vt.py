@@ -1,0 +1,122 @@
+"""Tests for the baseline and Virtual Thread policies."""
+
+import pytest
+
+from repro.config import TINY
+from repro.policies.base import PendingTracker
+from repro.sim.cta import CTASim, CTAState
+from repro.sim.warp import WarpSim
+
+
+def make_cta(cta_id=1, blocked_until=0):
+    warps = [WarpSim(i, cta_id * 8 + i, cta_id, [0]) for i in range(2)]
+    cta = CTASim(cta_id, warps)
+    for warp in warps:
+        warp.cta = cta
+        warp.blocked_until = blocked_until
+    return cta
+
+
+class TestPendingTracker:
+    def test_ready_after_time(self):
+        tracker = PendingTracker()
+        cta = make_cta()
+        cta.state = CTAState.PENDING
+        tracker.add(cta, ready_time=100)
+        assert not tracker.has_ready(50)
+        assert tracker.has_ready(100)
+        assert tracker.pop_ready(100) is cta
+        assert tracker.pop_ready(100) is None
+
+    def test_oldest_first(self):
+        tracker = PendingTracker()
+        young = make_cta(cta_id=9)
+        old = make_cta(cta_id=2)
+        for cta in (young, old):
+            cta.state = CTAState.PENDING
+            tracker.add(cta, ready_time=10)
+        assert tracker.pop_ready(10) is old
+
+    def test_specific_pop(self):
+        tracker = PendingTracker()
+        a, b = make_cta(1), make_cta(2)
+        for cta in (a, b):
+            cta.state = CTAState.PENDING
+            tracker.add(cta, 0)
+        assert tracker.pop_ready(0, b) is b
+        assert tracker.pop_ready(0) is a
+
+    def test_transit_cta_requeued_not_dropped(self):
+        tracker = PendingTracker()
+        cta = make_cta()
+        cta.begin_transit(until=200, target=CTAState.PENDING)
+        tracker.add(cta, ready_time=100)
+        assert not tracker.has_ready(150)   # still in transit: requeued
+        cta.settle_transit(200)
+        assert tracker.has_ready(201)
+
+    def test_non_pending_cta_dropped(self):
+        tracker = PendingTracker()
+        cta = make_cta()
+        cta.state = CTAState.FINISHED
+        tracker.add(cta, ready_time=0)
+        assert not tracker.has_ready(10)
+        assert len(tracker) == 0
+
+    def test_next_ready_time(self):
+        tracker = PendingTracker()
+        cta = make_cta()
+        cta.state = CTAState.PENDING
+        tracker.add(cta, 123)
+        assert tracker.next_ready_time() == 123
+
+
+class TestBaselinePolicy:
+    def test_never_switches(self, tiny_runner):
+        result = tiny_runner.run("KM", "baseline")
+        assert result.cta_switch_events == 0
+        assert result.avg_pending_ctas_per_sm == 0.0
+
+    def test_respects_register_capacity(self, tiny_runner):
+        # LB: 4 warps x 48 regs = 192 entries -> at most 10 CTAs in 2048.
+        result = tiny_runner.run("LB", "baseline")
+        assert result.max_resident_ctas <= 2048 // 192
+
+    def test_completes_grid(self, tiny_runner):
+        result = tiny_runner.run("CS", "baseline")
+        instance = tiny_runner.workload("CS")
+        assert result.completed_ctas == instance.kernel.geometry.grid_ctas
+
+
+class TestVirtualThreadPolicy:
+    def test_exceeds_baseline_residency_for_type_s(self, tiny_runner):
+        base = tiny_runner.run("KM", "baseline")
+        vt = tiny_runner.run("KM", "virtual_thread")
+        assert vt.avg_resident_ctas_per_sm > base.avg_resident_ctas_per_sm
+
+    def test_no_gain_for_register_bound_apps(self, tiny_runner):
+        """Type-R: the RF is already full, VT cannot add CTAs (paper VI-B)."""
+        base = tiny_runner.run("LB", "baseline")
+        vt = tiny_runner.run("LB", "virtual_thread")
+        assert vt.max_resident_ctas <= base.max_resident_ctas + 1
+
+    def test_switching_happens(self, tiny_runner):
+        vt = tiny_runner.run("KM", "virtual_thread")
+        assert vt.cta_switch_events > 0
+
+    def test_no_extra_dram_context_traffic(self, tiny_runner):
+        """VT keeps registers on-chip: no context traffic classes."""
+        vt = tiny_runner.run("KM", "virtual_thread")
+        assert "context_spill" not in vt.dram_traffic_by_class
+        assert "context_restore" not in vt.dram_traffic_by_class
+
+    def test_completes_grid(self, tiny_runner):
+        result = tiny_runner.run("KM", "virtual_thread")
+        instance = tiny_runner.workload("KM")
+        assert result.completed_ctas == instance.kernel.geometry.grid_ctas
+
+    def test_instruction_count_matches_baseline(self, tiny_runner):
+        """Switching must not change the work performed."""
+        base = tiny_runner.run("KM", "baseline")
+        vt = tiny_runner.run("KM", "virtual_thread")
+        assert vt.instructions == base.instructions

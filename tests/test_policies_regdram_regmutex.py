@@ -1,0 +1,71 @@
+"""Tests for the Reg+DRAM (Zorua-like) and VT+RegMutex policies."""
+
+import pytest
+
+from repro.config import GPUConfig
+
+
+class TestRegDRAM:
+    def test_limit_zero_behaves_like_vt(self, tiny_runner):
+        vt = tiny_runner.run("KM", "virtual_thread")
+        rd = tiny_runner.run("KM", "reg_dram", dram_pending_limit=0)
+        assert rd.dram_traffic_by_class.get("context_spill", 0) == 0
+        assert rd.instructions == vt.instructions
+        assert rd.ipc == pytest.approx(vt.ipc, rel=0.05)
+
+    def test_context_traffic_when_parking_in_dram(self, tiny_runner):
+        """Type-R app with DRAM parking must move whole register contexts."""
+        rd = tiny_runner.run("LB", "reg_dram", dram_pending_limit=4)
+        spill = rd.dram_traffic_by_class.get("context_spill", 0)
+        restore = rd.dram_traffic_by_class.get("context_restore", 0)
+        if rd.cta_switch_events:
+            assert spill > 0
+            # Contexts are whole static allocations: multiples of the CTA's
+            # register footprint.
+            instance = tiny_runner.workload("LB")
+            footprint = instance.kernel.register_bytes_per_cta
+            assert spill % footprint == 0
+            assert restore % footprint == 0
+
+    def test_more_residency_than_vt_for_type_r(self, tiny_runner):
+        vt = tiny_runner.run("LB", "virtual_thread")
+        rd = tiny_runner.run("LB", "reg_dram", dram_pending_limit=4)
+        assert rd.max_resident_ctas >= vt.max_resident_ctas
+
+    def test_completes_grid(self, tiny_runner):
+        result = tiny_runner.run("LB", "reg_dram", dram_pending_limit=4)
+        instance = tiny_runner.workload("LB")
+        assert result.completed_ctas == instance.kernel.geometry.grid_ctas
+
+
+class TestRegMutex:
+    def test_bad_ratios_rejected(self, tiny_runner):
+        with pytest.raises(ValueError):
+            tiny_runner.run("KM", "vt_regmutex", srp_ratio=0.0)
+        with pytest.raises(ValueError):
+            tiny_runner.run("KM", "vt_regmutex", srp_ratio=1.0)
+
+    def test_packs_more_ctas_for_type_r(self, tiny_runner):
+        """BRS shrinks per-warp allocations: more CTAs fit (paper VI-B)."""
+        base = tiny_runner.run("LB", "baseline")
+        rm = tiny_runner.run("LB", "vt_regmutex", srp_ratio=0.28)
+        assert rm.max_resident_ctas >= base.max_resident_ctas
+
+    def test_srp_leases_are_acquired(self, tiny_runner):
+        rm = tiny_runner.run("LB", "vt_regmutex", srp_ratio=0.28)
+        # The extras dict is aggregated into the result indirectly; check
+        # the policy saw leasing activity via srp stall accounting or
+        # simply that the run completed with correct work.
+        instance = tiny_runner.workload("LB")
+        assert rm.completed_ctas == instance.kernel.geometry.grid_ctas
+
+    def test_small_srp_causes_contention(self, tiny_runner):
+        """A starved SRP should produce stall cycles (paper Fig 14)."""
+        tight = tiny_runner.run("KM", "vt_regmutex", srp_ratio=0.05)
+        roomy = tiny_runner.run("KM", "vt_regmutex", srp_ratio=0.45)
+        assert tight.srp_stall_cycles >= roomy.srp_stall_cycles
+
+    def test_work_is_policy_invariant(self, tiny_runner):
+        base = tiny_runner.run("KM", "baseline")
+        rm = tiny_runner.run("KM", "vt_regmutex", srp_ratio=0.28)
+        assert rm.instructions == base.instructions

@@ -1,0 +1,239 @@
+"""Property-based tests (hypothesis) for the core data structures.
+
+These pin down the algebraic invariants the microarchitecture relies on:
+bit-vector set algebra, liveness-vs-interpreter agreement, PCRF chain
+round-trips under arbitrary interleavings, cache inclusion of the most
+recent access, and allocator conservation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.acrf import ACRFAllocator
+from repro.core.bitvector import LiveBitVector
+from repro.core.bitvector_cache import BitVectorCache
+from repro.core.liveness import LivenessAnalysis
+from repro.core.pcrf import PCRF
+from repro.isa.cfg import ControlFlowGraph, EdgeKind
+from repro.isa.instructions import Instruction, Opcode
+from repro.memory.cache import Cache
+from repro.memory.dram import DRAM
+
+registers = st.sets(st.integers(min_value=0, max_value=63), max_size=16)
+
+
+# ----------------------------------------------------------------------
+# LiveBitVector algebra
+# ----------------------------------------------------------------------
+class TestBitVectorProperties:
+    @given(registers)
+    def test_round_trip(self, regs):
+        vec = LiveBitVector.from_registers(regs)
+        assert set(vec.registers()) == regs
+        assert vec.count() == len(regs)
+
+    @given(registers, registers)
+    def test_union_is_set_union(self, a, b):
+        va, vb = map(LiveBitVector.from_registers, (a, b))
+        assert set((va | vb).registers()) == a | b
+
+    @given(registers, registers)
+    def test_minus_is_set_difference(self, a, b):
+        va, vb = map(LiveBitVector.from_registers, (a, b))
+        assert set((va - vb).registers()) == a - b
+
+    @given(registers, registers)
+    def test_intersect_is_set_intersection(self, a, b):
+        va, vb = map(LiveBitVector.from_registers, (a, b))
+        assert set((va & vb).registers()) == a & b
+
+    @given(registers, st.integers(min_value=0, max_value=63))
+    def test_with_without_inverse(self, regs, reg):
+        vec = LiveBitVector.from_registers(regs)
+        assert vec.with_register(reg).without_register(reg) \
+            == vec.without_register(reg)
+
+
+# ----------------------------------------------------------------------
+# Liveness vs. a reference interpreter
+# ----------------------------------------------------------------------
+def random_straightline(seed: int, length: int):
+    """A random straight-line program over 8 registers."""
+    rng = random.Random(seed)
+    instrs = []
+    for __ in range(length):
+        dest = rng.randrange(8)
+        srcs = tuple(rng.sample(range(8), rng.randint(1, 2)))
+        instrs.append(Instruction(Opcode.IALU, dest, srcs))
+    cfg = ControlFlowGraph()
+    cfg.add_block(instrs, EdgeKind.FALLTHROUGH, successors=(1,))
+    cfg.add_block([Instruction(Opcode.EXIT)], EdgeKind.EXIT)
+    return cfg.freeze()
+
+
+def reference_live_in(cfg, index):
+    """Brute-force liveness: walk forward from `index` and collect reads
+    that happen before the register is overwritten."""
+    live = set()
+    killed = set()
+    for instr in cfg.instructions[index:]:
+        for src in instr.srcs:
+            if src not in killed:
+                live.add(src)
+        if instr.dest is not None:
+            killed.add(instr.dest)
+    return live
+
+
+class TestLivenessProperties:
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_interpreter(self, seed, length):
+        cfg = random_straightline(seed, length)
+        table = LivenessAnalysis(cfg).run(8)
+        for index in range(cfg.num_instructions):
+            expected = reference_live_in(cfg, index)
+            assert set(table.live_at_index(index).registers()) == expected
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_live_never_exceeds_named_registers(self, seed):
+        cfg = random_straightline(seed, 20)
+        table = LivenessAnalysis(cfg).run(8)
+        named = set(cfg.registers_used())
+        for index in range(cfg.num_instructions):
+            assert set(table.live_at_index(index).registers()) <= named
+
+
+# ----------------------------------------------------------------------
+# PCRF chains
+# ----------------------------------------------------------------------
+live_sets = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=31),
+              st.integers(min_value=0, max_value=63)),
+    min_size=1, max_size=12)
+
+
+class TestPCRFProperties:
+    @given(st.lists(live_sets, min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_interleaved_round_trips(self, cta_lives):
+        total = sum(len(lv) for lv in cta_lives)
+        pcrf = PCRF(max(16, total))
+        for cta_id, live in enumerate(cta_lives):
+            pcrf.spill(cta_id, live)
+        # Restore in reverse order: chains must be independent.
+        for cta_id in reversed(range(len(cta_lives))):
+            assert list(pcrf.restore(cta_id)) == cta_lives[cta_id]
+        assert pcrf.free_entries == pcrf.capacity
+
+    @given(live_sets, live_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_free_space_conservation(self, a, b):
+        pcrf = PCRF(64)
+        pcrf.spill(0, a)
+        pcrf.spill(1, b)
+        assert pcrf.used_entries == len(a) + len(b)
+        pcrf.restore(0)
+        assert pcrf.used_entries == len(b)
+        occupied = sum(pcrf.occupancy_flags())
+        assert occupied == pcrf.used_entries
+
+
+# ----------------------------------------------------------------------
+# Caches
+# ----------------------------------------------------------------------
+addresses = st.lists(st.integers(min_value=0, max_value=1 << 20),
+                     min_size=1, max_size=200)
+
+
+class TestCacheProperties:
+    @given(addresses)
+    @settings(max_examples=50, deadline=None)
+    def test_most_recent_line_always_resident(self, addrs):
+        cache = Cache("p", 8 * 2 * 128, 2, 128)
+        for addr in addrs:
+            cache.access(addr)
+            assert cache.probe(addr)
+
+    @given(addresses)
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_bounded(self, addrs):
+        cache = Cache("p", 4 * 2 * 128, 2, 128)
+        for addr in addrs:
+            cache.access(addr)
+        occ = cache.occupancy()
+        assert occ["lines"] <= occ["capacity"]
+
+    @given(addresses)
+    @settings(max_examples=50, deadline=None)
+    def test_stats_add_up(self, addrs):
+        cache = Cache("p", 4 * 2 * 128, 2, 128)
+        for addr in addrs:
+            cache.access(addr)
+        assert cache.stats.accesses == len(addrs)
+
+
+class TestBitVectorCacheProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=4000), min_size=1,
+                    max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_fill_then_lookup_hits(self, pcs):
+        cache = BitVectorCache(8)
+        vec = LiveBitVector.from_registers([1])
+        for pc in pcs:
+            pc *= 4
+            cache.fill(pc, vec)
+            assert cache.lookup(pc) == vec
+
+
+# ----------------------------------------------------------------------
+# DRAM monotonicity
+# ----------------------------------------------------------------------
+class TestDRAMProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=1000),
+                              st.integers(min_value=1, max_value=4096)),
+                    min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_completions_monotone_for_sorted_arrivals(self, reqs):
+        dram = DRAM(16.0, 100)
+        last = 0
+        for now, nbytes in sorted(reqs):
+            done = dram.request(now, nbytes)
+            assert done >= now + 100
+            assert done >= last   # FIFO channel never reorders
+            last = done
+
+    @given(st.lists(st.integers(min_value=1, max_value=4096), min_size=1,
+                    max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_traffic_accounting_exact(self, sizes):
+        dram = DRAM(16.0, 100)
+        for nbytes in sizes:
+            dram.request(0, nbytes)
+        assert dram.stats.total_bytes == sum(sizes)
+
+
+# ----------------------------------------------------------------------
+# ACRF conservation
+# ----------------------------------------------------------------------
+class TestACRFProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=64), min_size=1,
+                    max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_allocate_release_conserves(self, sizes):
+        acrf = ACRFAllocator(4096)
+        allocated = {}
+        for cta_id, size in enumerate(sizes):
+            if acrf.can_allocate(size):
+                acrf.allocate(cta_id, size)
+                allocated[cta_id] = size
+        assert acrf.used == sum(allocated.values())
+        for cta_id, size in allocated.items():
+            assert acrf.release(cta_id) == size
+        assert acrf.used == 0
+        assert acrf.free == acrf.capacity

@@ -1,0 +1,36 @@
+"""Tests for the full-campaign driver."""
+
+from pathlib import Path
+
+from repro.experiments.run_all import CAMPAIGN, run_campaign, write_report
+
+
+class TestCampaignDefinition:
+    def test_covers_every_paper_experiment(self):
+        names = {name for name, __ in CAMPAIGN}
+        for required in ("fig02_resources", "fig03_cta_overhead",
+                         "fig04_case_study", "fig05_register_usage",
+                         "table03_stall_time", "fig12_concurrent_ctas",
+                         "fig13_performance", "fig14_rf_stalls",
+                         "fig15_memory_traffic", "fig16_energy",
+                         "fig17_rf_sensitivity", "fig18_sm_scaling",
+                         "fig19_unified_memory"):
+            assert required in names
+
+    def test_includes_ablations(self):
+        names = {name for name, __ in CAMPAIGN}
+        assert "ablation_bitvector_cache" in names
+        assert "ablation_switch_policy" in names
+
+
+class TestCampaignExecution:
+    def test_subset_runs_and_reports(self, tiny_runner, tmp_path):
+        results = run_campaign(tiny_runner, modules=["fig03_cta_overhead"])
+        assert len(results) == 1
+        assert results[0].experiment == "fig03"
+        assert "_elapsed_s" in results[0].summary
+        report = tmp_path / "REPORT.md"
+        write_report(results, report, "tiny")
+        text = report.read_text()
+        assert "# FineReg reproduction" in text
+        assert "fig03" in text

@@ -1,0 +1,73 @@
+"""Tests for the statistics containers."""
+
+import pytest
+
+from repro.sim.stats import SMStats, SimResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        policy="baseline", workload="unit", cycles=1000, instructions=2000,
+        num_sms=2, avg_active_ctas_per_sm=4.0, avg_pending_ctas_per_sm=2.0,
+        max_resident_ctas=8, avg_active_threads_per_sm=128.0,
+        dram_traffic_bytes=4096, dram_traffic_by_class={"demand_read": 4096},
+        l1_hit_rate=0.5, l2_hit_rate=0.5, idle_cycles=100,
+        rf_depletion_cycles=50, srp_stall_cycles=0, cta_switch_events=3,
+        rf_reads=10, rf_writes=5, pcrf_reads=2, pcrf_writes=2,
+        shmem_accesses=1, l1_accesses=7, l2_accesses=3,
+        mean_stall_latency=120.0, window_usage_bounds=(0.2, 0.5, 0.8),
+        bitvector_hit_rate=0.95, completed_ctas=16, timed_out=False,
+    )
+    defaults.update(overrides)
+    return SimResult(**defaults)
+
+
+class TestSMStats:
+    def test_accumulate_weights_by_dt(self):
+        stats = SMStats()
+        stats.accumulate(10, active_ctas=4, pending_ctas=2, active_warps=16)
+        stats.accumulate(5, active_ctas=2, pending_ctas=0, active_warps=8)
+        assert stats.active_cta_cycles == 50
+        assert stats.pending_cta_cycles == 20
+        assert stats.active_warp_cycles == 200
+
+    def test_max_resident_tracked(self):
+        stats = SMStats()
+        stats.accumulate(1, 4, 2, 16)
+        stats.accumulate(1, 3, 1, 12)
+        assert stats.max_resident_ctas == 6
+
+
+class TestSimResult:
+    def test_ipc(self):
+        result = make_result()
+        assert result.ipc == 2.0
+        assert result.ipc_per_sm == 1.0
+
+    def test_resident_is_active_plus_pending(self):
+        assert make_result().avg_resident_ctas_per_sm == 6.0
+
+    def test_rf_depletion_fraction(self):
+        assert make_result().rf_depletion_fraction == pytest.approx(0.05)
+
+    def test_speedup_over(self):
+        fast = make_result(instructions=4000)
+        slow = make_result()
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_speedup_over_zero_baseline(self):
+        broken = make_result(instructions=0)
+        with pytest.raises(ZeroDivisionError):
+            make_result().speedup_over(broken)
+
+    def test_traffic_ratio(self):
+        doubled = make_result(dram_traffic_bytes=8192)
+        assert doubled.traffic_ratio_over(make_result()) == 2.0
+
+    def test_traffic_ratio_zero_baseline(self):
+        zero = make_result(dram_traffic_bytes=0)
+        assert make_result().traffic_ratio_over(zero) == 1.0
+
+    def test_zero_cycle_ipc(self):
+        # cycles is clamped to >=1 by the GPU, but the property is safe.
+        assert make_result(cycles=0).ipc == 0.0

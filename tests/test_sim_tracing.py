@@ -1,0 +1,82 @@
+"""Tests for the opt-in event tracer."""
+
+import pytest
+
+from repro.config import GPUConfig, TINY
+from repro.policies.finereg import FineRegPolicy
+from repro.sim.gpu import GPU
+from repro.sim.tracing import Event, EventKind, EventTracer, attach_tracer
+from repro.workloads.generator import build_workload
+from repro.workloads.suite import get_spec
+
+
+def traced_run(app="KM", policy=FineRegPolicy):
+    config = GPUConfig().with_num_sms(1)
+    instance = build_workload(get_spec(app), config, TINY)
+    gpu = GPU(config, instance.kernel, policy,
+              instance.trace_provider, instance.address_model,
+              liveness=instance.liveness)
+    tracer = attach_tracer(gpu)
+    result = gpu.run(max_cycles=TINY.max_cycles)
+    return gpu, tracer, result
+
+
+class TestTracerBasics:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventTracer(0)
+
+    def test_bounded_capacity_drops(self):
+        tracer = EventTracer(capacity=2)
+        for i in range(5):
+            tracer.record(i, 0, EventKind.LAUNCH, i)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_event_rendering(self):
+        event = Event(12, 0, EventKind.SWITCH_OUT, 7)
+        assert "switch_out" in str(event)
+        assert "CTA 7" in str(event)
+
+
+class TestTracedRun:
+    def test_every_cta_launches_and_retires(self):
+        gpu, tracer, result = traced_run()
+        grid = gpu.kernel.geometry.grid_ctas
+        assert len(tracer.of_kind(EventKind.LAUNCH)) == grid
+        assert len(tracer.of_kind(EventKind.RETIRE)) == grid
+
+    def test_switches_balance(self):
+        __, tracer, result = traced_run()
+        outs = len(tracer.of_kind(EventKind.SWITCH_OUT))
+        ins = len(tracer.of_kind(EventKind.SWITCH_IN))
+        assert outs == ins
+        assert outs + ins == result.cta_switch_events
+
+    def test_cta_timeline_is_ordered(self):
+        __, tracer, __ = traced_run()
+        events = tracer.for_cta(0)
+        cycles = [e.cycle for e in events]
+        assert cycles == sorted(cycles)
+        assert events[0].kind is EventKind.LAUNCH
+        assert events[-1].kind is EventKind.RETIRE
+
+    def test_residency_positive(self):
+        __, tracer, __ = traced_run()
+        residency = tracer.residency_of(0)
+        assert residency is not None and residency > 0
+
+    def test_switch_count_per_cta(self):
+        __, tracer, __ = traced_run()
+        total = sum(tracer.switch_count(e.cta_id)
+                    for e in tracer.of_kind(EventKind.LAUNCH))
+        assert total == len(tracer.of_kind(EventKind.SWITCH_OUT))
+
+    def test_timeline_renders_with_limit(self):
+        __, tracer, __ = traced_run()
+        text = tracer.timeline(limit=5)
+        assert "more events" in text or len(tracer) <= 5
+
+    def test_untraced_run_has_no_tracer(self, tiny_runner):
+        result = tiny_runner.run("KM", "baseline")
+        assert result is not None  # runner path never attaches a tracer

@@ -1,0 +1,142 @@
+"""Tests for warp and CTA simulation state."""
+
+import pytest
+
+from repro.sim.cta import CTASim, CTAState
+from repro.sim.warp import FOREVER, WarpSim, WarpState
+
+
+def make_cta(num_warps=2, trace=(0, 1, 2)):
+    warps = [WarpSim(i, 100 + i, 7, list(trace)) for i in range(num_warps)]
+    cta = CTASim(7, warps)
+    for warp in warps:
+        warp.cta = cta
+    return cta
+
+
+class TestWarpState:
+    def test_initially_runnable(self):
+        cta = make_cta()
+        warp = cta.warps[0]
+        assert warp.is_runnable(0)
+        assert not warp.is_blocked(0)
+
+    def test_blocked_until(self):
+        warp = make_cta().warps[0]
+        warp.blocked_until = 50
+        assert not warp.is_runnable(10)
+        assert warp.is_blocked(10)
+        assert warp.remaining_block(10) == 40
+        assert warp.is_runnable(50)
+
+    def test_finish(self):
+        warp = make_cta().warps[0]
+        warp.finish()
+        assert warp.finished
+        assert not warp.is_runnable(0)
+        assert warp.remaining_block(0) == FOREVER
+
+    def test_operands_ready_at(self):
+        warp = make_cta().warps[0]
+        warp.ready_at[3] = 120
+        warp.ready_at[4] = 80
+        assert warp.operands_ready_at((3, 4)) == 120
+        assert warp.operands_ready_at((4,)) == 80
+        assert warp.operands_ready_at((9,)) == 0
+
+    def test_barrier_wait_and_release(self):
+        warp = make_cta().warps[0]
+        warp.wait_at_barrier()
+        assert warp.state is WarpState.AT_BARRIER
+        assert warp.blocked_until == FOREVER
+        warp.release_barrier(10)
+        assert warp.state is WarpState.RUNNABLE
+        assert warp.is_runnable(10)
+
+    def test_release_ignores_non_barrier_warps(self):
+        warp = make_cta().warps[0]
+        warp.blocked_until = 99
+        warp.release_barrier(10)
+        assert warp.blocked_until == 99
+
+    def test_unique_address_bases(self):
+        cta = make_cta()
+        bases = {warp.stream_base for warp in cta.warps}
+        assert len(bases) == len(cta.warps)
+
+
+class TestCTAStall:
+    def test_not_stalled_with_runnable_warp(self):
+        cta = make_cta()
+        cta.warps[0].blocked_until = 100
+        assert not cta.fully_stalled(0)
+
+    def test_fully_stalled(self):
+        cta = make_cta()
+        for warp in cta.warps:
+            warp.blocked_until = 500
+        assert cta.fully_stalled(0)
+        assert cta.fully_stalled(0, min_remaining=400)
+        assert not cta.fully_stalled(0, min_remaining=600)
+
+    def test_finished_warps_do_not_block_stall(self):
+        cta = make_cta()
+        cta.warps[0].finish()
+        cta.warps[1].blocked_until = 500
+        assert cta.fully_stalled(0)
+
+    def test_all_finished_is_not_stalled(self):
+        cta = make_cta()
+        for warp in cta.warps:
+            warp.finish()
+        assert not cta.fully_stalled(0)
+        assert cta.finished
+
+    def test_earliest_resume(self):
+        cta = make_cta()
+        cta.warps[0].blocked_until = 300
+        cta.warps[1].blocked_until = 200
+        assert cta.earliest_resume(0) == 200
+        assert cta.earliest_resume(250) == 250
+
+    def test_is_ready(self):
+        cta = make_cta()
+        for warp in cta.warps:
+            warp.blocked_until = 100
+        assert not cta.is_ready(50)
+        assert cta.is_ready(100)
+
+
+class TestBarrierBookkeeping:
+    def test_release_when_all_arrive(self):
+        cta = make_cta(num_warps=3)
+        assert not cta.arrive_at_barrier(cta.warps[0], 0)
+        assert not cta.arrive_at_barrier(cta.warps[1], 0)
+        assert cta.arrive_at_barrier(cta.warps[2], 0)
+        assert all(w.is_runnable(0) for w in cta.warps)
+        assert cta.barrier_arrived == 0
+
+    def test_finished_warp_lowers_quorum(self):
+        cta = make_cta(num_warps=3)
+        cta.arrive_at_barrier(cta.warps[0], 0)
+        cta.arrive_at_barrier(cta.warps[1], 0)
+        cta.warps[2].finish()
+        assert cta.maybe_release_barrier(5)
+        assert cta.warps[0].is_runnable(5)
+
+
+class TestTransit:
+    def test_transit_settles_at_deadline(self):
+        cta = make_cta()
+        cta.begin_transit(until=100, target=CTAState.PENDING)
+        assert cta.state is CTAState.TRANSIT
+        assert not cta.settle_transit(99)
+        assert cta.settle_transit(100)
+        assert cta.state is CTAState.PENDING
+        assert cta.pending_since == 100
+
+    def test_transit_to_active(self):
+        cta = make_cta()
+        cta.begin_transit(until=10, target=CTAState.ACTIVE)
+        cta.settle_transit(20)
+        assert cta.state is CTAState.ACTIVE

@@ -1,0 +1,79 @@
+"""Suite-wide workload-profile regression tests.
+
+These pin the calibration: every benchmark's generated envelope must keep
+matching the character its spec (and the paper's Table II / Fig 5) assigns
+to it.  If a future generator change drifts the suite, these tests point at
+the exact app and property that moved.
+"""
+
+import pytest
+
+from repro.config import GPUConfig, TINY
+from repro.workloads.characterize import characterize
+from repro.workloads.generator import build_workload
+from repro.workloads.suite import ALL_SPECS
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    config = GPUConfig().with_num_sms(1)
+    out = {}
+    for spec in ALL_SPECS:
+        instance = build_workload(spec, config, TINY)
+        out[spec.abbrev] = (spec, characterize(instance))
+    return out
+
+
+class TestSuiteProfiles:
+    def test_every_app_profiles(self, profiles):
+        assert len(profiles) == 18
+
+    def test_memory_fraction_in_sane_band(self, profiles):
+        for abbrev, (spec, profile) in profiles.items():
+            assert 0.03 <= profile.global_memory_fraction <= 0.6, abbrev
+
+    def test_liveness_follows_spec_ordering(self, profiles):
+        """Apps with lower live_fraction targets must produce lower mean
+        live fractions (the property Fig 5 and the PCRF depend on)."""
+        pairs = sorted(
+            ((spec.live_fraction, profile.mean_live_fraction, abbrev)
+             for abbrev, (spec, profile) in profiles.items()))
+        lowest = pairs[:4]
+        highest = pairs[-4:]
+        mean = lambda rows: sum(r[1] for r in rows) / len(rows)
+        assert mean(lowest) < mean(highest)
+
+    def test_divergent_apps_show_overhead(self, profiles):
+        divergent = [p for a, (s, p) in profiles.items()
+                     if s.divergence_prob > 0]
+        uniform = [p for a, (s, p) in profiles.items()
+                   if s.divergence_prob == 0]
+        mean = lambda ps: sum(p.divergence_overhead for p in ps) / len(ps)
+        assert mean(divergent) > mean(uniform)
+
+    def test_barrier_apps_have_barriers(self, profiles):
+        for abbrev, (spec, profile) in profiles.items():
+            if spec.has_barrier:
+                assert profile.barrier_count >= 1, abbrev
+            else:
+                assert profile.barrier_count == 0, abbrev
+
+    def test_single_main_loop(self, profiles):
+        for abbrev, (spec, profile) in profiles.items():
+            assert profile.loop_blocks == 1, abbrev
+
+    def test_static_size_within_paper_bound(self, profiles):
+        for abbrev, (spec, profile) in profiles.items():
+            assert profile.static_instructions <= 600, abbrev
+
+    def test_max_live_fits_allocation(self, profiles):
+        for abbrev, (spec, profile) in profiles.items():
+            assert profile.max_live_count <= spec.regs_per_thread, abbrev
+
+    def test_compute_heavy_apps_have_longer_iterations(self, profiles):
+        """SG/MC/LI (high compute_per_mem) must run more instructions per
+        memory access than BF/KM (memory-intensive)."""
+        ratio = lambda a: 1.0 / max(
+            profiles[a][1].global_memory_fraction, 1e-9)
+        assert min(ratio("SG"), ratio("MC"), ratio("LI")) \
+            > max(ratio("BF"), ratio("KM"))

@@ -1,0 +1,214 @@
+"""Tests for the workload suite, generator, and trace/address providers."""
+
+import pytest
+
+from repro.config import GPUConfig, SMALL, TINY, default_config
+from repro.isa.cfg import EdgeKind
+from repro.isa.instructions import AccessPattern, Opcode
+from repro.workloads.generator import baseline_resident_ctas, build_workload
+from repro.workloads.spec import WorkloadSpec, WorkloadType
+from repro.workloads.suite import (
+    ALL_SPECS,
+    SPEC_BY_ABBREV,
+    TYPE_R_SPECS,
+    TYPE_S_SPECS,
+    get_spec,
+)
+from repro.workloads.traces import AddressModel, TraceProvider
+
+
+class TestSuiteComposition:
+    def test_eighteen_benchmarks(self):
+        assert len(ALL_SPECS) == 18
+        assert len(TYPE_S_SPECS) == 9
+        assert len(TYPE_R_SPECS) == 9
+
+    def test_table_ii_abbreviations(self):
+        expected = {"BF", "BI", "CS", "FD", "KM", "MC", "NW", "ST", "SY2",
+                    "AT", "CF", "HS", "LI", "LB", "SG", "SR", "TA", "TR"}
+        assert set(SPEC_BY_ABBREV) == expected
+
+    def test_lookup(self):
+        assert get_spec("km").abbrev == "KM"
+        with pytest.raises(KeyError):
+            get_spec("XX")
+
+    def test_unique_seeds(self):
+        assert len({spec.seed for spec in ALL_SPECS}) == len(ALL_SPECS)
+
+
+class TestTypeClassification:
+    """Type-S must be scheduler-limited; Type-R register/shmem-limited."""
+
+    @pytest.mark.parametrize("spec", TYPE_S_SPECS,
+                             ids=lambda s: s.abbrev)
+    def test_type_s_has_register_headroom(self, spec):
+        config = GPUConfig()
+        sched_limit = min(
+            config.max_ctas_per_sm,
+            config.max_warps_per_sm // spec.warps_per_cta,
+            config.max_threads_per_sm // spec.threads_per_cta,
+        )
+        rf_limit = config.rf_warp_registers // spec.warp_registers_per_cta
+        assert rf_limit >= sched_limit, \
+            f"{spec.abbrev}: register file binds before the scheduler"
+
+    @pytest.mark.parametrize("spec", TYPE_R_SPECS,
+                             ids=lambda s: s.abbrev)
+    def test_type_r_is_memory_bound(self, spec):
+        config = GPUConfig()
+        sched_limit = min(
+            config.max_ctas_per_sm,
+            config.max_warps_per_sm // spec.warps_per_cta,
+            config.max_threads_per_sm // spec.threads_per_cta,
+        )
+        rf_limit = config.rf_warp_registers // spec.warp_registers_per_cta
+        limits = [rf_limit]
+        if spec.shmem_per_cta:
+            limits.append(config.shared_memory_bytes // spec.shmem_per_cta)
+        assert min(limits) < sched_limit, \
+            f"{spec.abbrev}: scheduler binds before registers/shmem"
+
+    def test_fig3_overhead_range(self):
+        overheads = [spec.cta_overhead_bytes / 1024 for spec in ALL_SPECS]
+        assert min(overheads) >= 2.0
+        assert max(overheads) <= 40.0
+        # Registers dominate the overhead (paper: 88.7%).
+        reg = sum(s.register_bytes_per_cta for s in ALL_SPECS)
+        total = sum(s.cta_overhead_bytes for s in ALL_SPECS)
+        assert reg / total > 0.75
+
+
+class TestSpecValidation:
+    def test_bad_threads(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", abbrev="X", wtype=WorkloadType.TYPE_S,
+                         threads_per_cta=100, regs_per_thread=8)
+
+    def test_bad_locality_mix(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", abbrev="X", wtype=WorkloadType.TYPE_S,
+                         threads_per_cta=64, regs_per_thread=8,
+                         stream_frac=0.8, reuse_frac=0.5)
+
+    def test_divergence_requires_branch_region(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", abbrev="X", wtype=WorkloadType.TYPE_S,
+                         threads_per_cta=64, regs_per_thread=8,
+                         divergence_prob=0.2, branch_region=False)
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.abbrev)
+    def test_every_spec_builds(self, spec, config):
+        instance = build_workload(spec, config, TINY)
+        kernel = instance.kernel
+        assert kernel.cfg.frozen
+        assert kernel.regs_per_thread == spec.regs_per_thread
+        assert kernel.num_static_instructions <= 600  # paper V-F bound
+        assert kernel.geometry.grid_ctas >= 2
+
+    def test_barrier_only_outside_branch_arms(self, config):
+        for spec in ALL_SPECS:
+            if not spec.has_barrier:
+                continue
+            instance = build_workload(spec, config, TINY)
+            for block in instance.kernel.cfg.blocks:
+                has_bar = any(i.opcode is Opcode.BAR for i in block)
+                if has_bar:
+                    # Barrier blocks must be on the main path (loop-back or
+                    # fallthrough), never inside a divergent arm.
+                    assert block.edge_kind in (EdgeKind.LOOP_BACK,
+                                               EdgeKind.FALLTHROUGH,
+                                               EdgeKind.EXIT)
+
+    def test_liveness_tracks_live_fraction(self, config):
+        """Low-live specs must produce lower live fractions than high-live
+        ones (Fig 5's spread)."""
+        low = build_workload(get_spec("LI"), config, TINY)
+        high = build_workload(get_spec("FD"), config, TINY)
+        assert low.liveness.mean_live_fraction() \
+            < high.liveness.mean_live_fraction()
+
+    def test_baseline_resident(self, config):
+        spec = get_spec("LB")  # 4 warps x 48 regs = 192 entries
+        assert baseline_resident_ctas(spec, config) == 2048 // 192
+
+    def test_grid_scales_with_sms(self):
+        spec = get_spec("KM")
+        one = build_workload(spec, GPUConfig().with_num_sms(1), TINY)
+        two = build_workload(spec, GPUConfig().with_num_sms(2), TINY)
+        assert two.kernel.geometry.grid_ctas \
+            == 2 * one.kernel.geometry.grid_ctas
+
+
+class TestTraceProvider:
+    def test_deterministic(self, km_workload):
+        provider = km_workload.trace_provider
+        assert provider.trace_for(3, 1) == provider.trace_for(3, 1)
+
+    def test_trips_are_cta_uniform(self, km_workload):
+        provider = km_workload.trace_provider
+        assert provider.trips_for_cta(5) == provider.trips_for_cta(5)
+        # Different CTAs may differ (seeded jitter) but stay near the mean.
+        trips = [list(provider.trips_for_cta(c).values())[0]
+                 for c in range(20)]
+        spec = km_workload.spec
+        mean = sum(trips) / len(trips)
+        assert 0.5 * spec.loop_trips * TINY.trace_scale <= mean \
+            <= 1.5 * spec.loop_trips * TINY.trace_scale
+
+    def test_trace_indices_valid(self, km_workload):
+        trace = km_workload.trace_provider.trace_for(0, 0)
+        n = km_workload.kernel.num_static_instructions
+        assert all(0 <= idx < n for idx in trace)
+        # Ends with the EXIT instruction.
+        last = km_workload.kernel.cfg.instructions[trace[-1]]
+        assert last.opcode is Opcode.EXIT
+
+    def test_divergent_traces_longer_on_average(self, config):
+        spec = get_spec("BF")  # divergent branch region
+        instance = build_workload(spec, config, TINY)
+        cfg = instance.kernel.cfg
+        branch = next(b for b in cfg.blocks
+                      if b.edge_kind is EdgeKind.BRANCH)
+        reconv = cfg.reconvergence_block(branch.block_id)
+        assert reconv is not None
+
+
+class TestAddressModel:
+    def test_stream_never_repeats(self, km_workload):
+        from repro.sim.warp import WarpSim
+        warp = WarpSim(0, 0, 0, [])
+        model = AddressModel()
+        instr = next(i for i in km_workload.kernel.cfg.instructions
+                     if i.pattern is AccessPattern.STREAM)
+        addresses = {model.address_for(warp, instr) for __ in range(100)}
+        assert len(addresses) == 100
+
+    def test_reuse_has_spatial_locality(self):
+        from repro.sim.warp import WarpSim
+        from repro.isa.instructions import Instruction
+        warp = WarpSim(0, 0, 0, [])
+        model = AddressModel(reuse_spatial=4)
+        instr = Instruction(Opcode.LDG, 1, (0,), AccessPattern.REUSE)
+        lines = [model.address_for(warp, instr) // 128 for __ in range(8)]
+        assert lines[0] == lines[1] == lines[2] == lines[3]
+        assert lines[4] == lines[5] == lines[6] == lines[7]
+
+    def test_shared_ws_bounded(self):
+        from repro.sim.warp import WarpSim
+        from repro.isa.instructions import Instruction
+        warp = WarpSim(0, 5, 0, [])
+        model = AddressModel(shared_ws_kb=16)
+        instr = Instruction(Opcode.LDG, 1, (0,), AccessPattern.SHARED_WS)
+        lines = {model.address_for(warp, instr) for __ in range(1000)}
+        assert len(lines) <= 128  # 16 KB / 128 B
+
+    def test_warm_l2_resets_stats(self):
+        from repro.memory.cache import Cache
+        model = AddressModel(shared_ws_kb=16)
+        l2 = Cache("l2", 256 * 1024, 8, 128)
+        model.warm_l2(l2)
+        assert l2.stats.accesses == 0
+        assert l2.probe(model.SHARED_BASE)

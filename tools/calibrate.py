@@ -1,0 +1,40 @@
+"""Calibration sweep used while tuning the workload suite (not shipped API)."""
+import math
+import sys
+import time
+
+from repro.config import SCALES
+from repro.experiments.runner import ExperimentRunner
+
+scale = SCALES[sys.argv[1] if len(sys.argv) > 1 else "tiny"]
+apps = sys.argv[2].split(",") if len(sys.argv) > 2 else [
+    "BF", "BI", "CS", "FD", "KM", "MC", "NW", "ST", "SY2",
+    "AT", "CF", "HS", "LI", "LB", "SG", "SR", "TA", "TR",
+]
+t0 = time.time()
+runner = ExperimentRunner(scale=scale)
+print(f"{'app':4} {'util':>5} {'dbusy':>5} {'stall':>6} | VT   RM   FR  | res: base vt fr")
+sp = {"vt": [], "rm": [], "fr": []}
+cta = {"vt": [], "fr": []}
+for app in apps:
+    b = runner.run(app, "baseline")
+    v = runner.run(app, "virtual_thread")
+    m = runner.run(app, "vt_regmutex")
+    f = runner.run(app, "finereg")
+    dbusy = b.dram_traffic_bytes / (b.cycles * runner.base_config.dram_bytes_per_cycle)
+    st = b.mean_stall_latency or 0
+    sp["vt"].append(v.ipc / b.ipc)
+    sp["rm"].append(m.ipc / b.ipc)
+    sp["fr"].append(f.ipc / b.ipc)
+    cta["vt"].append(v.avg_resident_ctas_per_sm / b.avg_resident_ctas_per_sm)
+    cta["fr"].append(f.avg_resident_ctas_per_sm / b.avg_resident_ctas_per_sm)
+    print(f"{app:4} {b.ipc/4:5.2f} {dbusy:5.2f} {st:6.0f} | "
+          f"{v.ipc/b.ipc:.2f} {m.ipc/b.ipc:.2f} {f.ipc/b.ipc:.2f} | "
+          f"{b.avg_resident_ctas_per_sm:4.1f} {v.avg_resident_ctas_per_sm:4.1f} "
+          f"{f.avg_resident_ctas_per_sm:4.1f}")
+geo = lambda xs: math.exp(sum(math.log(x) for x in xs) / len(xs))
+print(f"geomean speedup: VT {geo(sp['vt']):.3f}  RM {geo(sp['rm']):.3f}  "
+      f"FR {geo(sp['fr']):.3f}")
+print(f"mean CTA ratio:  VT {sum(cta['vt'])/len(cta['vt']):.2f}  "
+      f"FR {sum(cta['fr'])/len(cta['fr']):.2f}")
+print("elapsed", round(time.time() - t0, 1), "s")
