@@ -6,7 +6,9 @@ Usage examples::
     python -m repro run KM --policy finereg      # one simulation
     python -m repro compare KM LB --scale tiny   # all five policies
     python -m repro figure fig13 --apps KM,LB    # regenerate a figure
-    python -m repro figure all                   # the whole evaluation
+    python -m repro figure all --jobs 8          # the whole evaluation
+    python -m repro cache info                   # persistent result cache
+    python -m repro cache clear
     python -m repro overhead                     # V-F hardware budget
 """
 
@@ -19,7 +21,8 @@ from typing import List, Optional, Sequence
 
 from repro.config import SCALES
 from repro.core.overhead import finereg_overhead
-from repro.experiments.common import main_config_results
+from repro.experiments.cache import ResultCache, cache_enabled
+from repro.experiments.common import main_config_results, plan_main_configs
 from repro.experiments.report import format_table
 from repro.experiments.runner import ExperimentRunner, POLICIES
 from repro.workloads.suite import ALL_SPECS, get_spec
@@ -63,6 +66,8 @@ def build_parser() -> argparse.ArgumentParser:
                              help="all five policies on given benchmarks")
     cmp_cmd.add_argument("apps", nargs="+")
     cmp_cmd.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    cmp_cmd.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: all CPUs)")
     cmp_cmd.set_defaults(func=cmd_compare)
 
     fig_cmd = sub.add_parser("figure", help="regenerate a paper figure")
@@ -71,7 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
     fig_cmd.add_argument("--scale", default="small", choices=sorted(SCALES))
     fig_cmd.add_argument("--apps", default=None,
                          help="comma-separated subset, e.g. KM,LB")
+    fig_cmd.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: all CPUs)")
     fig_cmd.set_defaults(func=cmd_figure)
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache")
+    cache_cmd.add_argument("action", choices=("info", "clear"))
+    cache_cmd.set_defaults(func=cmd_cache)
 
     ovh_cmd = sub.add_parser("overhead", help="FineReg SRAM budget (V-F)")
     ovh_cmd.set_defaults(func=cmd_overhead)
@@ -123,6 +135,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     runner = ExperimentRunner(scale=SCALES[args.scale])
+    apps = tuple(app.upper() for app in args.apps)
+    runner.run_many(plan_main_configs(runner, apps), jobs=args.jobs)
     headers = ["app", "baseline", "virtual_thread", "reg_dram",
                "vt_regmutex", "finereg"]
     rows = []
@@ -140,15 +154,46 @@ def cmd_figure(args: argparse.Namespace) -> int:
     runner = ExperimentRunner(scale=SCALES[args.scale])
     names = (sorted(EXPERIMENT_MODULES) if args.figure == "all"
              else [args.figure])
+    plans = []
     for name in names:
         module = importlib.import_module(
             f"repro.experiments.{EXPERIMENT_MODULES[name]}")
         kwargs = {}
         if args.apps and name not in ("fig04",):
             kwargs["apps"] = tuple(a.upper() for a in args.apps.split(","))
+        plan = getattr(module, "plan", None)
+        if plan is not None:
+            plans.append((module, kwargs, plan(runner, **kwargs)))
+        else:
+            plans.append((module, kwargs, []))
+    # Prefetch every figure's request set over the pool before the serial
+    # render loop; shared runs dedupe inside run_many.
+    runner.run_many([r for __, __, reqs in plans for r in reqs],
+                    jobs=args.jobs)
+    for module, kwargs, __ in plans:
         result = module.run(runner, **kwargs)
         print(result.to_text())
         print()
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache.from_env()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    entries = cache.entries()
+    total = sum(path.stat().st_size for path in entries)
+    state = "enabled" if cache_enabled() else "disabled (REPRO_CACHE=off)"
+    rows = [
+        ["directory", str(cache.root)],
+        ["state", state],
+        ["entries", len(entries)],
+        ["size (KB)", f"{total / 1024:.1f}"],
+    ]
+    print(format_table(["field", "value"], rows,
+                       title="Persistent result cache"))
     return 0
 
 

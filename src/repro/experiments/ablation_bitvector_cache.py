@@ -12,6 +12,7 @@ import dataclasses
 from typing import Sequence
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.parallel import RunRequest
 from repro.experiments.report import geomean
 from repro.experiments.runner import ExperimentRunner
 
@@ -50,6 +51,18 @@ def run(runner: ExperimentRunner,
                "instructions cause stalls; hit rate should saturate near "
                "that size."),
     )
+
+
+def plan(runner: ExperimentRunner,
+         apps: Sequence[str] = DEFAULT_APPS,
+         sizes: Sequence[int] = SIZES):
+    requests = [RunRequest.make(app, "baseline") for app in apps]
+    for size in sizes:
+        config = dataclasses.replace(runner.base_config,
+                                     bitvector_cache_entries=size)
+        requests += [RunRequest.make(app, "finereg", config=config)
+                     for app in apps]
+    return requests
 
 
 def main() -> None:  # pragma: no cover - CLI entry

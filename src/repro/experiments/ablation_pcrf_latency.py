@@ -12,6 +12,7 @@ import dataclasses
 from typing import Sequence
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.parallel import RunRequest
 from repro.experiments.report import geomean
 from repro.experiments.runner import ExperimentRunner
 
@@ -45,6 +46,18 @@ def run(runner: ExperimentRunner,
                "warps; speedup should degrade gracefully, not collapse, "
                "as the PCRF pipeline slows."),
     )
+
+
+def plan(runner: ExperimentRunner,
+         apps: Sequence[str] = DEFAULT_APPS,
+         latencies: Sequence[int] = LATENCIES):
+    requests = [RunRequest.make(app, "baseline") for app in apps]
+    for latency in latencies:
+        config = dataclasses.replace(runner.base_config,
+                                     pcrf_access_latency=latency)
+        requests += [RunRequest.make(app, "finereg", config=config)
+                     for app in apps]
+    return requests
 
 
 def main() -> None:  # pragma: no cover - CLI entry

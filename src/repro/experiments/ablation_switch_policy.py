@@ -16,6 +16,7 @@ import dataclasses
 from typing import Sequence
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.parallel import RunRequest
 from repro.experiments.report import geomean
 from repro.experiments.runner import ExperimentRunner
 
@@ -66,6 +67,24 @@ def run(runner: ExperimentRunner,
                "trip; GTO's greedy execution clusters a CTA's stalls, which "
                "is what makes whole-CTA parking effective."),
     )
+
+
+def plan(runner: ExperimentRunner,
+         apps: Sequence[str] = DEFAULT_APPS,
+         thresholds: Sequence[int] = PARK_THRESHOLDS):
+    requests = [RunRequest.make(app, "baseline") for app in apps]
+    for threshold in thresholds:
+        config = dataclasses.replace(runner.base_config,
+                                     min_park_cycles=threshold)
+        requests += [RunRequest.make(app, "finereg", config=config)
+                     for app in apps]
+    for kind in ("gto", "lrr"):
+        config = dataclasses.replace(runner.base_config,
+                                     warp_scheduling=kind)
+        for app in apps:
+            requests += [RunRequest.make(app, "baseline", config=config),
+                         RunRequest.make(app, "finereg", config=config)]
+    return requests
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.parallel import RunRequest
 from repro.experiments.report import format_table
 from repro.experiments.runner import ExperimentRunner
 from repro.sim.stats import SimResult
@@ -48,6 +49,26 @@ class ExperimentResult:
         if self.notes:
             text += f"\n\nNotes: {self.notes}"
         return text
+
+
+def main_config_requests(app: str) -> List[RunRequest]:
+    """Every simulation behind :func:`main_config_results` for one app,
+    including the Reg+DRAM and RegMutex per-app sweep points."""
+    requests = [RunRequest.make(app, "baseline"),
+                RunRequest.make(app, "virtual_thread"),
+                RunRequest.make(app, "finereg")]
+    requests += [RunRequest.make(app, "reg_dram", dram_pending_limit=limit)
+                 for limit in REG_DRAM_LIMITS]
+    requests += [RunRequest.make(app, "vt_regmutex", srp_ratio=ratio)
+                 for ratio in SRP_RATIOS]
+    return requests
+
+
+def plan_main_configs(runner: ExperimentRunner,
+                      apps: Sequence[str] = ALL_APPS) -> List[RunRequest]:
+    """Shared ``plan()`` for figures built on the five main configurations
+    (12/13/16): their full run-set, submitted up front for pool dispatch."""
+    return [request for app in apps for request in main_config_requests(app)]
 
 
 def best_reg_dram(runner: ExperimentRunner, app: str,

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.common import ALL_APPS, ExperimentResult
+from repro.experiments.parallel import RunRequest
 from repro.experiments.report import geomean
 from repro.experiments.runner import ExperimentRunner
 
@@ -66,6 +67,18 @@ def run(runner: ExperimentRunner,
                "track each app's best static split (oracle) from the "
                "paper's default without per-app tuning."),
     )
+
+
+def plan(runner: ExperimentRunner,
+         apps: Sequence[str] = DEFAULT_APPS):
+    requests = []
+    for app in apps:
+        requests += [RunRequest.make(app, "baseline"),
+                     RunRequest.make(app, "finereg_adaptive")]
+        for acrf_kb, pcrf_kb in STATIC_SPLITS:
+            config = runner.base_config.with_rf_split(acrf_kb, pcrf_kb)
+            requests.append(RunRequest.make(app, "finereg", config=config))
+    return requests
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -16,6 +16,7 @@ from repro.experiments.common import (
     TYPE_S_APPS,
     ExperimentResult,
 )
+from repro.experiments.parallel import RunRequest
 from repro.experiments.report import geomean
 from repro.experiments.runner import ExperimentRunner
 
@@ -69,6 +70,22 @@ def run(runner: ExperimentRunner,
         notes=("Paper: Type-S +27.1%/+28.4% from Sched x1.5/x2, Type-R "
                "+29.5%/+43.6% from Mem x1.5/x2; both scaled: +45.5%/+98.6%."),
     )
+
+
+def plan(runner: ExperimentRunner,
+         apps: Sequence[str] = ALL_APPS):
+    """Full run-set for up-front pool dispatch."""
+    requests = []
+    for app in apps:
+        requests.append(RunRequest.make(app, "baseline"))
+        for __, sched, mem in VARIANTS:
+            config = runner.base_config
+            if sched != 1.0:
+                config = config.with_scheduling_scale(sched)
+            if mem != 1.0:
+                config = config.with_memory_scale(mem)
+            requests.append(RunRequest.make(app, "baseline", config=config))
+    return requests
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -10,7 +10,12 @@ above -- the motivation gap FineReg targets.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, best_reg_dram
+from repro.experiments.common import (
+    REG_DRAM_LIMITS,
+    ExperimentResult,
+    best_reg_dram,
+)
+from repro.experiments.parallel import RunRequest
 from repro.experiments.runner import ExperimentRunner
 
 APP = "CS"
@@ -61,6 +66,19 @@ def run(runner: ExperimentRunner, app: str = APP) -> ExperimentResult:
         notes=("Paper: Full RF +21.3% over baseline, Full RF+DRAM only +3.5% "
                "more despite 2x the CTAs; Ideal far above both."),
     )
+
+
+def plan(runner: ExperimentRunner, app: str = APP):
+    """Statically known run-set (the Ideal envelope scan is included)."""
+    requests = [RunRequest.make(app, "baseline"),
+                RunRequest.make(app, "virtual_thread")]
+    requests += [RunRequest.make(app, "reg_dram", dram_pending_limit=limit)
+                 for limit in REG_DRAM_LIMITS]
+    for factor in IDEAL_SCALES:
+        config = runner.base_config \
+            .with_scheduling_scale(factor).with_memory_scale(factor)
+        requests.append(RunRequest.make(app, "baseline", config=config))
+    return requests
 
 
 def main() -> None:  # pragma: no cover - CLI entry

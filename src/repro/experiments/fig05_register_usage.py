@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.common import ALL_APPS, ExperimentResult
+from repro.experiments.parallel import RunRequest
 from repro.experiments.runner import ExperimentRunner
 
 
@@ -41,6 +42,12 @@ def run(runner: ExperimentRunner,
         notes=("Paper: 55.3% of allocated registers touched on average; "
                "worst cases below 15% for MC, NW, LI, SR, TA."),
     )
+
+
+def plan(runner: ExperimentRunner,
+         apps: Sequence[str] = ALL_APPS):
+    return [RunRequest.make(app, "baseline", sample_usage=True)
+            for app in apps]
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -16,11 +16,15 @@ from repro.experiments.common import (
     TYPE_S_APPS,
     ExperimentResult,
     main_config_results,
+    plan_main_configs,
 )
 from repro.experiments.runner import ExperimentRunner
 
 CONFIGS = ("baseline", "virtual_thread", "reg_dram", "vt_regmutex",
            "finereg")
+
+#: Full run-set for up-front pool dispatch (shared with Figs 13/16).
+plan = plan_main_configs
 
 
 def run(runner: ExperimentRunner,

@@ -14,9 +14,11 @@ from typing import Sequence
 from repro.experiments.common import (
     ALL_APPS,
     MEMORY_INTENSIVE_APPS,
+    SRP_RATIOS,
     ExperimentResult,
     best_regmutex,
 )
+from repro.experiments.parallel import RunRequest
 from repro.experiments.runner import ExperimentRunner
 
 
@@ -61,6 +63,16 @@ def run(runner: ExperimentRunner,
                "BF); VT+RegMutex stalls 7.5% of time on SRP vs FineReg's "
                "1.3% on PCRF."),
     )
+
+
+def plan(runner: ExperimentRunner,
+         apps: Sequence[str] = MEMORY_INTENSIVE_APPS,
+         ratio_apps: Sequence[str] = ALL_APPS):
+    ordered = list(dict.fromkeys(list(ratio_apps) + list(apps)))
+    requests = [RunRequest.make(app, "vt_regmutex", srp_ratio=ratio)
+                for app in ordered for ratio in SRP_RATIOS]
+    requests += [RunRequest.make(app, "finereg") for app in apps]
+    return requests
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -12,10 +12,12 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.common import (
+    SRP_RATIOS,
     TRAFFIC_APPS,
     ExperimentResult,
     best_regmutex,
 )
+from repro.experiments.parallel import RunRequest
 from repro.experiments.runner import ExperimentRunner
 
 
@@ -58,6 +60,19 @@ def run(runner: ExperimentRunner,
         notes=("Paper: Reg+DRAM adds 7.2-9.9% traffic (context switching); "
                "VT/RegMutex/FineReg add <1% (FineReg's is bit vectors)."),
     )
+
+
+def plan(runner: ExperimentRunner,
+         apps: Sequence[str] = TRAFFIC_APPS):
+    requests = []
+    for app in apps:
+        requests += [RunRequest.make(app, "baseline"),
+                     RunRequest.make(app, "virtual_thread"),
+                     RunRequest.make(app, "reg_dram", dram_pending_limit=4)]
+        requests += [RunRequest.make(app, "vt_regmutex", srp_ratio=ratio)
+                     for ratio in SRP_RATIOS]
+        requests.append(RunRequest.make(app, "finereg"))
+    return requests
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -15,6 +15,7 @@ from repro.experiments.common import (
     ALL_APPS,
     ExperimentResult,
     main_config_results,
+    plan_main_configs,
 )
 from repro.experiments.report import geomean
 from repro.experiments.runner import ExperimentRunner
@@ -23,6 +24,9 @@ CONFIGS = ("baseline", "virtual_thread", "reg_dram", "vt_regmutex",
            "finereg")
 COMPONENTS = ("DRAM_Dyn", "RF_Dyn", "Others_Dyn", "Leakage", "FineReg",
               "CTA_Switching")
+
+#: Full run-set for up-front pool dispatch (shared with Figs 12/13).
+plan = plan_main_configs
 
 
 def run(runner: ExperimentRunner,

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.common import ALL_APPS, ExperimentResult
+from repro.experiments.parallel import RunRequest
 from repro.experiments.report import geomean
 from repro.experiments.runner import ExperimentRunner
 
@@ -54,6 +55,17 @@ def run(runner: ExperimentRunner,
         notes=("Paper: 128/128 is best; 160/96 -5.4%, 64/192 -12.9% despite "
                "the highest CTA count."),
     )
+
+
+def plan(runner: ExperimentRunner,
+         apps: Sequence[str] = ALL_APPS):
+    requests = []
+    for app in apps:
+        requests.append(RunRequest.make(app, "baseline"))
+        for acrf_kb, pcrf_kb in SPLITS:
+            config = runner.base_config.with_rf_split(acrf_kb, pcrf_kb)
+            requests.append(RunRequest.make(app, "finereg", config=config))
+    return requests
 
 
 def main() -> None:  # pragma: no cover - CLI entry

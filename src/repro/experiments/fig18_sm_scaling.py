@@ -19,6 +19,7 @@ from typing import Sequence
 from repro.config import KB
 from repro.core.overhead import finereg_overhead
 from repro.experiments.common import ALL_APPS, ExperimentResult
+from repro.experiments.parallel import RunRequest
 from repro.experiments.report import geomean
 from repro.experiments.runner import ExperimentRunner
 
@@ -81,6 +82,20 @@ def run(runner: ExperimentRunner,
                "vs FineReg's tens of KB. SM counts simulated at a scaled "
                "ladder (see module docstring)."),
     )
+
+
+def plan(runner: ExperimentRunner,
+         apps: Sequence[str] = ALL_APPS,
+         ladder: Sequence[int] = SM_LADDER):
+    """Statically known run-set.  The Baseline+Resource points depend on
+    measured CTA ratios, so they run (memoized) during ``run()``."""
+    requests = []
+    for num_sms in ladder:
+        config = runner.base_config.with_num_sms(num_sms)
+        for app in apps:
+            requests.append(RunRequest.make(app, "baseline", config=config))
+            requests.append(RunRequest.make(app, "finereg", config=config))
+    return requests
 
 
 def main() -> None:  # pragma: no cover - CLI entry

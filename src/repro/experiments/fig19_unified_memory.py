@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.common import ALL_APPS, ExperimentResult
+from repro.experiments.parallel import RunRequest
 from repro.experiments.report import geomean
 from repro.experiments.runner import ExperimentRunner
 
@@ -52,6 +53,16 @@ def run(runner: ExperimentRunner,
                "+35.6% over UM. Apps with small register/shmem footprints "
                "(AT, BI, KM, SY2) benefit most from the enlarged L1."),
     )
+
+
+def plan(runner: ExperimentRunner,
+         apps: Sequence[str] = ALL_APPS):
+    requests = []
+    for app in apps:
+        requests.append(RunRequest.make(app, "baseline"))
+        requests += [RunRequest.make(app, policy, unified_memory=True)
+                     for __, policy in CONFIGS]
+    return requests
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -1,0 +1,137 @@
+"""Parallel campaign engine.
+
+A campaign is a set of independent (workload, policy, config, kwargs)
+simulations; :func:`run_requests` fans them out over a ``multiprocessing``
+pool.  Workers receive only picklable specs (``Scale``, ``GPUConfig``,
+:class:`RunRequest`) and rebuild workloads locally — trace generation is a
+pure function of the spec seed, so a worker-built workload is identical to
+the parent's and serial/parallel campaigns produce the same results.
+
+Figure modules expose ``plan(runner, apps)`` returning their full request
+set up front; ``ExperimentRunner.run_many`` dedupes shared runs (Figs
+12/13/16 reuse the same five configurations) before dispatch.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import GPUConfig, Scale
+from repro.sim.gpu import GPU
+from repro.sim.stats import SimResult
+from repro.workloads.generator import WorkloadInstance, build_workload
+from repro.workloads.suite import get_spec
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One simulation to perform: everything ``ExperimentRunner.run`` takes.
+
+    ``config=None`` means "the runner's base configuration".  Policy kwargs
+    are a sorted tuple of pairs so requests hash and dedupe cleanly.
+    """
+
+    abbrev: str
+    policy: str
+    config: Optional[GPUConfig] = None
+    sample_usage: bool = False
+    unified_memory: bool = False
+    policy_kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, abbrev: str, policy: str,
+             config: Optional[GPUConfig] = None,
+             sample_usage: bool = False,
+             unified_memory: bool = False,
+             **policy_kwargs) -> "RunRequest":
+        return cls(abbrev=abbrev, policy=policy, config=config,
+                   sample_usage=sample_usage, unified_memory=unified_memory,
+                   policy_kwargs=tuple(sorted(policy_kwargs.items())))
+
+    def with_config(self, config: GPUConfig) -> "RunRequest":
+        return replace(self, config=config)
+
+    @property
+    def kwargs(self) -> Dict[str, object]:
+        return dict(self.policy_kwargs)
+
+
+#: One payload = everything a worker needs to reproduce a runner's run.
+Payload = Tuple[Scale, GPUConfig, RunRequest]
+
+#: Per-process workload memo: workers are reused across map chunks, so
+#: requests sharing a workload (all policies of one app) build it once.
+#: Keyed by the full reference config — grids are sized from it, so
+#: runners with different base configurations must not alias.
+_WORKLOAD_MEMO: Dict[Tuple[str, str, GPUConfig], WorkloadInstance] = {}
+
+
+def _workload_for(abbrev: str, reference: GPUConfig,
+                  scale: Scale) -> WorkloadInstance:
+    key = (abbrev, scale.name, reference)
+    instance = _WORKLOAD_MEMO.get(key)
+    if instance is None:
+        instance = build_workload(get_spec(abbrev), reference, scale)
+        _WORKLOAD_MEMO[key] = instance
+    return instance
+
+
+def simulate_request(scale: Scale, base_config: GPUConfig,
+                     request: RunRequest,
+                     instance: Optional[WorkloadInstance] = None
+                     ) -> SimResult:
+    """Execute one request from scratch (mirrors ``ExperimentRunner.run``)."""
+    # Imported lazily: runner.py imports this module for RunRequest.
+    from repro.experiments.runner import POLICIES
+    from repro.policies.unified_memory import apply_unified_memory
+
+    config = request.config if request.config is not None else base_config
+    if instance is None:
+        reference = base_config.with_num_sms(config.num_sms)
+        instance = _workload_for(request.abbrev, reference, scale)
+    factory = POLICIES[request.policy](**request.kwargs)
+    gpu = GPU(
+        config,
+        instance.kernel,
+        factory,
+        instance.trace_provider,
+        instance.address_model,
+        liveness=instance.liveness,
+        sample_usage=request.sample_usage,
+    )
+    if request.unified_memory:
+        apply_unified_memory(gpu, reserve_pcrf=(request.policy == "finereg"))
+    return gpu.run(max_cycles=scale.max_cycles)
+
+
+def _simulate_payload(payload: Payload) -> SimResult:
+    scale, base_config, request = payload
+    return simulate_request(scale, base_config, request)
+
+
+def default_jobs() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+def run_requests(payloads: Sequence[Payload],
+                 jobs: Optional[int] = None) -> List[SimResult]:
+    """Simulate every payload, in order, over a process pool.
+
+    Falls back to in-process execution for trivial batches (or ``jobs<=1``)
+    where pool startup would dominate.
+    """
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    jobs = min(jobs, len(payloads)) or 1
+    if jobs <= 1 or len(payloads) <= 1:
+        return [_simulate_payload(p) for p in payloads]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        ctx = multiprocessing.get_context()
+    with ctx.Pool(processes=jobs) as pool:
+        # chunksize=1: run times vary wildly across policies/apps, so fine
+        # dispatch keeps the pool balanced.
+        return pool.map(_simulate_payload, payloads, chunksize=1)

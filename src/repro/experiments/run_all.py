@@ -4,9 +4,14 @@ Writes a markdown report (default ``results/REPORT.md``) with every
 experiment's rendered table plus the headline summary numbers, reusing one
 memoizing runner so shared simulations (Figs 12/13/16) only run once.
 
+Each module's ``plan()`` (its full request set) is collected up front and
+prefetched over a process pool (``--jobs``, default ``os.cpu_count()``),
+so the serial ``run()`` loop afterwards is pure memo/report work.
+
 Run::
 
     python -m repro.experiments.run_all [--scale small] [--out results]
+                                        [--jobs N]
 """
 
 from __future__ import annotations
@@ -45,9 +50,36 @@ CAMPAIGN = (
 )
 
 
+def campaign_plan(runner: ExperimentRunner,
+                  modules: Optional[Sequence[str]] = None) -> List:
+    """Every plannable request in the selected campaign, in module order.
+
+    Duplicates across modules (Figs 12/13/16 share all their runs) are
+    fine: ``run_many`` dedupes before dispatch.
+    """
+    requests = []
+    for name, __ in CAMPAIGN:
+        if modules is not None and name not in modules:
+            continue
+        module = importlib.import_module(f"repro.experiments.{name}")
+        plan = getattr(module, "plan", None)
+        if plan is not None:
+            requests.extend(plan(runner))
+    return requests
+
+
 def run_campaign(runner: ExperimentRunner,
-                 modules: Optional[Sequence[str]] = None) -> List:
-    """Run every experiment; returns the ExperimentResult list."""
+                 modules: Optional[Sequence[str]] = None,
+                 jobs: Optional[int] = None) -> List:
+    """Run every experiment; returns the ExperimentResult list.
+
+    With ``jobs != 1`` the combined module plans are prefetched over a
+    process pool first; the per-module ``run()`` calls below then hit the
+    runner's memo for everything except result-dependent follow-ups
+    (e.g. Fig 18's resource-scaled baseline).
+    """
+    if jobs is None or jobs > 1:
+        runner.run_many(campaign_plan(runner, modules), jobs=jobs)
     results = []
     for name, __ in CAMPAIGN:
         if modules is not None and name not in modules:
@@ -85,11 +117,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--out", default="results")
     parser.add_argument("--only", default=None,
                         help="comma-separated module subset")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the campaign pool "
+                             "(default: all CPUs; 1 = serial)")
     args = parser.parse_args(argv)
 
     runner = ExperimentRunner(scale=SCALES[args.scale])
     modules = args.only.split(",") if args.only else None
-    results = run_campaign(runner, modules)
+    results = run_campaign(runner, modules, jobs=args.jobs)
     report = Path(args.out) / "REPORT.md"
     write_report(results, report, args.scale)
     print(f"wrote {report} ({len(results)} experiments)")

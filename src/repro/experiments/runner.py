@@ -1,23 +1,35 @@
 """Shared experiment runner.
 
-Builds (workload, config, policy) simulations and memoizes their results so
-figures that share runs (12/13/16 all use the same five configurations, for
-instance) never recompute.  All experiment modules go through this class.
+Builds (workload, config, policy) simulations and caches their results at
+two levels so figures that share runs (12/13/16 all use the same five
+configurations, for instance) never recompute:
+
+* an in-memory memo keyed by the *complete* simulation-relevant
+  configuration (every ``GPUConfig`` field — see the PR-1 collision fix);
+* a persistent on-disk store (:mod:`repro.experiments.cache`) keyed by a
+  content hash of the same material, shared across processes and sessions.
+
+``run_many`` accepts a whole campaign of :class:`RunRequest`s up front,
+dedupes them, and fans the cold ones out over a ``multiprocessing`` pool
+(:mod:`repro.experiments.parallel`).  All experiment modules go through
+this class.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.config import GPUConfig, SMALL, Scale, default_config
+from repro.experiments.cache import ResultCache, run_key
+from repro.experiments.parallel import RunRequest, run_requests, \
+    simulate_request
 from repro.policies.baseline import BaselinePolicy
 from repro.policies.finereg import FineRegPolicy
 from repro.policies.finereg_adaptive import AdaptiveFineRegPolicy
 from repro.policies.reg_dram import RegDRAMPolicy
 from repro.policies.regmutex import RegMutexPolicy
-from repro.policies.unified_memory import apply_unified_memory
 from repro.policies.virtual_thread import VirtualThreadPolicy
-from repro.sim.gpu import GPU
 from repro.sim.stats import SimResult
 from repro.workloads.generator import WorkloadInstance, build_workload
 from repro.workloads.suite import get_spec
@@ -46,10 +58,12 @@ class ExperimentRunner:
     """Memoized simulation driver for the experiment modules."""
 
     def __init__(self, scale: Scale = SMALL,
-                 config: Optional[GPUConfig] = None) -> None:
+                 config: Optional[GPUConfig] = None,
+                 cache: Optional[ResultCache] = None) -> None:
         self.scale = scale
         self.base_config = config if config is not None \
             else default_config(scale)
+        self.cache = cache if cache is not None else ResultCache.from_env()
         self._results: Dict[Tuple, SimResult] = {}
         self._workloads: Dict[Tuple, WorkloadInstance] = {}
 
@@ -78,49 +92,105 @@ class ExperimentRunner:
             unified_memory: bool = False,
             **policy_kwargs) -> SimResult:
         """Simulate one benchmark under one policy (memoized)."""
-        config = config if config is not None else self.base_config
-        key = (abbrev, policy, self._config_key(config), sample_usage,
-               unified_memory, tuple(sorted(policy_kwargs.items())))
+        if policy not in POLICIES:
+            known = ", ".join(sorted(POLICIES))
+            raise KeyError(f"unknown policy {policy!r}; known: {known}")
+        request = RunRequest.make(
+            abbrev, policy, config=config, sample_usage=sample_usage,
+            unified_memory=unified_memory, **policy_kwargs)
+        return self.run_request(request)
+
+    def run_request(self, request: RunRequest) -> SimResult:
+        """Execute one request through the memo and persistent cache."""
+        config = request.config if request.config is not None \
+            else self.base_config
+        key = self._memo_key(request, config)
         cached = self._results.get(key)
         if cached is not None:
             return cached
-
-        instance = self.workload(abbrev, config)
-        try:
-            factory = POLICIES[policy](**policy_kwargs)
-        except KeyError:
-            known = ", ".join(sorted(POLICIES))
-            raise KeyError(f"unknown policy {policy!r}; known: {known}")
-        gpu = GPU(
-            config,
-            instance.kernel,
-            factory,
-            instance.trace_provider,
-            instance.address_model,
-            liveness=instance.liveness,
-            sample_usage=sample_usage,
-        )
-        if unified_memory:
-            apply_unified_memory(gpu, reserve_pcrf=(policy == "finereg"))
-        result = gpu.run(max_cycles=self.scale.max_cycles)
+        disk_key = self._persistent_key(request, config)
+        result = self.cache.get(disk_key)
+        if result is None:
+            # In-process runs share workload instances with direct
+            # ``workload()`` callers via the runner's own memo.
+            instance = self.workload(request.abbrev, config)
+            result = simulate_request(self.scale, self.base_config, request,
+                                      instance=instance)
+            self.cache.put(disk_key, result)
         self._results[key] = result
         return result
+
+    def run_many(self, requests: Iterable[RunRequest],
+                 jobs: Optional[int] = None) -> List[SimResult]:
+        """Run a whole campaign, deduped, over a process pool.
+
+        Returns one result per *input* request (duplicates included), in
+        order.  Already-memoized and disk-cached requests never hit the
+        pool; with ``jobs=1`` the remainder runs serially in-process.
+        """
+        requests = list(requests)
+        pending: List[Tuple[Tuple, RunRequest]] = []
+        claimed = set()
+        for request in requests:
+            if request.policy not in POLICIES:
+                known = ", ".join(sorted(POLICIES))
+                raise KeyError(
+                    f"unknown policy {request.policy!r}; known: {known}")
+            config = request.config if request.config is not None \
+                else self.base_config
+            key = self._memo_key(request, config)
+            if key in self._results or key in claimed:
+                continue
+            result = self.cache.get(self._persistent_key(request, config))
+            if result is not None:
+                self._results[key] = result
+                continue
+            claimed.add(key)
+            pending.append((key, request.with_config(config)))
+
+        if pending:
+            payloads = [(self.scale, self.base_config, request)
+                        for __, request in pending]
+            results = run_requests(payloads, jobs=jobs)
+            for (key, request), result in zip(pending, results):
+                self._results[key] = result
+                self.cache.put(
+                    self._persistent_key(request, request.config), result)
+        return [self._results[self._memo_key(
+                    request,
+                    request.config if request.config is not None
+                    else self.base_config)]
+                for request in requests]
 
     def run_main_configs(self, abbrev: str) -> Dict[str, SimResult]:
         """All five Fig-12/13 configurations for one benchmark."""
         return {policy: self.run(abbrev, policy) for policy in MAIN_POLICIES}
 
     # ------------------------------------------------------------------
+    def _memo_key(self, request: RunRequest, config: GPUConfig) -> Tuple:
+        return (request.abbrev, request.policy, self._config_key(config),
+                request.sample_usage, request.unified_memory,
+                request.policy_kwargs)
+
+    def _persistent_key(self, request: RunRequest,
+                        config: GPUConfig) -> str:
+        return run_key(
+            scale=self.scale,
+            reference=self.base_config.with_num_sms(config.num_sms),
+            config=config,
+            spec=get_spec(request.abbrev),
+            policy=request.policy,
+            policy_kwargs=request.kwargs,
+            sample_usage=request.sample_usage,
+            unified_memory=request.unified_memory,
+        )
+
     @staticmethod
     def _config_key(config: GPUConfig) -> Tuple:
-        return (
-            config.num_sms,
-            config.max_ctas_per_sm,
-            config.max_warps_per_sm,
-            config.max_threads_per_sm,
-            config.register_file_bytes,
-            config.pcrf_bytes,
-            config.shared_memory_bytes,
-            config.l1_size_bytes,
-            round(config.dram_bandwidth_gbps, 3),
-        )
+        """Memo key over *every* configuration field.
+
+        Deriving this from a hand-picked subset caused distinct configs
+        (e.g. differing only in ``warp_scheduling`` or
+        ``cta_switch_threshold``) to alias to one cached result.
+        """
+        return dataclasses.astuple(config)

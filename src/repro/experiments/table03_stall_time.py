@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.common import ALL_APPS, ExperimentResult
+from repro.experiments.parallel import RunRequest
 from repro.experiments.runner import ExperimentRunner
 
 #: Paper Table III values (cycles), for side-by-side comparison.
@@ -48,6 +49,11 @@ def run(runner: ExperimentRunner,
         notes=("Paper range: 193-2,299 cycles. CTAs stall completely within "
                "a few thousand cycles, motivating CTA switching."),
     )
+
+
+def plan(runner: ExperimentRunner,
+         apps: Sequence[str] = ALL_APPS):
+    return [RunRequest.make(app, "baseline") for app in apps]
 
 
 def main() -> None:  # pragma: no cover - CLI entry

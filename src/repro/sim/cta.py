@@ -77,17 +77,23 @@ class CTASim:
         return saw_unfinished
 
     def earliest_resume(self, now: int) -> int:
-        """Absolute cycle when the first blocked warp could issue again."""
+        """Absolute cycle when the first blocked warp could issue again.
+
+        Finished warps carry ``blocked_until == FOREVER`` so they drop out
+        of the minimum without an explicit state check.
+        """
         earliest = FOREVER
         for warp in self.warps:
-            if not warp.finished and warp.blocked_until < earliest:
+            if warp.blocked_until < earliest:
                 earliest = warp.blocked_until
         return max(now, earliest)
 
     def is_ready(self, now: int) -> bool:
-        """For a pending CTA: has its stall condition cleared?"""
-        return any(not warp.finished and warp.blocked_until <= now
-                   for warp in self.warps)
+        """For a pending CTA: has its stall condition cleared?
+
+        Finished warps never qualify (``blocked_until == FOREVER``).
+        """
+        return any(warp.blocked_until <= now for warp in self.warps)
 
     # ------------------------------------------------------------------
     # Barrier bookkeeping (driven by the SM issue loop)

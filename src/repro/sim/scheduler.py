@@ -5,13 +5,21 @@ round-robin across them.  A scheduler keeps issuing from its current warp
 ("greedy") until that warp blocks, then falls back to the oldest runnable
 warp it owns (warp lists are kept in launch order, so a linear scan finds the
 oldest).
+
+Hot-loop note: after a scan in which *every* warp failed to issue, the
+scheduler knows exactly when the earliest of them can wake, so it caches
+that cycle (``_sleep_until``) and refuses instantly until then.  The cache
+is conservative — any event that could make a warp runnable earlier
+(attaching a warp, a barrier release) resets it via :meth:`wake` — so
+sleeping is observably identical to rescanning, just without the O(warps)
+walk on every blocked cycle.
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from repro.sim.warp import WarpSim
+from repro.sim.warp import FOREVER, WarpSim, WarpState
 
 #: The issue callback: (warp, now) -> True if the warp issued an instruction.
 IssueFn = Callable[[WarpSim, int], bool]
@@ -20,16 +28,18 @@ IssueFn = Callable[[WarpSim, int], bool]
 class GTOScheduler:
     """One of the SM's warp schedulers."""
 
-    __slots__ = ("scheduler_id", "warps", "_current")
+    __slots__ = ("scheduler_id", "warps", "_current", "_sleep_until")
 
     def __init__(self, scheduler_id: int) -> None:
         self.scheduler_id = scheduler_id
         self.warps: List[WarpSim] = []
         self._current: Optional[WarpSim] = None
+        self._sleep_until = 0
 
     # ------------------------------------------------------------------
     def add_warp(self, warp: WarpSim) -> None:
         self.warps.append(warp)
+        self._sleep_until = 0
 
     def remove_warp(self, warp: WarpSim) -> None:
         self.warps.remove(warp)
@@ -41,6 +51,10 @@ class GTOScheduler:
         self.warps = [w for w in self.warps if w.cta.cta_id != cta_id]
         if self._current is not None and self._current.cta.cta_id == cta_id:
             self._current = None
+
+    def wake(self) -> None:
+        """Invalidate the sleep cache (a warp may be runnable earlier)."""
+        self._sleep_until = 0
 
     @property
     def occupancy(self) -> int:
@@ -55,20 +69,45 @@ class GTOScheduler:
         ready), in which case it must have set the warp's ``blocked_until``
         so the warp is skipped cheaply for the rest of the stall.
         """
+        if now < self._sleep_until:
+            return False
+        # ``warp.is_runnable(now)`` inlined below: this scan dominates the
+        # whole simulator's profile, and attribute tests beat method calls.
+        runnable = WarpState.RUNNABLE
         current = self._current
         if current is not None:
-            if current.finished:
+            if current.state is WarpState.FINISHED:
                 self._current = None
-            elif current.is_runnable(now) and try_issue(current, now):
+            elif (current.state is runnable and current.blocked_until <= now
+                  and try_issue(current, now)):
                 return True
 
         for warp in self.warps:
             if warp is current:
                 continue
-            if warp.is_runnable(now) and try_issue(warp, now):
+            if (warp.state is runnable and warp.blocked_until <= now
+                    and try_issue(warp, now)):
                 self._current = warp
                 return True
+        self._set_sleep(now)
         return False
+
+    def _set_sleep(self, now: int) -> None:
+        """All warps just failed to issue: sleep until the earliest wake.
+
+        A warp still having ``blocked_until <= now`` after a failed scan was
+        refused by a policy without a stated retry time (none do today, but
+        the guard keeps sleeping conservative): no sleeping, rescan next
+        cycle.  Barrier waits (``FOREVER``) are woken by the SM explicitly.
+        """
+        earliest = FOREVER
+        for warp in self.warps:
+            blocked = warp.blocked_until
+            if blocked <= now:
+                return
+            if blocked < earliest:
+                earliest = blocked
+        self._sleep_until = earliest
 
     def has_runnable(self, now: int) -> bool:
         return any(warp.is_runnable(now) for warp in self.warps)
@@ -85,14 +124,19 @@ class LRRScheduler(GTOScheduler):
         self._next = 0
 
     def issue(self, now: int, try_issue: IssueFn) -> bool:
+        if now < self._sleep_until:
+            return False
+        runnable = WarpState.RUNNABLE
         warps = self.warps
         count = len(warps)
         for offset in range(count):
             warp = warps[(self._next + offset) % count]
-            if warp.is_runnable(now) and try_issue(warp, now):
+            if (warp.state is runnable and warp.blocked_until <= now
+                    and try_issue(warp, now)):
                 self._next = (self._next + offset + 1) % count
                 self._current = warp
                 return True
+        self._set_sleep(now)
         return False
 
 

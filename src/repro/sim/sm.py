@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.config import GPUConfig
 from repro.isa.instructions import Opcode
 from repro.isa.kernel import Kernel
+from repro.policies.base import RegisterFilePolicy
 from repro.sim.cta import CTASim, CTAState
 from repro.sim.scheduler import SCHEDULER_KINDS
 from repro.sim.stats import SMStats
@@ -32,7 +33,9 @@ class StreamingMultiprocessor:
         self.config = config
         self.kernel = kernel
         self.gpu = gpu
-        self.policy = None  # attached by the GPU after construction
+        self._policy = None  # attached by the GPU after construction
+        self._issue_hook = None
+        self._needs_tick = False
         scheduler_cls = SCHEDULER_KINDS[config.warp_scheduling]
         self.schedulers = [scheduler_cls(i)
                            for i in range(config.num_warp_schedulers)]
@@ -46,6 +49,9 @@ class StreamingMultiprocessor:
         self._incoming_ctas = 0
         self._last_step_issued = 0
         self._next_sched = 0
+        # SM-level sleep: min of the schedulers' sleep caches, valid while
+        # nothing wakes them.  Skips the whole issue stage in one test.
+        self._sched_sleep = 0
         self._instrs = kernel.cfg.instructions
         self._sample_usage = sample_usage
         self._window_regs: Set[Tuple[int, int]] = set()
@@ -56,6 +62,24 @@ class StreamingMultiprocessor:
         self._shmem_lat = config.shared_mem_latency
         self._stall_threshold = config.cta_switch_threshold
         self._rf_banks = config.rf_banks if config.model_rf_banks else 0
+
+    # ------------------------------------------------------------------
+    # Policy attachment (hot-path hooks cached at assignment time)
+    # ------------------------------------------------------------------
+    @property
+    def policy(self):
+        return self._policy
+
+    @policy.setter
+    def policy(self, policy) -> None:
+        self._policy = policy
+        self._issue_hook = (policy.on_issue
+                            if policy is not None and policy.needs_issue_hook
+                            else None)
+        # Only call on_tick for policies that actually override it.
+        self._needs_tick = (
+            policy is not None
+            and type(policy).on_tick is not RegisterFilePolicy.on_tick)
 
     # ------------------------------------------------------------------
     # Resource queries (used by policies)
@@ -153,6 +177,7 @@ class StreamingMultiprocessor:
                 continue
             self.schedulers[self._next_sched].add_warp(warp)
             self._next_sched = (self._next_sched + 1) % len(self.schedulers)
+        self._sched_sleep = 0
         self._active_warps += cta.unfinished_warps()
         self._active_threads += cta.unfinished_warps() * 32
 
@@ -169,12 +194,23 @@ class StreamingMultiprocessor:
         """Advance one cycle; returns the number of instructions issued."""
         if self.transit_ctas:
             self._settle_transits(now)
-        if self.policy is not None:
-            self.policy.on_tick(now)
+        if self._needs_tick:
+            self._policy.on_tick(now)
+        if now < self._sched_sleep:
+            # Every scheduler would refuse instantly; skip the calls.
+            self._last_step_issued = 0
+            return 0
         issued = 0
+        try_issue = self._try_issue
         for scheduler in self.schedulers:
-            if scheduler.issue(now, self._try_issue):
+            if scheduler.issue(now, try_issue):
                 issued += 1
+        if not issued:
+            # All schedulers just (re)computed their sleep time; cache the
+            # min.  A scheduler that refused without sleeping left its own
+            # _sleep_until <= now, keeping the SM awake too.
+            self._sched_sleep = min(
+                s._sleep_until for s in self.schedulers)
         self._last_step_issued = issued
         return issued
 
@@ -196,7 +232,8 @@ class StreamingMultiprocessor:
     # Instruction issue (the hot path)
     # ------------------------------------------------------------------
     def _try_issue(self, warp: WarpSim, now: int) -> bool:
-        instr = self._instrs[warp.trace[warp.pos]]
+        static_index = warp.trace[warp.pos]
+        instr = self._instrs[static_index]
         srcs = instr.srcs
         if srcs:
             ready = warp.operands_ready_at(srcs)
@@ -205,8 +242,8 @@ class StreamingMultiprocessor:
                 if ready - now >= self._stall_threshold:
                     self._on_long_block(warp, now)
                 return False
-        if self.policy is not None and self.policy.needs_issue_hook:
-            if not self.policy.on_issue(warp, warp.trace[warp.pos], now):
+        if self._issue_hook is not None:
+            if not self._issue_hook(warp, static_index, now):
                 return False
 
         cta = warp.cta
@@ -248,8 +285,11 @@ class StreamingMultiprocessor:
         elif op is Opcode.SFU:
             warp.ready_at[instr.dest] = now + self._sfu_lat
         elif op is Opcode.BAR:
-            cta.arrive_at_barrier(warp, now)
-            if warp.blocked_until == FOREVER:
+            if cta.arrive_at_barrier(warp, now):
+                # Barrier released: warps (possibly on sleeping sibling
+                # schedulers) just became runnable.
+                self._wake_schedulers()
+            elif warp.blocked_until == FOREVER:
                 self._on_long_block(warp, now)
         elif op is Opcode.BRA:
             pass  # path already resolved in the trace
@@ -266,10 +306,16 @@ class StreamingMultiprocessor:
                 scheduler.remove_warp(warp)
                 break
         cta = warp.cta
-        cta.maybe_release_barrier(now)
+        if cta.maybe_release_barrier(now):
+            self._wake_schedulers()
         if cta.finished:
             self.active_ctas.remove(cta)
             self.retire_cta(cta, now)
+
+    def _wake_schedulers(self) -> None:
+        self._sched_sleep = 0
+        for scheduler in self.schedulers:
+            scheduler.wake()
 
     def _on_long_block(self, warp: WarpSim, now: int) -> None:
         """A warp just blocked for a while; check for a complete CTA stall."""
@@ -308,7 +354,8 @@ class StreamingMultiprocessor:
     # ------------------------------------------------------------------
     @property
     def busy(self) -> bool:
-        return self.resident_ctas > 0
+        return bool(self.active_ctas or self.pending_ctas
+                    or self.transit_ctas)
 
     def next_event(self, now: int) -> int:
         """Earliest future cycle at which this SM's state can change."""

@@ -7,8 +7,12 @@ whole-GPU summary the experiment harness consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+#: Bump whenever the :class:`SimResult` field set changes; serialized
+#: payloads carry it so stale cache entries are rejected, not misparsed.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -108,6 +112,31 @@ class SimResult:
         """Fraction of execution time stalled on register-file depletion
         (paper Fig 14b)."""
         return self.rf_depletion_cycles / self.cycles if self.cycles else 0.0
+
+    # ------------------------------------------------------------------
+    # Serialization (persistent result cache, parallel campaign workers)
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict:
+        """A JSON-serializable dict that round-trips via :meth:`from_json`."""
+        payload = asdict(self)
+        bounds = payload["window_usage_bounds"]
+        if bounds is not None:
+            payload["window_usage_bounds"] = list(bounds)
+        payload["_schema"] = RESULT_SCHEMA_VERSION
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "SimResult":
+        """Rebuild a result from :meth:`to_json` output (exact round-trip)."""
+        data = dict(payload)
+        schema = data.pop("_schema", RESULT_SCHEMA_VERSION)
+        if schema != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"SimResult schema {schema} != {RESULT_SCHEMA_VERSION}")
+        bounds = data.get("window_usage_bounds")
+        if bounds is not None:
+            data["window_usage_bounds"] = tuple(bounds)
+        return cls(**data)
 
     def speedup_over(self, baseline: "SimResult") -> float:
         if baseline.ipc == 0:

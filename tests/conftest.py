@@ -6,7 +6,13 @@ fast; integration tests that need more override locally.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# Tests must exercise the simulator, not yesterday's disk cache; individual
+# cache tests construct an explicit ResultCache on a tmp_path instead.
+os.environ.setdefault("REPRO_CACHE", "off")
 
 from repro.config import GPUConfig, TINY, default_config
 from repro.core.liveness import LivenessAnalysis

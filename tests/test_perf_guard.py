@@ -1,0 +1,43 @@
+"""Opt-in performance-regression guard.
+
+Skipped by default (wall-clock assertions are flaky on shared CI boxes);
+enable with ``REPRO_PERF=1``.  The budget is several times the current
+best-of-three (~0.3 s after the PR-1 scheduler sleep-cache), so only a
+genuine regression — e.g. reverting to per-cycle full warp scans — trips
+it, not machine noise.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.config import SMALL, SCALES
+from repro.experiments.parallel import RunRequest, simulate_request
+from repro.experiments.runner import ExperimentRunner
+
+#: Generous wall-clock ceiling for one small-scale KM baseline simulation.
+BUDGET_S = 10.0
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_PERF") != "1",
+    reason="performance guard is opt-in: set REPRO_PERF=1",
+)
+
+
+def test_small_km_baseline_within_budget():
+    runner = ExperimentRunner(scale=SMALL)
+    instance = runner.workload("KM")
+    request = RunRequest.make("KM", "baseline")
+    walls = []
+    for _ in range(3):
+        started = time.perf_counter()
+        simulate_request(SMALL, runner.base_config, request,
+                         instance=instance)
+        walls.append(time.perf_counter() - started)
+    best = min(walls)
+    assert best < BUDGET_S, (
+        f"small-scale KM baseline took {best:.2f}s (budget {BUDGET_S}s); "
+        f"the simulator hot loop has regressed")

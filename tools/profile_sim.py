@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Profile one simulation end to end and record the timings.
+
+Runs a single (app, policy) simulation at the chosen scale with the disk
+cache bypassed, separates the per-stage costs (workload construction vs.
+the simulation proper), repeats the simulation a few times for a stable
+best-of wall clock, and takes one cProfile pass for the hot-function
+table.  Results land in ``BENCH_sim.json`` (override with ``--out``),
+including the speedup against the recorded pre-optimization reference.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_sim.py [--app KM] [--policy baseline]
+        [--scale small] [--repeats 3] [--out BENCH_sim.json] [--top 15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import pstats
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import SCALES, default_config  # noqa: E402
+from repro.experiments.parallel import RunRequest, simulate_request  # noqa: E402
+from repro.workloads.generator import build_workload  # noqa: E402
+from repro.workloads.suite import get_spec  # noqa: E402
+
+#: Best-of-three wall clock of the default benchmark (small-scale KM under
+#: the baseline policy) measured on the pre-optimization simulator, i.e.
+#: the tree just before the scheduler sleep-cache landed.  The recorded
+#: speedup is only meaningful for that default benchmark.
+SEED_REFERENCE = {"app": "KM", "policy": "baseline", "scale": "small",
+                  "wall_s": 0.657}
+
+
+def profile_run(app: str, policy: str, scale_name: str, repeats: int,
+                top: int) -> dict:
+    scale = SCALES[scale_name]
+    config = default_config(scale)
+    request = RunRequest.make(app, policy)
+
+    t0 = time.perf_counter()
+    instance = build_workload(get_spec(app), config, scale)
+    build_s = time.perf_counter() - t0
+
+    walls = []
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = simulate_request(scale, config, request, instance=instance)
+        walls.append(time.perf_counter() - t0)
+    best = min(walls)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    simulate_request(scale, config, request, instance=instance)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("tottime")
+    hot = []
+    for func, (cc, nc, tt, ct, __) in sorted(
+            stats.stats.items(), key=lambda kv: kv[1][2], reverse=True)[:top]:
+        filename, line, name = func
+        hot.append({
+            "function": f"{Path(filename).name}:{line}:{name}",
+            "calls": nc,
+            "tottime_s": round(tt, 4),
+            "cumtime_s": round(ct, 4),
+        })
+
+    report = {
+        "app": app,
+        "policy": policy,
+        "scale": scale_name,
+        "stages": {
+            "workload_build_s": round(build_s, 4),
+            "simulate_walls_s": [round(w, 4) for w in walls],
+            "simulate_best_s": round(best, 4),
+        },
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "sim_cycles_per_s": round(result.cycles / best),
+        "hot_functions": hot,
+        "seed_reference": SEED_REFERENCE,
+    }
+    if (app, policy, scale_name) == (SEED_REFERENCE["app"],
+                                     SEED_REFERENCE["policy"],
+                                     SEED_REFERENCE["scale"]):
+        report["speedup_vs_seed"] = round(SEED_REFERENCE["wall_s"] / best, 2)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", default="KM")
+    parser.add_argument("--policy", default="baseline")
+    parser.add_argument("--scale", default="small", choices=sorted(SCALES))
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--top", type=int, default=15,
+                        help="hot functions to record")
+    parser.add_argument("--out", default="BENCH_sim.json")
+    args = parser.parse_args(argv)
+
+    report = profile_run(args.app.upper(), args.policy, args.scale,
+                         args.repeats, args.top)
+    Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
+
+    stages = report["stages"]
+    print(f"{report['app']} / {report['policy']} / {report['scale']}: "
+          f"build {stages['workload_build_s']:.3f}s, "
+          f"simulate best {stages['simulate_best_s']:.3f}s "
+          f"({report['sim_cycles_per_s']:,} cycles/s)")
+    if "speedup_vs_seed" in report:
+        print(f"speedup vs pre-optimization reference "
+              f"({SEED_REFERENCE['wall_s']}s): "
+              f"{report['speedup_vs_seed']:.2f}x")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
