@@ -60,6 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--policy", default="finereg",
                          choices=sorted(POLICIES))
     run_cmd.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    run_cmd.add_argument("--sanitize", action="store_true",
+                         help="run under the invariant sanitizer "
+                              "(implies a cold, uncached simulation)")
     run_cmd.set_defaults(func=cmd_run)
 
     cmp_cmd = sub.add_parser("compare",
@@ -88,6 +91,20 @@ def build_parser() -> argparse.ArgumentParser:
     ovh_cmd = sub.add_parser("overhead", help="FineReg SRAM budget (V-F)")
     ovh_cmd.set_defaults(func=cmd_overhead)
 
+    val_cmd = sub.add_parser(
+        "validate",
+        help="replay the golden corpus + mutation self-test (sanitized)")
+    val_cmd.add_argument("--record", action="store_true",
+                         help="regenerate the golden files instead of "
+                              "validating against them")
+    val_cmd.add_argument("--only", choices=("goldens", "mutations"),
+                         default=None,
+                         help="run just one half of the harness")
+    val_cmd.add_argument("--goldens-dir", default=None,
+                         help="golden corpus directory "
+                              "(default: tests/goldens/)")
+    val_cmd.set_defaults(func=cmd_validate)
+
     return parser
 
 
@@ -112,6 +129,12 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if getattr(args, "sanitize", False):
+        # A sanitized run must actually simulate: bypass both caches and
+        # let simulate_request() attach the sanitizer from the env knob.
+        import os
+        os.environ["REPRO_SANITIZE"] = "1"
+        os.environ["REPRO_CACHE"] = "off"
     runner = ExperimentRunner(scale=SCALES[args.scale])
     result = runner.run(args.app.upper(), args.policy)
     rows = [
@@ -211,6 +234,14 @@ def cmd_overhead(args: argparse.Namespace) -> int:
     print(format_table(["structure", "cost"], rows,
                        title="FineReg hardware overhead (paper V-F)"))
     return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    # Lazy import: the validation harness pulls in the golden/mutation
+    # machinery, which the other subcommands never need.
+    from repro.validate.cli import run_validate
+    return run_validate(record=args.record, only=args.only,
+                        goldens_dir=args.goldens_dir)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

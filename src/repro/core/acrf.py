@@ -20,6 +20,9 @@ class ACRFAllocator:
             raise ValueError("ACRF capacity must be positive")
         self._capacity = capacity_entries
         self._allocated: Dict[int, int] = {}
+        #: Test-only fault injection (mutation self-test): when non-zero,
+        #: every release leaks this many entries into a phantom allocation.
+        self.fault_leak_on_release = 0
 
     @property
     def capacity(self) -> int:
@@ -59,10 +62,18 @@ class ACRFAllocator:
         """Free a CTA's registers (it finished or moved to the PCRF)."""
         if cta_id not in self._allocated:
             raise KeyError(f"CTA {cta_id} holds no ACRF space")
-        return self._allocated.pop(cta_id)
+        freed = self._allocated.pop(cta_id)
+        if self.fault_leak_on_release:
+            # Deliberate accounting leak, keyed off the real ID space.
+            self._allocated[-(cta_id + 1)] = self.fault_leak_on_release
+        return freed
 
     def allocation_of(self, cta_id: int) -> int:
         return self._allocated[cta_id]
+
+    def allocations(self) -> Dict[int, int]:
+        """Copy of the per-CTA allocation map (sanitizer view)."""
+        return dict(self._allocated)
 
     def utilization(self) -> float:
         return self.used / self._capacity

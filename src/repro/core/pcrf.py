@@ -70,6 +70,9 @@ class PCRF:
         self._free_count = capacity_entries
         self._head_of_cta: Dict[int, int] = {}
         self._count_of_cta: Dict[int, int] = {}
+        #: Test-only fault injection (mutation self-test): when True, each
+        #: restore under-credits the free-space monitor by one slot.
+        self.fault_leak_on_restore = False
 
     # ------------------------------------------------------------------
     @property
@@ -97,6 +100,14 @@ class PCRF:
     def occupancy_flags(self) -> Tuple[bool, ...]:
         """Free-space monitor contents (True = occupied)."""
         return tuple(self._occupied)
+
+    def occupied_count(self) -> int:
+        """Ground-truth occupied-slot count (recount, not the monitor)."""
+        return sum(1 for flag in self._occupied if flag)
+
+    def resident_cta_ids(self) -> set:
+        """IDs of all CTAs currently holding PCRF chains."""
+        return set(self._head_of_cta)
 
     def free_entries_with_eviction_of(self, cta_id: Optional[int]) -> int:
         """Free slots available if ``cta_id`` were restored out first.
@@ -170,6 +181,8 @@ class PCRF:
                 f"PCRF chain for CTA {cta_id} yielded {len(registers)} "
                 f"entries, expected {expected}"
             )
+        if self.fault_leak_on_restore and registers:
+            self._free_count -= 1
         return tuple(registers)
 
     def peek_chain(self, cta_id: int) -> Tuple[int, ...]:

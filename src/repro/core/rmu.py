@@ -67,6 +67,9 @@ class RegisterManagementUnit:
         self._dram_latency = dram_latency
         self._pointer_table: Dict[int, _PointerTableEntry] = {}
         self.stats = RMUStats()
+        #: Test-only fault injection (mutation self-test): when True, a
+        #: spill claims PCRF space but never records its pointer-table row.
+        self.fault_drop_pointer = False
 
     # ------------------------------------------------------------------
     @property
@@ -149,8 +152,9 @@ class RegisterManagementUnit:
             # a PCRF presence to anchor its pointer-table entry.
             live = [(0, 0)]
         result = self._pcrf.spill(cta_id, list(live))
-        self._pointer_table[cta_id] = _PointerTableEntry(
-            head_slot=result.head_index, live_count=result.entries_used)
+        if not self.fault_drop_pointer:
+            self._pointer_table[cta_id] = _PointerTableEntry(
+                head_slot=result.head_index, live_count=result.entries_used)
         self.stats.spills += 1
         self.stats.spilled_registers += result.entries_used
         cycles = self._transfer_cycles(result.entries_used) + fetch_latency
@@ -174,6 +178,10 @@ class RegisterManagementUnit:
 
     def pending_live_count(self, cta_id: int) -> int:
         return self._pointer_table[cta_id].live_count
+
+    def pointer_table_ctas(self) -> set:
+        """IDs of CTAs with pointer-table rows (sanitizer view)."""
+        return set(self._pointer_table)
 
     def holds(self, cta_id: int) -> bool:
         return cta_id in self._pointer_table

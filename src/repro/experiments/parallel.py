@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.config import GPUConfig, Scale
 from repro.sim.gpu import GPU
 from repro.sim.stats import SimResult
+from repro.validate.sanitizer import sanitize_enabled
 from repro.workloads.generator import WorkloadInstance, build_workload
 from repro.workloads.suite import get_spec
 
@@ -104,6 +105,9 @@ def simulate_request(scale: Scale, base_config: GPUConfig,
     )
     if request.unified_memory:
         apply_unified_memory(gpu, reserve_pcrf=(request.policy == "finereg"))
+    if sanitize_enabled():
+        from repro.validate.sanitizer import attach_sanitizer
+        attach_sanitizer(gpu)
     return gpu.run(max_cycles=scale.max_cycles)
 
 

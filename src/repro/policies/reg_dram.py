@@ -42,8 +42,12 @@ class RegDRAMPolicy(VirtualThreadPolicy):
     def _act_on_idle(self, now: int) -> bool:
         acted = False
         for cta in self.stalled_active_ctas(now):
-            # On-chip options first (plain Virtual Thread behaviour).
-            candidate = self.pending.pop_ready(now)
+            # On-chip options first (plain Virtual Thread behaviour).  Any
+            # swap must keep the active region within the Table-I limits:
+            # a partially-retired CTA frees fewer slots than a full
+            # incoming one needs.
+            swap_fits = self.sm.swap_slots_free(cta)
+            candidate = self.pending.pop_ready(now) if swap_fits else None
             if candidate is not None:
                 self._park(cta, now)
                 self.sm.activate_cta(candidate, now, self.switch_latency)
@@ -56,7 +60,8 @@ class RegDRAMPolicy(VirtualThreadPolicy):
                 acted = True
                 continue
             # RF is full: consider the DRAM path.
-            dram_candidate = self.dram_pending.pop_ready(now)
+            dram_candidate = (self.dram_pending.pop_ready(now)
+                              if swap_fits else None)
             if dram_candidate is not None:
                 self._swap_via_dram(cta, dram_candidate, now)
                 acted = True

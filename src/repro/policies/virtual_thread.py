@@ -40,7 +40,10 @@ class VirtualThreadPolicy(RegisterFilePolicy):
         """The SM starves: swap out stalled CTAs for runnable work."""
         acted = False
         for cta in self.stalled_active_ctas(now):
-            candidate = self.pending.pop_ready(now)
+            # A partially-retired CTA frees fewer warp slots than a full
+            # incoming one needs; only swap when the result stays legal.
+            candidate = (self.pending.pop_ready(now)
+                         if self.sm.swap_slots_free(cta) else None)
             if candidate is not None:
                 # Swap: stalled goes pending, ready pending becomes active.
                 self._park(cta, now)

@@ -39,6 +39,7 @@ class GPU:
             LivenessAnalysis(kernel.cfg).run(kernel.regs_per_thread)
         self.hierarchy = MemoryHierarchy(config)
         self.tracer = None  # set by sim.tracing.attach_tracer
+        self.sanitizer = None  # set by validate.sanitizer.attach_sanitizer
         if hasattr(address_model, "warm_l2"):
             address_model.warm_l2(self.hierarchy.l2)
         self._grid = deque(range(kernel.geometry.grid_ctas))
@@ -71,6 +72,7 @@ class GPU:
             sm.policy.fill(now)
         timed_out = False
         sms = self.sms
+        sanitizer = self.sanitizer
         while True:
             if not self._grid and all(not sm.busy for sm in sms):
                 break
@@ -84,6 +86,8 @@ class GPU:
                     # This SM starves: let its policy switch CTAs.
                     sm.policy.on_idle(now)
                 issued += sm_issued
+            if sanitizer is not None:
+                sanitizer.on_cycle(now)
             if issued:
                 dt = 1
                 idle = False
@@ -96,6 +100,8 @@ class GPU:
             for sm in sms:
                 sm.accumulate(dt, idle)
             now += dt
+        if sanitizer is not None:
+            sanitizer.on_run_end(now, timed_out)
         return self._build_result(now, timed_out)
 
     def _next_event(self, now: int) -> int:

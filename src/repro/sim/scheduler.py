@@ -56,6 +56,10 @@ class GTOScheduler:
         """Invalidate the sleep cache (a warp may be runnable earlier)."""
         self._sleep_until = 0
 
+    def sleeping(self, now: int) -> bool:
+        """Would :meth:`issue` refuse instantly at ``now``?"""
+        return now < self._sleep_until
+
     @property
     def occupancy(self) -> int:
         return len(self.warps)

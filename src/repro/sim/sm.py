@@ -106,6 +106,27 @@ class StreamingMultiprocessor:
                 and threads + kernel.geometry.threads_per_cta
                 <= config.max_threads_per_sm)
 
+    def swap_slots_free(self, outgoing: CTASim) -> bool:
+        """Would one full incoming CTA fit after parking ``outgoing``?
+
+        A swap is not automatically slot-neutral: a partially-retired CTA
+        frees fewer warp/thread slots than a full incoming CTA needs, so
+        swapping it out can overshoot the Table-I limits.
+        """
+        kernel = self.kernel
+        config = self.config
+        incoming = self._incoming_ctas
+        out_warps = outgoing.unfinished_warps()
+        ctas = len(self.active_ctas) - 1 + incoming
+        warps = self._active_warps - out_warps \
+            + incoming * kernel.warps_per_cta
+        threads = self._active_threads - 32 * out_warps \
+            + incoming * kernel.geometry.threads_per_cta
+        return (ctas < config.max_ctas_per_sm
+                and warps + kernel.warps_per_cta <= config.max_warps_per_sm
+                and threads + kernel.geometry.threads_per_cta
+                <= config.max_threads_per_sm)
+
     def shmem_free(self, nbytes: int) -> bool:
         return self.shmem_used + nbytes <= self.config.shared_memory_bytes
 
@@ -348,6 +369,20 @@ class StreamingMultiprocessor:
                 self.stats.window_usage.append(min(1.0, usage))
             self._window_regs.clear()
             self._window_count = 0
+
+    def debug_accounting(self) -> Dict[str, object]:
+        """Snapshot of the SM's resource bookkeeping (sanitizer, tests)."""
+        return {
+            "active": sorted(c.cta_id for c in self.active_ctas),
+            "pending": sorted(c.cta_id for c in self.pending_ctas),
+            "transit": sorted(c.cta_id for c in self.transit_ctas),
+            "active_warps": self._active_warps,
+            "active_threads": self._active_threads,
+            "incoming_ctas": self._incoming_ctas,
+            "shmem_used": self.shmem_used,
+            "sched_sleep": self._sched_sleep,
+            "scheduler_warps": [len(s.warps) for s in self.schedulers],
+        }
 
     # ------------------------------------------------------------------
     # Bookkeeping for the global loop

@@ -45,9 +45,16 @@ class EventTracer:
         self.capacity = capacity
         self.events: List[Event] = []
         self.dropped = 0
+        #: Optional callback ``(cycle, sm_id, kind, cta_id)`` invoked for
+        #: every event, *including* ones dropped once the log is full --
+        #: the sanitizer's lifecycle checks must see the complete stream.
+        self.listener: Optional[Callable[[int, int, EventKind, int],
+                                         None]] = None
 
     def record(self, cycle: int, sm_id: int, kind: EventKind,
                cta_id: int) -> None:
+        if self.listener is not None:
+            self.listener(cycle, sm_id, kind, cta_id)
         if len(self.events) >= self.capacity:
             self.dropped += 1
             return
@@ -62,6 +69,15 @@ class EventTracer:
 
     def of_kind(self, kind: EventKind) -> List[Event]:
         return [e for e in self.events if e.kind is kind]
+
+    def events_for_sm(self, sm_id: int) -> List[Event]:
+        """All recorded events of one SM, in record order."""
+        return [e for e in self.events if e.sm_id == sm_id]
+
+    def as_dicts(self) -> List[dict]:
+        """JSON-ready view of the log (golden traces, external tooling)."""
+        return [{"cycle": e.cycle, "sm": e.sm_id, "kind": e.kind.value,
+                 "cta": e.cta_id} for e in self.events]
 
     def for_cta(self, cta_id: int) -> List[Event]:
         return [e for e in self.events if e.cta_id == cta_id]

@@ -1,0 +1,37 @@
+"""Runtime validation layer for the simulator.
+
+``repro.validate`` is the sanitizer + differential-validation subsystem:
+
+* :mod:`repro.validate.sanitizer` -- an opt-in runtime invariant checker
+  that hooks the GPU step loop (``REPRO_SANITIZE=1`` or
+  :func:`attach_sanitizer`) and asserts cycle-level conservation laws:
+  register/shmem/CTA-slot accounting, ACRF/PCRF occupancy, scoreboard
+  discipline, scheduler sleep soundness, barrier balance, monotonic stats,
+  and CTA lifecycle legality.
+* :mod:`repro.validate.golden` -- the golden-trace corpus: small
+  deterministic (config, workload, policy) runs with recorded stats and
+  event timelines, replayed under the sanitizer to pin simulator behaviour.
+* :mod:`repro.validate.mutations` -- the mutation self-test: deliberately
+  corrupt one invariant per run and assert the sanitizer catches it, so the
+  checker itself is proven to check something.
+
+Only the sanitizer symbols are exported eagerly; ``golden`` and
+``mutations`` pull in the experiment harness and are imported on demand
+(``python -m repro validate`` or the test suite).
+"""
+
+from repro.validate.sanitizer import (  # noqa: F401
+    InvariantViolation,
+    Sanitizer,
+    SanitizerError,
+    attach_sanitizer,
+    sanitize_enabled,
+)
+
+__all__ = [
+    "InvariantViolation",
+    "Sanitizer",
+    "SanitizerError",
+    "attach_sanitizer",
+    "sanitize_enabled",
+]

@@ -1,0 +1,77 @@
+"""Implementation of ``python -m repro validate``.
+
+Replays the golden corpus under the sanitizer and runs the mutation
+self-test, printing one line per case.  Exit status 0 only when every
+golden matches and every mutation is detected.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.validate.golden import (
+    CORPUS,
+    default_goldens_dir,
+    record_goldens,
+    validate_goldens,
+)
+from repro.validate.mutations import MUTATIONS, run_all_mutations
+
+
+def _goldens(directory: Path) -> bool:
+    print(f"golden corpus: {len(CORPUS)} cases from {directory}")
+    ok = True
+    for report in validate_goldens(directory):
+        case = report.case
+        label = f"{case.name} ({case.abbrev}/{case.policy})"
+        if report.ok:
+            print(f"  PASS {label}")
+            continue
+        ok = False
+        print(f"  FAIL {label}")
+        if report.error:
+            print(f"       {report.error}")
+        if report.violations:
+            print(f"       {report.violations} sanitizer violation(s)")
+        for line in report.diff:
+            print(f"       {line}")
+    return ok
+
+
+def _mutations() -> bool:
+    print(f"mutation self-test: {len(MUTATIONS)} corruptions")
+    ok = True
+    for report in run_all_mutations():
+        mutation = report.mutation
+        label = (f"{mutation.name} [{mutation.invariant}] "
+                 f"({mutation.abbrev}/{mutation.policy})")
+        if report.detected:
+            print(f"  DETECTED {label}")
+            continue
+        ok = False
+        print(f"  MISSED   {label}")
+        if report.error:
+            print(f"           {report.error}")
+        if report.tags:
+            print(f"           reported tags: {', '.join(report.tags)}")
+    return ok
+
+
+def run_validate(record: bool = False, only: Optional[str] = None,
+                 goldens_dir: Optional[str] = None) -> int:
+    directory = Path(goldens_dir) if goldens_dir else default_goldens_dir()
+    if record:
+        written = record_goldens(directory)
+        for path in written:
+            print(f"recorded {path}")
+        print(f"{len(written)} golden file(s) written; review the diff "
+              f"before committing")
+        return 0
+    ok = True
+    if only in (None, "goldens"):
+        ok = _goldens(directory) and ok
+    if only in (None, "mutations"):
+        ok = _mutations() and ok
+    print("validation PASSED" if ok else "validation FAILED")
+    return 0 if ok else 1

@@ -1,0 +1,204 @@
+"""Golden-trace corpus: differential validation against recorded runs.
+
+A golden case pins one deterministic (config, workload, policy) triple: the
+full :class:`~repro.sim.stats.SimResult` plus the complete CTA event
+timeline of a tiny run, stored as JSON under ``tests/goldens/``.  Replaying
+the case must reproduce both exactly -- trace generation is a pure function
+of the workload spec seed, so even float fields compare with ``==``.
+
+Drift fails with a readable field-by-field diff (see :func:`diff_payload`).
+Regenerate intentionally with ``python -m repro validate --record`` after
+reviewing the diff (workflow: docs/VALIDATION.md).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SCALES, default_config
+from repro.sim.gpu import GPU
+from repro.sim.stats import SimResult
+from repro.sim.tracing import attach_tracer
+from repro.validate.sanitizer import Sanitizer, attach_sanitizer
+from repro.workloads.generator import build_workload
+from repro.workloads.suite import get_spec
+
+GOLDEN_SCHEMA_VERSION = 1
+
+#: Diff lines shown per case before truncating.
+MAX_DIFF_LINES = 12
+
+
+@dataclass(frozen=True)
+class GoldenCase:
+    """One pinned simulation of the corpus."""
+
+    name: str
+    abbrev: str
+    policy: str
+    scale: str = "tiny"
+    config_overrides: Tuple[Tuple[str, object], ...] = ()
+    policy_kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def filename(self) -> str:
+        return f"{self.name}.json"
+
+
+#: Six (config, workload, policy) triples spanning the policy space:
+#: baseline, both FineReg variants (incl. adaptive repartitioning), the
+#: related-work configurations, and one scheduler ablation (LRR).
+CORPUS: Tuple[GoldenCase, ...] = (
+    GoldenCase("km-baseline-tiny", "KM", "baseline"),
+    GoldenCase("km-finereg-tiny", "KM", "finereg"),
+    GoldenCase("lb-adaptive-tiny", "LB", "finereg_adaptive"),
+    GoldenCase("st-virtual-thread-tiny", "ST", "virtual_thread"),
+    GoldenCase("hs-regdram-tiny", "HS", "reg_dram"),
+    GoldenCase("km-finereg-lrr-tiny", "KM", "finereg",
+               config_overrides=(("warp_scheduling", "lrr"),)),
+)
+
+
+def default_goldens_dir() -> Path:
+    """``tests/goldens/`` of the repository checkout."""
+    return Path(__file__).resolve().parents[3] / "tests" / "goldens"
+
+
+# ----------------------------------------------------------------------
+# Running a case
+# ----------------------------------------------------------------------
+def run_case(case: GoldenCase, sanitize: bool = True
+             ) -> Tuple[SimResult, GPU, Optional[Sanitizer]]:
+    """Simulate one corpus case from scratch (no caches involved)."""
+    # Imported lazily: golden.py must stay importable without pulling the
+    # experiment harness in, but the policy registry lives there.
+    from repro.experiments.runner import POLICIES
+
+    scale = SCALES[case.scale]
+    base = default_config(scale)
+    config = replace(base, **dict(case.config_overrides))
+    instance = build_workload(
+        get_spec(case.abbrev), base.with_num_sms(config.num_sms), scale)
+    factory = POLICIES[case.policy](**dict(case.policy_kwargs))
+    gpu = GPU(config, instance.kernel, factory, instance.trace_provider,
+              instance.address_model, liveness=instance.liveness)
+    attach_tracer(gpu)
+    sanitizer = attach_sanitizer(gpu) if sanitize else None
+    result = gpu.run(max_cycles=scale.max_cycles)
+    return result, gpu, sanitizer
+
+
+def case_payload(case: GoldenCase, result: SimResult, gpu: GPU) -> Dict:
+    """The JSON document a golden file stores."""
+    tracer = gpu.tracer
+    return {
+        "schema": GOLDEN_SCHEMA_VERSION,
+        "name": case.name,
+        "abbrev": case.abbrev,
+        "policy": case.policy,
+        "scale": case.scale,
+        "config_overrides": dict(case.config_overrides),
+        "policy_kwargs": dict(case.policy_kwargs),
+        "result": result.to_json(),
+        "events": tracer.as_dicts(),
+        "dropped_events": tracer.dropped,
+    }
+
+
+# ----------------------------------------------------------------------
+# Diffing
+# ----------------------------------------------------------------------
+def diff_payload(golden: Dict, current: Dict,
+                 limit: int = MAX_DIFF_LINES) -> List[str]:
+    """Human-readable divergence between a golden file and a fresh run.
+
+    Empty list = identical.  Result fields are compared one by one; event
+    timelines report length drift and the first diverging entry, so a
+    reader sees *where* behaviour changed, not just that it did.
+    """
+    lines: List[str] = []
+    gold_result = golden.get("result", {})
+    cur_result = current.get("result", {})
+    for field in sorted(set(gold_result) | set(cur_result)):
+        gold_value = gold_result.get(field)
+        cur_value = cur_result.get(field)
+        if gold_value != cur_value:
+            lines.append(f"result.{field}: golden={gold_value!r} "
+                         f"current={cur_value!r}")
+
+    gold_events = golden.get("events", [])
+    cur_events = current.get("events", [])
+    if len(gold_events) != len(cur_events):
+        lines.append(f"events: golden has {len(gold_events)}, "
+                     f"current has {len(cur_events)}")
+    for index, (gold_event, cur_event) in enumerate(
+            zip(gold_events, cur_events)):
+        if gold_event != cur_event:
+            lines.append(f"events[{index}]: golden={gold_event} "
+                         f"current={cur_event}")
+            break
+    if golden.get("dropped_events") != current.get("dropped_events"):
+        lines.append(f"dropped_events: "
+                     f"golden={golden.get('dropped_events')} "
+                     f"current={current.get('dropped_events')}")
+
+    if len(lines) > limit:
+        lines = lines[:limit] + [f"... and {len(lines) - limit} more "
+                                 f"differing fields"]
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Corpus operations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CaseReport:
+    """Outcome of replaying one golden case."""
+
+    case: GoldenCase
+    ok: bool
+    diff: Tuple[str, ...] = ()
+    violations: int = 0
+    error: Optional[str] = None
+
+
+def record_goldens(directory: Optional[Path] = None,
+                   cases: Sequence[GoldenCase] = CORPUS) -> List[Path]:
+    """(Re)write every golden file from a sanitized fresh run."""
+    directory = default_goldens_dir() if directory is None else directory
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for case in cases:
+        result, gpu, _ = run_case(case, sanitize=True)
+        path = directory / case.filename
+        path.write_text(json.dumps(case_payload(case, result, gpu),
+                                   indent=1, sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
+def validate_goldens(directory: Optional[Path] = None,
+                     cases: Sequence[GoldenCase] = CORPUS,
+                     sanitize: bool = True) -> List[CaseReport]:
+    """Replay the corpus and compare against the stored payloads."""
+    directory = default_goldens_dir() if directory is None else directory
+    reports = []
+    for case in cases:
+        path = directory / case.filename
+        if not path.exists():
+            reports.append(CaseReport(
+                case, ok=False,
+                error=f"golden file missing: {path} "
+                      f"(record with `python -m repro validate --record`)"))
+            continue
+        golden = json.loads(path.read_text())
+        result, gpu, sanitizer = run_case(case, sanitize=sanitize)
+        current = case_payload(case, result, gpu)
+        diff = diff_payload(golden, current)
+        violations = sanitizer.total_violations if sanitizer else 0
+        reports.append(CaseReport(case, ok=not diff and not violations,
+                                  diff=tuple(diff), violations=violations))
+    return reports

@@ -1,0 +1,294 @@
+"""Runtime sanitizer: drives the invariant catalogue over a live GPU.
+
+Attach with :func:`attach_sanitizer` (or export ``REPRO_SANITIZE=1`` and let
+the experiment harness do it).  The sanitizer hooks three places:
+
+* the GPU loop calls :meth:`Sanitizer.on_cycle` once per iteration and
+  :meth:`Sanitizer.on_run_end` when the grid drains -- the structural
+  checks in :mod:`repro.validate.invariants` run there;
+* each SM's ``_try_issue`` is wrapped so every issued instruction is
+  checked for legality (runnable, unblocked, operands ready, CTA active,
+  PC advanced, SM awake) against the state captured *before* the issue;
+* the :class:`~repro.sim.tracing.EventTracer` listener feeds a per-CTA
+  lifecycle state machine (LAUNCH (SWITCH_OUT SWITCH_IN)* RETIRE).
+
+With no sanitizer attached the simulator pays exactly one ``is not None``
+test per GPU loop iteration and nothing on the issue path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.cta import CTAState
+from repro.sim.tracing import EventKind, attach_tracer
+from repro.sim.warp import WarpState
+from repro.validate import invariants
+
+_TRUTHY = {"1", "true", "on", "yes"}
+
+
+def sanitize_enabled(value: Optional[str] = None) -> bool:
+    """Is the ``REPRO_SANITIZE`` opt-in set (or ``value``, if given)?"""
+    if value is None:
+        value = os.environ.get("REPRO_SANITIZE", "")
+    return value.strip().lower() in _TRUTHY
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One detected inconsistency."""
+
+    cycle: int
+    sm_id: Optional[int]
+    invariant: str
+    message: str
+
+    def __str__(self) -> str:
+        where = f"SM{self.sm_id}" if self.sm_id is not None else "GPU"
+        return (f"[cycle {self.cycle:>8}] {where} "
+                f"{self.invariant}: {self.message}")
+
+
+class SanitizerError(RuntimeError):
+    """Raised on the first violation batch when ``raise_on_violation``."""
+
+    def __init__(self, violations: List[InvariantViolation]) -> None:
+        self.violations = list(violations)
+        shown = "\n".join(f"  {v}" for v in self.violations[:8])
+        extra = len(self.violations) - 8
+        if extra > 0:
+            shown += f"\n  ... and {extra} more"
+        super().__init__(
+            f"simulator invariant violated "
+            f"({len(self.violations)} finding(s)):\n{shown}")
+
+    def __reduce__(self):
+        # Default exception pickling would replay __init__ with the
+        # formatted message string instead of the violation list, mangling
+        # the error on its way back through a multiprocessing pool.
+        return (SanitizerError, (self.violations,))
+
+
+#: Legal lifecycle transitions; ``None`` = not yet launched.
+_LIFECYCLE_NEXT: Dict[Optional[str], Dict[EventKind, str]] = {
+    None: {EventKind.LAUNCH: "active"},
+    "active": {EventKind.SWITCH_OUT: "pending",
+               EventKind.RETIRE: "retired"},
+    "pending": {EventKind.SWITCH_IN: "active"},
+    "retired": {},
+}
+
+
+class Sanitizer:
+    """Cycle-level invariant checker for one GPU instance."""
+
+    def __init__(self, gpu, raise_on_violation: bool = True,
+                 check_interval: int = 1,
+                 max_violations: int = 200) -> None:
+        self.gpu = gpu
+        self.raise_on_violation = raise_on_violation
+        self.check_interval = max(1, check_interval)
+        self.max_violations = max_violations
+        self.violations: List[InvariantViolation] = []
+        self.total_violations = 0
+        self.checks_run = 0
+        self._since_check = 0
+        self._snapshots: Dict[int, Dict[str, int]] = {
+            sm.sm_id: {} for sm in gpu.sms}
+        # Lifecycle machine state, fed by the tracer listener.
+        self._cta_state: Dict[int, Optional[str]] = {}
+        self._cta_sm: Dict[int, int] = {}
+        self._cta_last_cycle: Dict[int, int] = {}
+        self._launched = 0
+        # Prime the monotonic baselines so pre-attach history is not
+        # mistaken for a first-interval burst.
+        for sm in gpu.sms:
+            invariants.check_monotonic(sm, self._snapshots[sm.sm_id], 0)
+        self._install_issue_wrappers()
+
+    # ------------------------------------------------------------------
+    # GPU loop hooks
+    # ------------------------------------------------------------------
+    def on_cycle(self, now: int) -> None:
+        """Run the structural checks (every ``check_interval`` iterations)."""
+        self._since_check += 1
+        if self._since_check < self.check_interval:
+            return
+        self._run_checks(now, self._since_check)
+        self._since_check = 0
+
+    def on_run_end(self, now: int, timed_out: bool) -> None:
+        """Final structural sweep plus end-of-run completion checks."""
+        self._run_checks(now, max(1, self._since_check))
+        self._since_check = 0
+        pairs: List[Tuple[str, str]] = []
+        unretired = sorted(cta_id for cta_id, state
+                           in self._cta_state.items() if state != "retired")
+        if unretired and not timed_out:
+            pairs.append(("completion",
+                          f"run ended with CTAs {unretired[:10]} "
+                          f"({len(unretired)} total) never retired"))
+        grid = self.gpu.kernel.geometry.grid_ctas
+        if not timed_out and self._launched != grid:
+            pairs.append(("completion",
+                          f"{self._launched} CTAs launched but the grid "
+                          f"holds {grid}"))
+        stat_launches = sum(sm.stats.cta_launches for sm in self.gpu.sms)
+        if stat_launches != self._launched:
+            pairs.append(("completion",
+                          f"stats count {stat_launches} launches but the "
+                          f"tracer saw {self._launched}"))
+        if pairs:
+            self._report(now, None, pairs)
+
+    def _run_checks(self, now: int, iterations: int) -> None:
+        self.checks_run += 1
+        for sm in self.gpu.sms:
+            pairs = invariants.check_sm(sm, now)
+            pairs += invariants.check_schedulers(sm, now)
+            pairs += invariants.check_policy(sm.policy, sm, now)
+            pairs += invariants.check_monotonic(
+                sm, self._snapshots[sm.sm_id], iterations)
+            if pairs:
+                self._report(now, sm.sm_id, pairs)
+
+    # ------------------------------------------------------------------
+    # Tracer listener: CTA lifecycle legality
+    # ------------------------------------------------------------------
+    def on_event(self, cycle: int, sm_id: int, kind: EventKind,
+                 cta_id: int) -> None:
+        pairs: List[Tuple[str, str]] = []
+        previous = self._cta_state.get(cta_id)
+        nxt = _LIFECYCLE_NEXT.get(previous, {}).get(kind)
+        if nxt is None:
+            pairs.append(("lifecycle",
+                          f"CTA {cta_id} event {kind.value} is illegal in "
+                          f"state {previous or 'unlaunched'}"))
+        else:
+            self._cta_state[cta_id] = nxt
+            if kind is EventKind.LAUNCH:
+                self._launched += 1
+        home = self._cta_sm.setdefault(cta_id, sm_id)
+        if home != sm_id:
+            pairs.append(("lifecycle",
+                          f"CTA {cta_id} event {kind.value} on SM{sm_id} "
+                          f"but its history is on SM{home}"))
+        last = self._cta_last_cycle.get(cta_id, 0)
+        if cycle < last:
+            pairs.append(("lifecycle",
+                          f"CTA {cta_id} event {kind.value} at cycle "
+                          f"{cycle} precedes its previous event at {last}"))
+        else:
+            self._cta_last_cycle[cta_id] = cycle
+        if pairs:
+            self._report(cycle, sm_id, pairs)
+
+    # ------------------------------------------------------------------
+    # Issue-path wrapper: scoreboard + issue legality
+    # ------------------------------------------------------------------
+    def _install_issue_wrappers(self) -> None:
+        for sm in self.gpu.sms:
+            # Instance attribute shadows the class method, so the per-step
+            # ``try_issue = self._try_issue`` cache picks up the wrapper.
+            sm._try_issue = self._make_issue_wrapper(sm, sm._try_issue)
+
+    def _make_issue_wrapper(self, sm, inner: Callable) -> Callable:
+        instrs = sm._instrs
+
+        def checked_try_issue(warp, now, _sm=sm, _inner=inner,
+                              _instrs=instrs):
+            state = warp.state
+            blocked = warp.blocked_until
+            pos = warp.pos
+            cta = warp.cta
+            cta_state = cta.state
+            srcs = _instrs[warp.trace[pos]].srcs
+            ready = warp.operands_ready_at(srcs) if srcs else 0
+            issued = _inner(warp, now)
+            if issued:
+                pairs: List[Tuple[str, str]] = []
+                gid = warp.global_warp_id
+                if state is not WarpState.RUNNABLE:
+                    pairs.append(("issue-legality",
+                                  f"warp {gid} issued in state "
+                                  f"{state.value}"))
+                if blocked > now:
+                    pairs.append(("issue-legality",
+                                  f"warp {gid} issued at cycle {now} while "
+                                  f"blocked until {blocked}"))
+                if ready > now:
+                    pairs.append(("scoreboard",
+                                  f"warp {gid} issued at cycle {now} before "
+                                  f"operands {tuple(srcs)} are ready at "
+                                  f"{ready}"))
+                if cta_state is not CTAState.ACTIVE:
+                    pairs.append(("issue-legality",
+                                  f"warp {gid} of CTA {cta.cta_id} issued "
+                                  f"while the CTA is {cta_state.value}"))
+                if warp.pos != pos + 1:
+                    pairs.append(("issue-legality",
+                                  f"warp {gid} PC moved {pos} -> {warp.pos} "
+                                  f"on one issue"))
+                if _sm._sched_sleep > now:
+                    pairs.append(("sleep-soundness",
+                                  f"instruction issued at cycle {now} while "
+                                  f"the SM sleep cache holds "
+                                  f"{_sm._sched_sleep}"))
+                if pairs:
+                    self._report(now, _sm.sm_id, pairs)
+            return issued
+
+        return checked_try_issue
+
+    # ------------------------------------------------------------------
+    def _report(self, cycle: int, sm_id: Optional[int],
+                pairs: List[Tuple[str, str]]) -> None:
+        batch = [InvariantViolation(cycle, sm_id, tag, message)
+                 for tag, message in pairs]
+        self.total_violations += len(batch)
+        room = self.max_violations - len(self.violations)
+        if room > 0:
+            self.violations.extend(batch[:room])
+        if self.raise_on_violation:
+            raise SanitizerError(batch)
+
+    def summary(self) -> str:
+        if not self.total_violations:
+            return (f"sanitizer: {self.checks_run} checks, "
+                    f"0 violations")
+        return (f"sanitizer: {self.checks_run} checks, "
+                f"{self.total_violations} violations "
+                f"(first: {self.violations[0]})")
+
+
+def attach_sanitizer(gpu, raise_on_violation: bool = True,
+                     check_interval: int = 1, max_violations: int = 200,
+                     tracer_capacity: int = 100_000) -> Sanitizer:
+    """Wire a :class:`Sanitizer` into a GPU before :meth:`GPU.run`.
+
+    Attaches an :class:`EventTracer` if none is present (the lifecycle
+    checks need the event stream); an existing tracer's listener is
+    chained, not replaced.  Idempotent: a second call returns the
+    already-attached sanitizer.
+    """
+    if gpu.sanitizer is not None:
+        return gpu.sanitizer
+    if gpu.tracer is None:
+        attach_tracer(gpu, tracer_capacity)
+    sanitizer = Sanitizer(gpu, raise_on_violation=raise_on_violation,
+                          check_interval=check_interval,
+                          max_violations=max_violations)
+    previous = gpu.tracer.listener
+    if previous is None:
+        gpu.tracer.listener = sanitizer.on_event
+    else:
+        def chained(cycle, sm_id, kind, cta_id,
+                    _prev=previous, _san=sanitizer):
+            _prev(cycle, sm_id, kind, cta_id)
+            _san.on_event(cycle, sm_id, kind, cta_id)
+        gpu.tracer.listener = chained
+    gpu.sanitizer = sanitizer
+    return sanitizer

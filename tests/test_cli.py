@@ -25,6 +25,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "KM", "--policy", "magic"])
 
+    def test_validate_defaults(self):
+        args = build_parser().parse_args(["validate"])
+        assert args.record is False
+        assert args.only is None
+        assert args.goldens_dir is None
+
+    def test_validate_rejects_unknown_half(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["validate", "--only", "everything"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -57,3 +67,22 @@ class TestCommands:
                      "--apps", "KM,LB"]) == 0
         out = capsys.readouterr().out
         assert "fig03" in out
+
+    def test_run_sanitized(self, capsys, monkeypatch):
+        # monkeypatch snapshots these before cmd_run overwrites them.
+        monkeypatch.setenv("REPRO_SANITIZE", "")
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        assert main(["run", "km", "--policy", "finereg",
+                     "--scale", "tiny", "--sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+
+    def test_validate_missing_corpus_fails_fast(self, capsys, tmp_path):
+        # No golden files in tmp_path: every case reports an error without
+        # simulating, and the exit status flags the failure.
+        assert main(["validate", "--only", "goldens",
+                     "--goldens-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "--record" in out
+        assert "validation FAILED" in out

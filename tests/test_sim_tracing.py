@@ -38,6 +38,33 @@ class TestTracerBasics:
         assert "switch_out" in str(event)
         assert "CTA 7" in str(event)
 
+    def test_listener_sees_every_event_including_dropped(self):
+        tracer = EventTracer(capacity=2)
+        seen = []
+        tracer.listener = (
+            lambda cycle, sm, kind, cta: seen.append((cycle, kind, cta)))
+        for i in range(5):
+            tracer.record(i, 0, EventKind.LAUNCH, i)
+        # The log saturates, but the listener observes the full stream.
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert [cta for __, __, cta in seen] == [0, 1, 2, 3, 4]
+
+    def test_events_for_sm_filters_in_record_order(self):
+        tracer = EventTracer()
+        tracer.record(1, 0, EventKind.LAUNCH, 0)
+        tracer.record(2, 1, EventKind.LAUNCH, 1)
+        tracer.record(3, 0, EventKind.RETIRE, 0)
+        assert [e.cycle for e in tracer.events_for_sm(0)] == [1, 3]
+        assert [e.cycle for e in tracer.events_for_sm(1)] == [2]
+        assert tracer.events_for_sm(9) == []
+
+    def test_as_dicts_is_json_ready(self):
+        tracer = EventTracer()
+        tracer.record(5, 2, EventKind.SWITCH_IN, 7)
+        assert tracer.as_dicts() == [
+            {"cycle": 5, "sm": 2, "kind": "switch_in", "cta": 7}]
+
 
 class TestTracedRun:
     def test_every_cta_launches_and_retires(self):

@@ -1,0 +1,32 @@
+"""Mutation self-test: every deliberate corruption must be detected.
+
+This is the sanity check on the sanitizer itself -- a checker that passes
+clean runs but misses known-bad ones proves nothing.  Each registered
+mutation corrupts exactly one invariant class; the sanitizer must report a
+violation carrying that class's tag.
+"""
+
+import pytest
+
+from repro.validate.mutations import MUTATIONS, run_mutation
+
+
+def test_registry_covers_the_major_invariant_classes():
+    tags = {m.invariant for m in MUTATIONS}
+    assert {"register-conservation", "pcrf-occupancy", "pointer-table",
+            "shmem-conservation", "warp-accounting", "sleep-soundness",
+            "scoreboard", "lifecycle", "monotonic-stats"} <= tags
+
+
+def test_mutation_names_unique():
+    names = [m.name for m in MUTATIONS]
+    assert len(names) == len(set(names))
+
+
+@pytest.mark.parametrize("mutation", MUTATIONS, ids=lambda m: m.name)
+def test_mutation_is_detected(mutation):
+    report = run_mutation(mutation)
+    assert report.detected, (
+        f"sanitizer missed {mutation.name} ({mutation.description}); "
+        f"tags={report.tags} error={report.error}")
+    assert mutation.invariant in report.tags

@@ -1,0 +1,213 @@
+"""Tests for the runtime invariant sanitizer (repro.validate)."""
+
+import pytest
+
+from conftest import build_linear_cfg
+from repro.config import GPUConfig
+from repro.isa.kernel import Kernel, LaunchGeometry
+from repro.policies.baseline import BaselinePolicy
+from repro.policies.finereg import FineRegPolicy
+from repro.sim.gpu import GPU
+from repro.sim.tracing import EventKind, attach_tracer
+from repro.validate.sanitizer import (
+    InvariantViolation,
+    Sanitizer,
+    SanitizerError,
+    attach_sanitizer,
+    sanitize_enabled,
+)
+from repro.workloads.traces import AddressModel, TraceProvider
+
+
+def build_gpu(policy=BaselinePolicy, grid_ctas=4, threads=64, regs=8):
+    cfg = build_linear_cfg()
+    kernel = Kernel("unit", cfg,
+                    LaunchGeometry(threads_per_cta=threads,
+                                   grid_ctas=grid_ctas),
+                    regs_per_thread=regs)
+    return GPU(GPUConfig().with_num_sms(1), kernel, policy,
+               TraceProvider(cfg, seed=1), AddressModel())
+
+
+class TestEnableKnob:
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("true", True), ("ON", True), (" yes ", True),
+        ("", False), ("0", False), ("off", False), ("no", False),
+    ])
+    def test_truthiness(self, value, expected):
+        assert sanitize_enabled(value) is expected
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitize_enabled()
+        monkeypatch.delenv("REPRO_SANITIZE")
+        assert not sanitize_enabled()
+
+
+class TestAttach:
+    def test_attaches_tracer_when_absent(self):
+        gpu = build_gpu()
+        assert gpu.tracer is None
+        sanitizer = attach_sanitizer(gpu)
+        assert gpu.tracer is not None
+        assert gpu.sanitizer is sanitizer
+
+    def test_idempotent(self):
+        gpu = build_gpu()
+        first = attach_sanitizer(gpu)
+        assert attach_sanitizer(gpu) is first
+
+    def test_chains_existing_listener(self):
+        gpu = build_gpu()
+        tracer = attach_tracer(gpu)
+        seen = []
+        tracer.listener = lambda cycle, sm, kind, cta: seen.append(cta)
+        attach_sanitizer(gpu)
+        gpu.run(max_cycles=500_000)
+        # The pre-existing listener still fires alongside the sanitizer's.
+        assert len(seen) == len(tracer.events)
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("policy", [BaselinePolicy, FineRegPolicy])
+    def test_zero_violations(self, policy):
+        gpu = build_gpu(policy=policy, grid_ctas=6)
+        sanitizer = attach_sanitizer(gpu)
+        result = gpu.run(max_cycles=500_000)
+        assert not result.timed_out
+        assert result.completed_ctas == 6
+        assert sanitizer.total_violations == 0
+        assert sanitizer.checks_run > 0
+        assert "0 violations" in sanitizer.summary()
+
+    @pytest.mark.parametrize("policy_name", ["virtual_thread", "reg_dram"])
+    def test_partial_cta_swap_respects_warp_limit(self, policy_name):
+        # Regression: swapping a partially-retired CTA (fewer unfinished
+        # warps) for a full pending one used to overshoot the Table-I
+        # 64-warp limit on BF.  The sanitizer found this; keep it found.
+        from repro.config import SCALES, default_config
+        from repro.experiments.runner import POLICIES
+        from repro.workloads.generator import build_workload
+        from repro.workloads.suite import get_spec
+
+        scale = SCALES["tiny"]
+        config = default_config(scale)
+        instance = build_workload(get_spec("BF"), config, scale)
+        gpu = GPU(config, instance.kernel, POLICIES[policy_name](),
+                  instance.trace_provider, instance.address_model,
+                  liveness=instance.liveness)
+        sanitizer = attach_sanitizer(gpu)
+        result = gpu.run(max_cycles=scale.max_cycles)
+        assert not result.timed_out
+        assert sanitizer.total_violations == 0
+
+    def test_check_interval_reduces_sweeps(self):
+        dense_gpu = build_gpu()
+        dense = attach_sanitizer(dense_gpu)
+        dense_gpu.run(max_cycles=500_000)
+        sparse_gpu = build_gpu()
+        sparse = attach_sanitizer(sparse_gpu, check_interval=16)
+        sparse_gpu.run(max_cycles=500_000)
+        assert sparse.checks_run < dense.checks_run
+        assert sparse.total_violations == 0
+
+
+class TestCollectMode:
+    def corrupted_gpu(self):
+        """A GPU whose instruction counter rolls back every step."""
+        from repro.validate.mutations import MUTATIONS
+
+        mutation = next(m for m in MUTATIONS if m.name == "stat_rollback")
+        gpu = build_gpu()
+        mutation.apply(gpu)
+        return gpu
+
+    def test_raise_mode_raises(self):
+        gpu = self.corrupted_gpu()
+        attach_sanitizer(gpu)
+        with pytest.raises(SanitizerError) as excinfo:
+            gpu.run(max_cycles=500_000)
+        assert excinfo.value.violations
+        assert "monotonic-stats" in str(excinfo.value)
+
+    def test_collect_mode_accumulates(self):
+        gpu = self.corrupted_gpu()
+        sanitizer = attach_sanitizer(gpu, raise_on_violation=False)
+        gpu.run(max_cycles=500_000)  # must not raise
+        assert sanitizer.total_violations > 0
+        assert sanitizer.violations
+        assert "monotonic-stats" in sanitizer.summary()
+
+    def test_max_violations_caps_storage(self):
+        gpu = self.corrupted_gpu()
+        sanitizer = attach_sanitizer(gpu, raise_on_violation=False,
+                                     max_violations=3)
+        gpu.run(max_cycles=500_000)
+        assert len(sanitizer.violations) == 3
+        assert sanitizer.total_violations > 3
+
+
+class TestRendering:
+    def test_violation_str(self):
+        violation = InvariantViolation(42, 1, "scoreboard", "too early")
+        text = str(violation)
+        assert "SM1" in text and "scoreboard" in text and "42" in text
+
+    def test_gpu_scoped_violation_str(self):
+        violation = InvariantViolation(7, None, "completion", "lost CTA")
+        assert "GPU" in str(violation)
+
+    def test_error_message_truncates(self):
+        batch = [InvariantViolation(i, 0, "warp-accounting", f"v{i}")
+                 for i in range(11)]
+        message = str(SanitizerError(batch))
+        assert "11 finding(s)" in message
+        assert "... and 3 more" in message
+
+    def test_error_survives_pickling(self):
+        # Pool workers ship SanitizerError back pickled; the violations
+        # must survive the round trip (not be re-split into characters).
+        import pickle
+
+        batch = [InvariantViolation(42, 1, "scoreboard", "too early")]
+        err = pickle.loads(pickle.dumps(SanitizerError(batch)))
+        assert err.violations == batch
+        assert "1 finding(s)" in str(err)
+
+
+class TestLifecycleMachine:
+    def make_sanitizer(self):
+        gpu = build_gpu()
+        return attach_sanitizer(gpu, raise_on_violation=False)
+
+    def test_retire_before_launch_is_illegal(self):
+        sanitizer = self.make_sanitizer()
+        sanitizer.on_event(10, 0, EventKind.RETIRE, 99)
+        assert sanitizer.total_violations == 1
+        assert sanitizer.violations[0].invariant == "lifecycle"
+
+    def test_double_launch_is_illegal(self):
+        sanitizer = self.make_sanitizer()
+        sanitizer.on_event(1, 0, EventKind.LAUNCH, 5)
+        sanitizer.on_event(2, 0, EventKind.LAUNCH, 5)
+        assert sanitizer.total_violations == 1
+
+    def test_migration_across_sms_is_illegal(self):
+        sanitizer = self.make_sanitizer()
+        sanitizer.on_event(1, 0, EventKind.LAUNCH, 5)
+        sanitizer.on_event(2, 3, EventKind.RETIRE, 5)
+        assert any("SM" in v.message for v in sanitizer.violations)
+
+    def test_time_travel_is_illegal(self):
+        sanitizer = self.make_sanitizer()
+        sanitizer.on_event(10, 0, EventKind.LAUNCH, 5)
+        sanitizer.on_event(4, 0, EventKind.RETIRE, 5)
+        assert any("precedes" in v.message for v in sanitizer.violations)
+
+    def test_legal_round_trip_is_silent(self):
+        sanitizer = self.make_sanitizer()
+        sanitizer.on_event(1, 0, EventKind.LAUNCH, 5)
+        sanitizer.on_event(2, 0, EventKind.SWITCH_OUT, 5)
+        sanitizer.on_event(3, 0, EventKind.SWITCH_IN, 5)
+        sanitizer.on_event(4, 0, EventKind.RETIRE, 5)
+        assert sanitizer.total_violations == 0
