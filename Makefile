@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= small
 
-.PHONY: install test bench bench-fast report calibrate clean
+.PHONY: install test bench bench-fast report calibrate analyze typecheck clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || \
@@ -27,6 +27,20 @@ bench-out:
 
 report:
 	$(PYTHON) -m repro.experiments.run_all --scale $(SCALE) --out results
+
+# Static kernel verifier + determinism lint + verifier self-test (docs/ANALYZE.md).
+analyze:
+	PYTHONPATH=src $(PYTHON) -m repro analyze --suite --lint --self-test
+
+# mypy strict-equivalent on repro.core / repro.isa / repro.analyze
+# (config: pyproject.toml).  Skips gracefully when mypy is not installed,
+# so offline checkouts can still run the rest of the targets.
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy src/repro/core src/repro/isa src/repro/analyze; \
+	else \
+		echo "typecheck: mypy not installed, skipping (pip install mypy)"; \
+	fi
 
 calibrate:
 	$(PYTHON) tools/calibrate.py $(SCALE)

@@ -1,0 +1,169 @@
+"""Graph analyses over a frozen :class:`~repro.isa.cfg.ControlFlowGraph`.
+
+The verifier passes need classic CFG facts the structured builder never had
+to compute: forward/backward reachability, dominators (for the reducibility
+check), and post-dominators (ground truth for reconvergence points, per the
+PDOM model the trace generator and liveness pass assume).
+
+Graphs here are tiny (a handful of blocks), so the dominator solver is the
+simple iterative set-intersection algorithm rather than Lengauer-Tarjan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.cfg import BasicBlock, ControlFlowGraph, EdgeKind
+from repro.isa.instructions import Opcode
+
+
+def predecessors(cfg: ControlFlowGraph) -> Dict[int, List[int]]:
+    """Predecessor lists for every block (in block-id order)."""
+    preds: Dict[int, List[int]] = {b.block_id: [] for b in cfg.blocks}
+    for block in cfg.blocks:
+        for succ in block.successors:
+            preds[succ].append(block.block_id)
+    return preds
+
+
+def entry_block(cfg: ControlFlowGraph) -> int:
+    """The kernel entry: block 0 by construction."""
+    return cfg.blocks[0].block_id
+
+
+def exit_blocks(cfg: ControlFlowGraph) -> Tuple[int, ...]:
+    return tuple(b.block_id for b in cfg.blocks
+                 if b.edge_kind is EdgeKind.EXIT)
+
+
+def reachable_from_entry(cfg: ControlFlowGraph) -> Set[int]:
+    """Blocks reachable by following successor edges from the entry."""
+    seen: Set[int] = set()
+    stack = [entry_block(cfg)]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(cfg.blocks[current].successors)
+    return seen
+
+
+def reaches_exit(cfg: ControlFlowGraph) -> Set[int]:
+    """Blocks from which some exit block is reachable."""
+    preds = predecessors(cfg)
+    seen: Set[int] = set()
+    stack = list(exit_blocks(cfg))
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(preds[current])
+    return seen
+
+
+def _iterative_dominators(nodes: List[int], root: int,
+                          edges_in: Dict[int, List[int]]
+                          ) -> Dict[int, Set[int]]:
+    """Dominators over ``nodes`` with ``root`` as the start node.
+
+    ``edges_in[n]`` lists the nodes whose facts flow into ``n`` (CFG
+    predecessors for dominators, successors for post-dominators).  Nodes
+    not in ``nodes`` (unreachable ones) are ignored.
+    """
+    universe = set(nodes)
+    dom: Dict[int, Set[int]] = {n: set(universe) for n in nodes}
+    dom[root] = {root}
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            if node == root:
+                continue
+            incoming = [dom[p] for p in edges_in[node] if p in universe]
+            new = set.intersection(*incoming) if incoming else set()
+            new.add(node)
+            if new != dom[node]:
+                dom[node] = new
+                changed = True
+    return dom
+
+
+def dominators(cfg: ControlFlowGraph) -> Dict[int, Set[int]]:
+    """``dominators(b)``: blocks on every entry-to-``b`` path.
+
+    Computed over the entry-reachable subgraph only; unreachable blocks do
+    not appear in the result (the structural pass reports them separately).
+    """
+    reachable = reachable_from_entry(cfg)
+    nodes = [b.block_id for b in cfg.blocks if b.block_id in reachable]
+    preds = predecessors(cfg)
+    return _iterative_dominators(nodes, entry_block(cfg), preds)
+
+
+def postdominators(cfg: ControlFlowGraph) -> Dict[int, Set[int]]:
+    """``postdominators(b)``: blocks on every ``b``-to-exit path.
+
+    Computed over blocks that can reach the exit; blocks that cannot
+    (dangling regions) do not appear in the result.
+    """
+    exits = exit_blocks(cfg)
+    if len(exits) != 1:
+        # freeze() enforces exactly one exit; degrade gracefully anyway.
+        return {}
+    can_exit = reaches_exit(cfg)
+    nodes = [b.block_id for b in cfg.blocks if b.block_id in can_exit]
+    succs = {b.block_id: list(b.successors) for b in cfg.blocks}
+    return _iterative_dominators(nodes, exits[0], succs)
+
+
+def immediate_postdominator(pdom: Dict[int, Set[int]],
+                            block_id: int) -> Optional[int]:
+    """Nearest strict post-dominator of ``block_id`` (PDOM reconvergence).
+
+    The strict post-dominators of a node form a chain, so the nearest one
+    is the member with the largest post-dominator set of its own.
+    """
+    if block_id not in pdom:
+        return None
+    strict = [p for p in pdom[block_id] if p != block_id]
+    if not strict:
+        return None
+    return max(strict, key=lambda p: (len(pdom.get(p, ())), -p))
+
+
+def back_edges(cfg: ControlFlowGraph) -> List[Tuple[int, int]]:
+    """All ``LOOP_BACK``-kind edges as (source, header) pairs."""
+    edges = []
+    for block in cfg.blocks:
+        if block.edge_kind is EdgeKind.LOOP_BACK:
+            edges.append((block.block_id, block.successors[0]))
+    return edges
+
+
+def region_between(cfg: ControlFlowGraph, start: int,
+                   stop: Optional[int]) -> Set[int]:
+    """Blocks reachable from ``start`` without passing through ``stop``.
+
+    Used to enumerate a branch region: everything on a path from one branch
+    arm up to (but excluding) the reconvergence point.  ``stop=None`` means
+    no boundary — the full forward cone of ``start``.
+    """
+    seen: Set[int] = set()
+    stack = [start]
+    while stack:
+        current = stack.pop()
+        if current in seen or current == stop:
+            continue
+        seen.add(current)
+        stack.extend(cfg.blocks[current].successors)
+    return seen
+
+
+def contains_opcode(block: BasicBlock, opcode: Opcode) -> Optional[int]:
+    """PC of the first instruction in ``block`` with ``opcode``, if any."""
+    for instr in block.instructions:
+        if instr.opcode is opcode:
+            return instr.pc
+    return None

@@ -1,0 +1,331 @@
+"""The static kernel verifier passes.
+
+Each pass is a pure function from a frozen CFG (plus, where relevant, the
+declared resource envelope and a :class:`~repro.config.GPUConfig`) to a list
+of :class:`~repro.validate.findings.Finding`.  Passes never raise on a bad
+kernel — they *report*; the orchestration layer (:mod:`.verifier`) decides
+whether errors abort workload construction or merely fail a CI gate.
+
+Pass catalog (tags in parentheses; full descriptions in docs/ANALYZE.md):
+
+* structure — single entry, no unreachable/dangling blocks, reducible
+  loops (``cfg-entry``, ``cfg-unreachable``, ``cfg-dangling``,
+  ``cfg-irreducible``, ``cfg-structure``)
+* reconvergence — the structured reconvergence point every downstream
+  layer assumes must equal the immediate post-dominator
+  (``reconvergence``)
+* barriers — no ``BAR`` reachable under a divergent predicate before
+  reconvergence (``barrier-divergence``)
+* register pressure — declared regs/thread must cover the liveness-derived
+  live maximum and every named register; per-CTA live footprints are
+  cross-checked against the ACRF/PCRF split (``register-pressure``,
+  ``acrf-capacity``, ``pcrf-capacity``)
+* occupancy — one CTA must fit every Table-I hardware limit
+  (``occupancy``)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import MAX_REGS_PER_THREAD, WARP_SIZE, GPUConfig
+from repro.core.liveness import LivenessAnalysis, LivenessTable
+from repro.isa.cfg import ControlFlowGraph, EdgeKind
+from repro.isa.instructions import Opcode
+from repro.validate.findings import Finding, Severity
+
+from repro.analyze.graph import (
+    back_edges,
+    contains_opcode,
+    dominators,
+    entry_block,
+    immediate_postdominator,
+    postdominators,
+    predecessors,
+    reachable_from_entry,
+    reaches_exit,
+    region_between,
+)
+
+
+def _finding(tag: str, severity: Severity, message: str, source: str,
+             block: Optional[int] = None,
+             pc: Optional[int] = None) -> Finding:
+    return Finding(tag=tag, severity=severity, message=message,
+                   source=source, block=block, pc=pc)
+
+
+# ----------------------------------------------------------------------
+# Pass 1: CFG structure
+# ----------------------------------------------------------------------
+def check_structure(cfg: ControlFlowGraph, source: str = "") -> List[Finding]:
+    """Well-formedness beyond what ``freeze()`` enforces.
+
+    ``freeze()`` checks local properties (successor arity, one exit block,
+    backward loop edges); this pass checks the global ones a malformed
+    synthetic kernel can still violate.
+    """
+    findings: List[Finding] = []
+    preds = predecessors(cfg)
+    reachable = reachable_from_entry(cfg)
+    can_exit = reaches_exit(cfg)
+
+    # Single entry: nothing may jump to block 0 except a loop back edge
+    # (an entry that doubles as a loop header is still a unique entry).
+    for pred in preds[entry_block(cfg)]:
+        if cfg.blocks[pred].edge_kind is not EdgeKind.LOOP_BACK:
+            findings.append(_finding(
+                "cfg-entry", Severity.ERROR,
+                f"entry block B0 has forward predecessor B{pred}; the "
+                f"kernel entry must be unique",
+                source, block=pred))
+
+    for block in cfg.blocks:
+        if block.block_id not in reachable:
+            findings.append(_finding(
+                "cfg-unreachable", Severity.ERROR,
+                f"block B{block.block_id} is unreachable from the entry "
+                f"(dead code the trace generator would never emit)",
+                source, block=block.block_id,
+                pc=block.instructions[0].pc))
+        elif block.block_id not in can_exit:
+            findings.append(_finding(
+                "cfg-dangling", Severity.ERROR,
+                f"block B{block.block_id} cannot reach the exit; a warp "
+                f"entering it would never retire",
+                source, block=block.block_id,
+                pc=block.instructions[0].pc))
+
+    # Reducibility: every loop back edge must target a header that
+    # dominates its source, otherwise the loop has a side entrance and the
+    # single-header traversal of the liveness pass (paper Fig 9b) is wrong.
+    dom = dominators(cfg)
+    for src, header in back_edges(cfg):
+        if src not in dom:
+            continue  # unreachable; already reported above
+        if header not in dom[src]:
+            findings.append(_finding(
+                "cfg-irreducible", Severity.ERROR,
+                f"back edge B{src} -> B{header} is irreducible: B{header} "
+                f"does not dominate B{src} (the loop has a second entry)",
+                source, block=src))
+
+    # Retreating edges not marked LOOP_BACK break the builder's contract
+    # that only LOOP_BACK edges close cycles.
+    for block in cfg.blocks:
+        if block.edge_kind is EdgeKind.LOOP_BACK:
+            continue
+        if block.block_id not in dom:
+            continue
+        for succ in block.successors:
+            if succ in dom[block.block_id] and succ != block.block_id:
+                findings.append(_finding(
+                    "cfg-structure", Severity.ERROR,
+                    f"{block.edge_kind.value} edge B{block.block_id} -> "
+                    f"B{succ} closes a cycle but is not marked LOOP_BACK",
+                    source, block=block.block_id))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Pass 2: reconvergence consistency
+# ----------------------------------------------------------------------
+def check_reconvergence(cfg: ControlFlowGraph,
+                        source: str = "") -> List[Finding]:
+    """Structured reconvergence must agree with the immediate post-dominator.
+
+    ``ControlFlowGraph.reconvergence_block`` walks fallthrough chains — the
+    structural assumption the per-warp trace serializer and the Fig-9
+    liveness traversal both rely on.  If that walk disagrees with (or cannot
+    find) the true PDOM reconvergence point, divergent execution would be
+    serialized at the wrong program point.
+    """
+    findings: List[Finding] = []
+    pdom = postdominators(cfg)
+    reachable = reachable_from_entry(cfg)
+    for block in cfg.blocks:
+        if block.edge_kind is not EdgeKind.BRANCH:
+            continue
+        if block.block_id not in reachable:
+            continue  # structural pass already reports it
+        ipdom = immediate_postdominator(pdom, block.block_id)
+        structured = cfg.reconvergence_block(block.block_id)
+        if structured is None:
+            findings.append(_finding(
+                "reconvergence", Severity.ERROR,
+                f"branch B{block.block_id} has no structured reconvergence "
+                f"point (immediate post-dominator is "
+                f"{'B%d' % ipdom if ipdom is not None else 'undefined'}); "
+                f"the trace serializer assumes one",
+                source, block=block.block_id,
+                pc=block.instructions[-1].pc))
+        elif structured != ipdom:
+            findings.append(_finding(
+                "reconvergence", Severity.ERROR,
+                f"branch B{block.block_id} reconverges at B{structured} per "
+                f"the structured walk but its immediate post-dominator is "
+                f"{'B%d' % ipdom if ipdom is not None else 'undefined'}",
+                source, block=block.block_id,
+                pc=block.instructions[-1].pc))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Pass 3: barrier-divergence legality
+# ----------------------------------------------------------------------
+def check_barriers(cfg: ControlFlowGraph, source: str = "") -> List[Finding]:
+    """No ``BAR`` may execute under a divergent predicate.
+
+    A barrier between a divergent branch and its reconvergence point
+    deadlocks on real hardware: threads on the other path never arrive.
+    The reconvergence block itself is legal — threads have re-joined by
+    its first instruction.
+    """
+    findings: List[Finding] = []
+    pdom = postdominators(cfg)
+    reachable = reachable_from_entry(cfg)
+    for block in cfg.blocks:
+        if block.edge_kind is not EdgeKind.BRANCH:
+            continue
+        if block.block_id not in reachable or block.divergence_prob <= 0.0:
+            continue
+        rec = immediate_postdominator(pdom, block.block_id)
+        region = set()
+        for succ in block.successors:
+            region |= region_between(cfg, succ, rec)
+        region.discard(block.block_id)
+        for region_block_id in sorted(region):
+            region_block = cfg.blocks[region_block_id]
+            bar_pc = contains_opcode(region_block, Opcode.BAR)
+            if bar_pc is not None:
+                findings.append(_finding(
+                    "barrier-divergence", Severity.ERROR,
+                    f"BAR in B{region_block_id} is reachable under the "
+                    f"divergent branch B{block.block_id} (p="
+                    f"{block.divergence_prob:.2f}) before reconvergence"
+                    + (f" at B{rec}" if rec is not None else "")
+                    + "; divergent threads would deadlock the CTA",
+                    source, block=region_block_id, pc=bar_pc))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Pass 4: static register pressure
+# ----------------------------------------------------------------------
+def check_register_pressure(cfg: ControlFlowGraph, regs_per_thread: int,
+                            source: str = "",
+                            config: Optional[GPUConfig] = None,
+                            threads_per_cta: Optional[int] = None,
+                            liveness: Optional[LivenessTable] = None
+                            ) -> List[Finding]:
+    """Declared regs/thread must bound both naming and liveness.
+
+    With ``config`` and ``threads_per_cta`` the per-CTA footprints are also
+    cross-checked against the ACRF/PCRF split: a CTA whose full allocation
+    exceeds the ACRF can never be *active* under FineReg, and one whose
+    live set exceeds the PCRF can never be *parked* — either way the
+    mechanism silently degenerates, which is worth a warning up front.
+    """
+    findings: List[Finding] = []
+    if regs_per_thread <= 0:
+        findings.append(_finding(
+            "register-pressure", Severity.ERROR,
+            f"declared regs/thread must be positive, got {regs_per_thread}",
+            source))
+        return findings
+    if regs_per_thread > MAX_REGS_PER_THREAD:
+        findings.append(_finding(
+            "register-pressure", Severity.ERROR,
+            f"declared {regs_per_thread} regs/thread exceeds the "
+            f"{MAX_REGS_PER_THREAD}-register architectural limit (the live "
+            f"bit vectors are {MAX_REGS_PER_THREAD} bits)",
+            source))
+
+    used = cfg.registers_used()
+    max_index = max(used) if used else -1
+    if liveness is None:
+        liveness = LivenessAnalysis(cfg).run(regs_per_thread)
+    live_max = 0
+    live_max_index = 0
+    for index in range(liveness.num_instructions):
+        count = liveness.live_count_at_index(index)
+        if count > live_max:
+            live_max, live_max_index = count, index
+    live_max_pc = live_max_index * 4
+
+    if max_index >= regs_per_thread:
+        findings.append(_finding(
+            "register-pressure", Severity.ERROR,
+            f"kernel names R{max_index} but declares only "
+            f"{regs_per_thread} regs/thread (live maximum is {live_max} at "
+            f"0x{live_max_pc:04x}); raise the declaration to at least "
+            f"{max_index + 1}",
+            source, block=cfg.block_of(live_max_index), pc=live_max_pc))
+    elif live_max > regs_per_thread:
+        # Unreachable while the index rule holds, but the dataflow bound is
+        # the property FineReg actually depends on — keep it checked.
+        findings.append(_finding(
+            "register-pressure", Severity.ERROR,
+            f"liveness-derived live maximum {live_max} (at "
+            f"0x{live_max_pc:04x}) exceeds the declared "
+            f"{regs_per_thread} regs/thread",
+            source, block=cfg.block_of(live_max_index), pc=live_max_pc))
+
+    if config is not None and threads_per_cta:
+        warps = threads_per_cta // WARP_SIZE
+        full_cta = warps * regs_per_thread
+        live_cta = warps * live_max
+        if full_cta > config.acrf_entries:
+            findings.append(_finding(
+                "acrf-capacity", Severity.WARNING,
+                f"one CTA's full allocation ({full_cta} warp-registers) "
+                f"exceeds the ACRF ({config.acrf_entries}); no CTA can be "
+                f"active under FineReg's default split",
+                source))
+        if live_cta > config.pcrf_entries:
+            findings.append(_finding(
+                "pcrf-capacity", Severity.WARNING,
+                f"one CTA's live set ({live_cta} warp-registers) exceeds "
+                f"the PCRF ({config.pcrf_entries}); no CTA can ever be "
+                f"parked and FineReg degenerates to the baseline",
+                source))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Pass 5: occupancy feasibility
+# ----------------------------------------------------------------------
+def check_occupancy(regs_per_thread: int, threads_per_cta: int,
+                    shmem_per_cta: int, config: GPUConfig,
+                    source: str = "") -> List[Finding]:
+    """A single CTA must fit every Table-I hardware limit.
+
+    ``baseline_resident_ctas`` clamps its answer to ``max(1, ...)``, so an
+    infeasible kernel silently "fits" one CTA and fails cycles into the
+    run (or never); this pass rejects it before simulation.
+    """
+    findings: List[Finding] = []
+
+    def err(message: str) -> None:
+        findings.append(_finding("occupancy", Severity.ERROR, message,
+                                 source))
+
+    if threads_per_cta <= 0 or threads_per_cta % WARP_SIZE:
+        err(f"threads/CTA must be a positive multiple of {WARP_SIZE}, "
+            f"got {threads_per_cta}")
+        return findings
+    warps = threads_per_cta // WARP_SIZE
+    if warps > config.max_warps_per_sm:
+        err(f"one CTA needs {warps} warps but the SM schedules at most "
+            f"{config.max_warps_per_sm}")
+    if threads_per_cta > config.max_threads_per_sm:
+        err(f"one CTA needs {threads_per_cta} threads but the SM hosts at "
+            f"most {config.max_threads_per_sm}")
+    warp_registers = warps * regs_per_thread
+    if warp_registers > config.rf_warp_registers:
+        err(f"one CTA needs {warp_registers} warp-registers but the "
+            f"register file holds {config.rf_warp_registers}")
+    if shmem_per_cta > config.shared_memory_bytes:
+        err(f"one CTA needs {shmem_per_cta} B of shared memory but the SM "
+            f"has {config.shared_memory_bytes} B")
+    return findings

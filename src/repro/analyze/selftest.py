@@ -1,0 +1,179 @@
+"""Verifier self-test: prove each pass detects what it claims to.
+
+Mirror of :mod:`repro.validate.mutations`, one layer earlier: each
+:class:`BrokenKernel` builds a CFG that *passes* ``freeze()`` (so only the
+static verifier stands between it and the simulator) yet violates exactly
+one verified property.  The harness asserts the verifier reports an
+error-severity finding carrying that case's tag — a verifier that accepts
+the whole Table-II suite but also accepts these is a gate that gates
+nothing.
+
+Run via ``python -m repro analyze --self-test`` or the unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.config import GPUConfig
+from repro.isa.cfg import ControlFlowGraph, EdgeKind
+from repro.isa.instructions import AccessPattern, Instruction, Opcode
+from repro.analyze.verifier import AnalysisReport, verify_cfg
+
+#: (cfg, regs_per_thread, threads_per_cta, shmem_per_cta)
+KernelParts = Tuple[ControlFlowGraph, int, int, int]
+
+
+@dataclass(frozen=True)
+class BrokenKernel:
+    """One deliberately malformed kernel and the finding that must catch it."""
+
+    name: str
+    tag: str              # finding tag the verifier must report as an error
+    description: str
+    build: Callable[[], KernelParts]
+
+
+def _i(dest: int, *srcs: int) -> Instruction:
+    return Instruction(Opcode.IALU, dest, tuple(srcs))
+
+
+def _bra(src: int) -> Instruction:
+    return Instruction(Opcode.BRA, None, (src,))
+
+
+def _exit_block() -> List[Instruction]:
+    return [Instruction(Opcode.STG, None, (0, 1), AccessPattern.STREAM),
+            Instruction(Opcode.EXIT)]
+
+
+# ----------------------------------------------------------------------
+# The six corruptions
+# ----------------------------------------------------------------------
+def _unreachable_block() -> KernelParts:
+    """A dead block no edge ever targets."""
+    cfg = ControlFlowGraph()
+    cfg.add_block([_i(0), _i(1, 0)], EdgeKind.FALLTHROUGH, successors=(1,))
+    cfg.add_block(_exit_block(), EdgeKind.EXIT)
+    cfg.add_block([_i(2, 0)], EdgeKind.FALLTHROUGH, successors=(1,))  # dead
+    return cfg.freeze(), 8, 64, 0
+
+
+def _divergent_barrier() -> KernelParts:
+    """A BAR on one arm of a divergent branch, before reconvergence."""
+    cfg = ControlFlowGraph()
+    cfg.add_block([_i(0), _bra(0)], EdgeKind.BRANCH, successors=(1, 2),
+                  divergence_prob=0.5)
+    cfg.add_block([_i(1, 0), Instruction(Opcode.BAR)],
+                  EdgeKind.FALLTHROUGH, successors=(3,))
+    cfg.add_block([_i(2, 0)], EdgeKind.FALLTHROUGH, successors=(3,))
+    cfg.add_block(_exit_block(), EdgeKind.EXIT)
+    return cfg.freeze(), 8, 64, 0
+
+
+def _under_declared_regs() -> KernelParts:
+    """Names R9 (live maximum 10) but declares only 4 regs/thread."""
+    cfg = ControlFlowGraph()
+    setup = [_i(r) for r in range(10)]
+    use = [Instruction(Opcode.FALU, 0, (8, 9))]
+    cfg.add_block(setup + use, EdgeKind.FALLTHROUGH, successors=(1,))
+    cfg.add_block(_exit_block(), EdgeKind.EXIT)
+    return cfg.freeze(), 4, 64, 0
+
+
+def _infeasible_occupancy() -> KernelParts:
+    """Needs 128 KB of shared memory on a 96 KB SM: zero CTAs ever fit."""
+    cfg = ControlFlowGraph()
+    cfg.add_block([_i(0), Instruction(Opcode.LDS, 1, (0,))],
+                  EdgeKind.FALLTHROUGH, successors=(1,))
+    cfg.add_block(_exit_block(), EdgeKind.EXIT)
+    return cfg.freeze(), 8, 64, 128 * 1024
+
+
+def _bad_reconvergence() -> KernelParts:
+    """A nested branch breaks the structured-chain reconvergence walk.
+
+    The immediate post-dominator of B0 is B5, but the fallthrough-chain
+    walk the trace serializer uses cannot find it (B1 is itself a branch),
+    so the layers disagree about where threads re-join.
+    """
+    cfg = ControlFlowGraph()
+    cfg.add_block([_i(0), _bra(0)], EdgeKind.BRANCH, successors=(1, 2),
+                  divergence_prob=0.4)
+    cfg.add_block([_i(1, 0), _bra(1)], EdgeKind.BRANCH, successors=(3, 4),
+                  divergence_prob=0.4)
+    cfg.add_block([_i(2, 0)], EdgeKind.FALLTHROUGH, successors=(5,))
+    cfg.add_block([_i(3, 0)], EdgeKind.FALLTHROUGH, successors=(5,))
+    cfg.add_block([_i(4, 0)], EdgeKind.FALLTHROUGH, successors=(5,))
+    cfg.add_block(_exit_block(), EdgeKind.EXIT)
+    return cfg.freeze(), 8, 64, 0
+
+
+def _irreducible_loop() -> KernelParts:
+    """A loop whose back-edge header does not dominate the latch.
+
+    B3's back edge targets B1, but B3 is also reachable via B2 without
+    passing B1 — a second loop entry, so the single-header traversal the
+    liveness pass performs (paper Fig 9b) is unsound here.
+    """
+    cfg = ControlFlowGraph()
+    cfg.add_block([_i(0), _bra(0)], EdgeKind.BRANCH, successors=(1, 2))
+    cfg.add_block([_i(1, 0)], EdgeKind.FALLTHROUGH, successors=(3,))
+    cfg.add_block([_i(2, 0)], EdgeKind.FALLTHROUGH, successors=(3,))
+    cfg.add_block([_i(3, 0), _bra(3)], EdgeKind.LOOP_BACK,
+                  successors=(1, 4), mean_trip_count=4.0)
+    cfg.add_block(_exit_block(), EdgeKind.EXIT)
+    return cfg.freeze(), 8, 64, 0
+
+
+BROKEN_KERNELS: Tuple[BrokenKernel, ...] = (
+    BrokenKernel("unreachable_block", "cfg-unreachable",
+                 "a block no edge targets", _unreachable_block),
+    BrokenKernel("divergent_barrier", "barrier-divergence",
+                 "BAR under a divergent predicate before reconvergence",
+                 _divergent_barrier),
+    BrokenKernel("under_declared_regs", "register-pressure",
+                 "declared regs/thread below the live maximum",
+                 _under_declared_regs),
+    BrokenKernel("infeasible_occupancy", "occupancy",
+                 "shared-memory footprint larger than the SM",
+                 _infeasible_occupancy),
+    BrokenKernel("bad_reconvergence", "reconvergence",
+                 "structured walk disagrees with the post-dominator",
+                 _bad_reconvergence),
+    BrokenKernel("irreducible_loop", "cfg-irreducible",
+                 "back edge whose header does not dominate the latch",
+                 _irreducible_loop),
+)
+
+
+@dataclass(frozen=True)
+class SelfTestReport:
+    """Did the verifier catch one broken kernel with the right tag?"""
+
+    case: BrokenKernel
+    detected: bool
+    tags: Tuple[str, ...] = ()
+    error: Optional[str] = None
+
+
+def run_broken_kernel(case: BrokenKernel,
+                      config: Optional[GPUConfig] = None) -> SelfTestReport:
+    config = GPUConfig() if config is None else config
+    try:
+        cfg, regs, threads, shmem = case.build()
+        report: AnalysisReport = verify_cfg(
+            cfg, regs, source=case.name, config=config,
+            threads_per_cta=threads, shmem_per_cta=shmem)
+    except Exception as exc:  # crash before diagnosis = not detected
+        return SelfTestReport(case, detected=False,
+                              error=f"{type(exc).__name__}: {exc}")
+    error_tags = tuple(sorted({f.tag for f in report.errors}))
+    return SelfTestReport(case, detected=case.tag in error_tags,
+                          tags=error_tags)
+
+
+def run_self_test(config: Optional[GPUConfig] = None
+                  ) -> List[SelfTestReport]:
+    return [run_broken_kernel(case, config) for case in BROKEN_KERNELS]

@@ -1,0 +1,174 @@
+"""Orchestration of the static kernel verifier.
+
+Entry points, from narrow to broad:
+
+* :func:`verify_cfg` — run the CFG-level passes over one frozen graph plus
+  a declared register count (no :class:`~repro.isa.kernel.Kernel` needed,
+  so deliberately broken graphs can be verified without tripping the
+  ``Kernel`` constructor's own checks).
+* :func:`verify_kernel` — a built kernel against a hardware config.
+* :func:`verify_spec` — generate a Table-II workload and verify it.
+* :func:`verify_suite` — every spec in the shipped suite.
+* :func:`verify_requests` — the distinct kernels referenced by a campaign
+  plan (a sequence of :class:`~repro.experiments.parallel.RunRequest`).
+
+:func:`verify_cfg` is also what :func:`repro.workloads.generator
+.build_workload` calls at construction time; an error-severity finding
+there raises :class:`KernelVerificationError` with the full report, so a
+bad synthetic kernel fails at build time with block/PC diagnostics rather
+than cycles into a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import GPUConfig, Scale
+from repro.core.liveness import LivenessTable
+from repro.isa.cfg import ControlFlowGraph
+from repro.isa.kernel import Kernel
+from repro.validate.findings import Finding, FindingReport
+
+from repro.analyze.passes import (
+    check_barriers,
+    check_occupancy,
+    check_reconvergence,
+    check_register_pressure,
+    check_structure,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (workloads)
+    from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass
+class AnalysisReport(FindingReport):
+    """A finding report plus the artifacts the verifier computed anyway.
+
+    ``liveness`` is the table the register-pressure pass solved; callers
+    that need liveness afterwards (the workload generator) reuse it instead
+    of running the dataflow twice.
+    """
+
+    source: str = ""
+    liveness: Optional[LivenessTable] = field(default=None, repr=False)
+
+    def format(self, header: Optional[str] = None) -> str:
+        if header is None and self.source:
+            header = (f"{self.source}: {len(self.errors)} error(s), "
+                      f"{len(self.warnings)} warning(s)")
+        return super().format(header)
+
+
+class KernelVerificationError(ValueError):
+    """A kernel failed static verification at construction time."""
+
+    def __init__(self, report: AnalysisReport) -> None:
+        self.report = report
+        errors = report.errors
+        lines = [f"kernel {report.source or '<anonymous>'} failed static "
+                 f"verification with {len(errors)} error(s):"]
+        lines.extend(f"  {finding.format()}" for finding in errors)
+        super().__init__("\n".join(lines))
+
+
+def verify_cfg(cfg: ControlFlowGraph, regs_per_thread: int,
+               source: str = "",
+               config: Optional[GPUConfig] = None,
+               threads_per_cta: Optional[int] = None,
+               shmem_per_cta: int = 0) -> AnalysisReport:
+    """Run every CFG-level pass; hardware passes only when ``config`` given."""
+    from repro.core.liveness import LivenessAnalysis
+
+    report = AnalysisReport(source=source)
+    report.extend(check_structure(cfg, source))
+    report.extend(check_reconvergence(cfg, source))
+    report.extend(check_barriers(cfg, source))
+    liveness = (LivenessAnalysis(cfg).run(regs_per_thread)
+                if regs_per_thread > 0 else None)
+    pressure = check_register_pressure(
+        cfg, regs_per_thread, source, config=config,
+        threads_per_cta=threads_per_cta, liveness=liveness)
+    report.extend(pressure)
+    # Only hand the solved table onward when the declaration is sound; an
+    # under-declared table would carry a wrong num_registers.
+    if not any(f.tag == "register-pressure" for f in pressure):
+        report.liveness = liveness
+    if config is not None and threads_per_cta is not None:
+        report.extend(check_occupancy(
+            regs_per_thread, threads_per_cta, shmem_per_cta, config,
+            source))
+    return report
+
+
+def verify_kernel(kernel: Kernel,
+                  config: Optional[GPUConfig] = None) -> AnalysisReport:
+    """Verify a built kernel (hardware checks against ``config`` or Table I)."""
+    config = GPUConfig() if config is None else config
+    return verify_cfg(
+        kernel.cfg, kernel.regs_per_thread, source=kernel.name,
+        config=config, threads_per_cta=kernel.geometry.threads_per_cta,
+        shmem_per_cta=kernel.shmem_per_cta)
+
+
+def verify_spec(spec: "WorkloadSpec", config: Optional[GPUConfig] = None,
+                scale: Optional[Scale] = None) -> AnalysisReport:
+    """Generate one Table-II workload and verify the result.
+
+    ``build_workload`` already verifies internally (and would raise); this
+    wrapper instead *returns* the report, so the CLI can present findings
+    for broken and healthy specs uniformly.
+    """
+    # Imported lazily: the generator imports this module for its gate.
+    from repro.config import TINY, default_config
+    from repro.workloads.generator import build_workload
+
+    scale = TINY if scale is None else scale
+    config = default_config(scale) if config is None else config
+    try:
+        instance = build_workload(spec, config, scale)
+    except KernelVerificationError as exc:
+        return exc.report
+    return verify_kernel(instance.kernel, config)
+
+
+def verify_suite(config: Optional[GPUConfig] = None,
+                 scale: Optional[Scale] = None,
+                 abbrevs: Optional[Sequence[str]] = None
+                 ) -> List[AnalysisReport]:
+    """Verify every shipped Table-II spec (or the named subset)."""
+    from repro.workloads.suite import ALL_SPECS, get_spec
+
+    specs = (ALL_SPECS if abbrevs is None
+             else [get_spec(a) for a in abbrevs])
+    return [verify_spec(spec, config, scale) for spec in specs]
+
+
+def verify_requests(requests: Sequence[object],
+                    base_config: Optional[GPUConfig] = None,
+                    scale: Optional[Scale] = None) -> List[AnalysisReport]:
+    """Verify the distinct kernels a campaign plan would simulate.
+
+    Requests sharing an (abbrev, num_sms) pair rebuild the same workload
+    (grids are sized from the reference config), so each distinct kernel
+    is verified once against its request's effective config.
+    """
+    from repro.config import TINY, default_config
+
+    scale = TINY if scale is None else scale
+    base_config = default_config(scale) if base_config is None else base_config
+    seen: Dict[Tuple[str, int], None] = {}
+    reports: List[AnalysisReport] = []
+    for request in requests:
+        abbrev: str = request.abbrev  # type: ignore[attr-defined]
+        config: Optional[GPUConfig] = request.config  # type: ignore[attr-defined]
+        effective = config if config is not None else base_config
+        key = (abbrev, effective.num_sms)
+        if key in seen:
+            continue
+        seen[key] = None
+        from repro.workloads.suite import get_spec
+        reference = base_config.with_num_sms(effective.num_sms)
+        reports.append(verify_spec(get_spec(abbrev), reference, scale))
+    return reports

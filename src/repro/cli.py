@@ -10,6 +10,8 @@ Usage examples::
     python -m repro cache info                   # persistent result cache
     python -m repro cache clear
     python -m repro overhead                     # V-F hardware budget
+    python -m repro analyze --suite              # static kernel verifier
+    python -m repro analyze --lint               # determinism lint
 """
 
 from __future__ import annotations
@@ -90,6 +92,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     ovh_cmd = sub.add_parser("overhead", help="FineReg SRAM budget (V-F)")
     ovh_cmd.set_defaults(func=cmd_overhead)
+
+    ana_cmd = sub.add_parser(
+        "analyze",
+        help="static kernel verifier + determinism lint (pre-simulation)")
+    ana_cmd.add_argument("apps", nargs="*",
+                         help="Table II abbreviations to verify, e.g. KM LB")
+    ana_cmd.add_argument("--suite", action="store_true",
+                         help="verify every Table II workload")
+    ana_cmd.add_argument("--figure",
+                         choices=sorted(EXPERIMENT_MODULES) + ["all"],
+                         default=None,
+                         help="verify the kernels of a campaign plan")
+    ana_cmd.add_argument("--lint", action="store_true",
+                         help="determinism lint over src/repro")
+    ana_cmd.add_argument("--lint-path", action="append", default=None,
+                         metavar="PATH",
+                         help="lint these files/dirs instead of src/repro")
+    ana_cmd.add_argument("--self-test", action="store_true",
+                         help="run the broken-kernel verifier self-test")
+    ana_cmd.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    ana_cmd.add_argument("--strict", action="store_true",
+                         help="warnings fail the gate too")
+    ana_cmd.add_argument("--json", action="store_true",
+                         help="machine-readable report on stdout")
+    ana_cmd.set_defaults(func=cmd_analyze)
 
     val_cmd = sub.add_parser(
         "validate",
@@ -234,6 +261,16 @@ def cmd_overhead(args: argparse.Namespace) -> int:
     print(format_table(["structure", "cost"], rows,
                        title="FineReg hardware overhead (paper V-F)"))
     return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    # Lazy import: the static-analysis layer is only needed here.
+    from repro.analyze.cli import run_analyze
+    return run_analyze(
+        apps=args.apps, suite=args.suite, figure=args.figure,
+        lint=args.lint, self_test=args.self_test,
+        lint_roots=args.lint_path, scale_name=args.scale,
+        strict=args.strict, as_json=args.json)
 
 
 def cmd_validate(args: argparse.Namespace) -> int:

@@ -20,7 +20,7 @@ a second pass adds no new facts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.core.bitvector import BITVECTOR_STORAGE_BYTES, EMPTY, LiveBitVector
 from repro.isa.cfg import ControlFlowGraph, EdgeKind
@@ -35,7 +35,7 @@ class LivenessTable:
     what the RMU's bit-vector cache serves at runtime.
     """
 
-    vectors: tuple
+    vectors: Tuple[LiveBitVector, ...]
     num_registers: int
 
     def live_at_index(self, index: int) -> LiveBitVector:

@@ -67,7 +67,7 @@ Payload = Tuple[Scale, GPUConfig, RunRequest]
 #: requests sharing a workload (all policies of one app) build it once.
 #: Keyed by the full reference config — grids are sized from it, so
 #: runners with different base configurations must not alias.
-_WORKLOAD_MEMO: Dict[Tuple[str, str, GPUConfig], WorkloadInstance] = {}
+_WORKLOAD_MEMO: Dict[Tuple[str, str, GPUConfig], WorkloadInstance] = {}  # lint: allow[module-state] (pure memo: key fully determines the value)
 
 
 def _workload_for(abbrev: str, reference: GPUConfig,

@@ -85,9 +85,9 @@ def run_campaign(runner: ExperimentRunner,
         if modules is not None and name not in modules:
             continue
         module = importlib.import_module(f"repro.experiments.{name}")
-        started = time.time()
+        started = time.time()  # lint: allow[wall-clock] (report timing only)
         result = module.run(runner)
-        result.summary["_elapsed_s"] = time.time() - started
+        result.summary["_elapsed_s"] = time.time() - started  # lint: allow[wall-clock]
         results.append(result)
     return results
 

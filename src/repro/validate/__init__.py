@@ -14,12 +14,21 @@
 * :mod:`repro.validate.mutations` -- the mutation self-test: deliberately
   corrupt one invariant per run and assert the sanitizer catches it, so the
   checker itself is proven to check something.
+* :mod:`repro.validate.findings` -- the Finding/Severity/FindingReport
+  vocabulary shared with the *static* checker, :mod:`repro.analyze`, which
+  gates kernels and simulator sources before cycle 0 (division of labor:
+  docs/ANALYZE.md).
 
 Only the sanitizer symbols are exported eagerly; ``golden`` and
 ``mutations`` pull in the experiment harness and are imported on demand
 (``python -m repro validate`` or the test suite).
 """
 
+from repro.validate.findings import (  # noqa: F401
+    Finding,
+    FindingReport,
+    Severity,
+)
 from repro.validate.sanitizer import (  # noqa: F401
     InvariantViolation,
     Sanitizer,
@@ -29,9 +38,12 @@ from repro.validate.sanitizer import (  # noqa: F401
 )
 
 __all__ = [
+    "Finding",
+    "FindingReport",
     "InvariantViolation",
     "Sanitizer",
     "SanitizerError",
+    "Severity",
     "attach_sanitizer",
     "sanitize_enabled",
 ]

@@ -1,0 +1,140 @@
+"""Shared finding/report types for the static and dynamic checkers.
+
+Both validation layers speak the same vocabulary: a :class:`Finding` is one
+diagnosed problem with a stable machine-readable ``tag``, a
+:class:`Severity`, a human-readable message, and an optional source location
+(CFG block / instruction PC for kernel findings, file / line for lint
+findings).  :class:`FindingReport` aggregates findings and answers the only
+question a gate cares about: *are there errors?*
+
+The runtime sanitizer (:mod:`repro.validate.sanitizer`) predates this module
+and keeps its own ``InvariantViolation`` type; the static verifier and the
+determinism lint (:mod:`repro.analyze`) are built on these types, and the
+golden-corpus schema check reports through them as well.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ERROR findings fail gates (CI, ``build_workload`` verification);
+    WARNING findings are surfaced but only fail under ``--strict``;
+    INFO findings are purely advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed problem.
+
+    ``tag`` is the stable identifier gates and suppressions key on (e.g.
+    ``cfg-unreachable``, ``barrier-divergence``, ``unseeded-random``).
+    Exactly one location family is populated: kernel findings carry
+    ``block``/``pc``, lint findings carry ``path``/``line``.
+    """
+
+    tag: str
+    severity: Severity
+    message: str
+    source: str = ""                 # kernel name or lint pass name
+    block: Optional[int] = None      # CFG basic-block id
+    pc: Optional[int] = None         # instruction PC within the kernel
+    path: Optional[str] = None       # file path (lint findings)
+    line: Optional[int] = None       # 1-based line number (lint findings)
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    @property
+    def location(self) -> str:
+        """Short human-readable location string."""
+        if self.path is not None:
+            where = self.path
+            if self.line is not None:
+                where += f":{self.line}"
+            return where
+        parts = []
+        if self.source:
+            parts.append(self.source)
+        if self.block is not None:
+            parts.append(f"B{self.block}")
+        if self.pc is not None and self.pc >= 0:
+            parts.append(f"0x{self.pc:04x}")
+        return "/".join(parts) if parts else "<unknown>"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view (``--json`` CLI output)."""
+        payload: Dict[str, object] = {
+            "tag": self.tag,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.source:
+            payload["source"] = self.source
+        for key in ("block", "pc", "path", "line"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        return payload
+
+    def format(self) -> str:
+        return (f"{self.severity.value.upper():7} {self.tag:22} "
+                f"{self.location}: {self.message}")
+
+
+@dataclass
+class FindingReport:
+    """An ordered collection of findings with gate helpers."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    @property
+    def errors(self) -> Tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Finding, ...]:
+        return tuple(f for f in self.findings
+                     if f.severity is Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+    def by_tag(self, tag: str) -> Tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.tag == tag)
+
+    @property
+    def tags(self) -> Tuple[str, ...]:
+        return tuple(sorted({f.tag for f in self.findings}))
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [f.to_dict() for f in self.findings]
+
+    def format(self, header: Optional[str] = None) -> str:
+        lines = [] if header is None else [header]
+        lines.extend(f.format() for f in self.findings)
+        return "\n".join(lines)

@@ -31,6 +31,66 @@ GOLDEN_SCHEMA_VERSION = 1
 #: Diff lines shown per case before truncating.
 MAX_DIFF_LINES = 12
 
+#: Top-level shape of a golden file (key -> required type).
+_PAYLOAD_SHAPE: Dict[str, type] = {
+    "schema": int,
+    "name": str,
+    "abbrev": str,
+    "policy": str,
+    "scale": str,
+    "config_overrides": dict,
+    "policy_kwargs": dict,
+    "result": dict,
+    "events": list,
+    "dropped_events": int,
+}
+
+#: Shape of one tracer event dict.
+_EVENT_SHAPE: Dict[str, type] = {"cycle": int, "sm": int, "kind": str,
+                                 "cta": int}
+
+
+def check_golden_payload(payload: object) -> List[str]:
+    """Schema problems in a loaded golden document (empty list = valid).
+
+    Goldens are hand-reviewable JSON, which also means they are
+    hand-*editable*; a truncated or mis-edited file should fail with a
+    message naming the broken field, not a ``KeyError`` deep inside the
+    diff machinery.
+    """
+    if not isinstance(payload, dict):
+        return [f"payload must be a JSON object, got "
+                f"{type(payload).__name__}"]
+    problems: List[str] = []
+    for key, expected in _PAYLOAD_SHAPE.items():
+        if key not in payload:
+            problems.append(f"missing required key {key!r}")
+        elif not isinstance(payload[key], expected):
+            problems.append(f"key {key!r} must be {expected.__name__}, got "
+                            f"{type(payload[key]).__name__}")
+    if problems:
+        return problems
+    if payload["schema"] != GOLDEN_SCHEMA_VERSION:
+        problems.append(f"schema version {payload['schema']} != "
+                        f"{GOLDEN_SCHEMA_VERSION} (re-record the corpus)")
+    try:
+        SimResult.from_json(payload["result"])
+    except (TypeError, ValueError) as exc:
+        problems.append(f"result block does not deserialize: {exc}")
+    for index, event in enumerate(payload["events"]):
+        if not isinstance(event, dict):
+            problems.append(f"events[{index}] must be an object")
+        else:
+            bad = [key for key, typ in _EVENT_SHAPE.items()
+                   if not isinstance(event.get(key), typ)]
+            if bad:
+                problems.append(f"events[{index}] has missing/mistyped "
+                                f"field(s): {', '.join(bad)}")
+        if len(problems) >= 5:
+            problems.append("... further event problems suppressed")
+            break
+    return problems
+
 
 @dataclass(frozen=True)
 class GoldenCase:
@@ -194,7 +254,21 @@ def validate_goldens(directory: Optional[Path] = None,
                 error=f"golden file missing: {path} "
                       f"(record with `python -m repro validate --record`)"))
             continue
-        golden = json.loads(path.read_text())
+        try:
+            golden = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            reports.append(CaseReport(
+                case, ok=False,
+                error=f"golden file is not valid JSON ({exc}); re-record "
+                      f"with `python -m repro validate --record`"))
+            continue
+        schema_problems = check_golden_payload(golden)
+        if schema_problems:
+            detail = "; ".join(schema_problems[:4])
+            reports.append(CaseReport(
+                case, ok=False,
+                error=f"golden file fails schema validation: {detail}"))
+            continue
         result, gpu, sanitizer = run_case(case, sanitize=sanitize)
         current = case_payload(case, result, gpu)
         diff = diff_payload(golden, current)

@@ -25,6 +25,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.analyze.verifier import KernelVerificationError, verify_cfg
 from repro.config import GPUConfig, Scale
 from repro.core.liveness import LivenessAnalysis, LivenessTable
 from repro.isa.cfg import ControlFlowGraph, EdgeKind
@@ -66,9 +67,26 @@ def baseline_resident_ctas(spec: WorkloadSpec, config: GPUConfig) -> int:
 
 
 def build_workload(spec: WorkloadSpec, config: GPUConfig,
-                   scale: Scale) -> WorkloadInstance:
-    """Generate the kernel, grid, traces, and address streams for a spec."""
+                   scale: Scale, verify: bool = True) -> WorkloadInstance:
+    """Generate the kernel, grid, traces, and address streams for a spec.
+
+    With ``verify`` (the default) the static verifier runs over the
+    generated CFG *before* the kernel is constructed; any error-severity
+    finding — an under-declared register allocation, a barrier under a
+    divergent branch, a CTA that cannot fit one Table-I limit — raises
+    :class:`~repro.analyze.verifier.KernelVerificationError` with block/PC
+    diagnostics instead of letting the spec fail cycles into a simulation.
+    """
     cfg = _build_cfg(spec)
+    liveness: Optional[LivenessTable] = None
+    if verify:
+        report = verify_cfg(
+            cfg, spec.regs_per_thread, source=spec.abbrev, config=config,
+            threads_per_cta=spec.threads_per_cta,
+            shmem_per_cta=spec.shmem_per_cta)
+        if report.has_errors:
+            raise KernelVerificationError(report)
+        liveness = report.liveness  # reuse the solved dataflow
     occupancy = baseline_resident_ctas(spec, config)
     grid_per_sm = max(2, math.ceil(occupancy * spec.grid_multiplier
                                    * _grid_factor(scale)))
@@ -88,7 +106,8 @@ def build_workload(spec: WorkloadSpec, config: GPUConfig,
                              trace_scale=scale.trace_scale)
     addresses = AddressModel()
     return WorkloadInstance(spec=spec, kernel=kernel,
-                            trace_provider=provider, address_model=addresses)
+                            trace_provider=provider, address_model=addresses,
+                            _liveness=liveness)
 
 
 def _grid_factor(scale: Scale) -> float:

@@ -1,0 +1,215 @@
+"""Static kernel verifier: passes, self-test, and the generator gate."""
+
+import pytest
+
+from conftest import build_branch_cfg, build_linear_cfg, build_loop_cfg
+from repro.analyze import (
+    KernelVerificationError,
+    verify_cfg,
+    verify_kernel,
+    verify_suite,
+)
+from repro.analyze.graph import (
+    back_edges,
+    dominators,
+    immediate_postdominator,
+    postdominators,
+    reachable_from_entry,
+)
+from repro.analyze.selftest import (
+    BROKEN_KERNELS,
+    run_broken_kernel,
+    run_self_test,
+)
+from repro.config import TINY, default_config
+from repro.isa.cfg import ControlFlowGraph, EdgeKind
+from repro.isa.instructions import Instruction, Opcode
+from repro.workloads import generator
+from repro.workloads.suite import ALL_SPECS, get_spec
+
+
+def _exit_block():
+    return [Instruction(Opcode.EXIT)]
+
+
+def _compute(dest, *srcs):
+    return Instruction(Opcode.IALU, dest, tuple(srcs))
+
+
+class TestHealthyKernels:
+    def test_table_ii_suite_is_clean(self, config):
+        reports = verify_suite(config, TINY)
+        assert len(reports) == len(ALL_SPECS)
+        for report in reports:
+            assert not report.has_errors, report.format()
+
+    def test_fixture_kernel_is_clean(self, small_kernel, config):
+        report = verify_kernel(small_kernel, config)
+        assert not report.has_errors, report.format()
+
+    def test_clean_report_carries_liveness(self, linear_cfg):
+        report = verify_cfg(linear_cfg, 8, source="unit")
+        assert not report.findings
+        assert report.liveness is not None
+        assert report.liveness.num_registers == 8
+
+    @pytest.mark.parametrize("builder", [build_linear_cfg, build_loop_cfg,
+                                         build_branch_cfg])
+    def test_conftest_shapes_are_clean(self, builder):
+        report = verify_cfg(builder(), 8, source=builder.__name__)
+        assert not report.has_errors, report.format()
+
+
+class TestSelfTest:
+    @pytest.mark.parametrize("case", BROKEN_KERNELS, ids=lambda c: c.name)
+    def test_each_broken_kernel_is_caught_with_its_tag(self, case):
+        report = run_broken_kernel(case)
+        assert report.error is None, report.error
+        assert report.detected, (
+            f"{case.name} not caught; error tags reported: {report.tags}")
+
+    def test_covers_six_distinct_corruptions(self):
+        assert len(BROKEN_KERNELS) >= 6
+        assert len({c.tag for c in BROKEN_KERNELS}) >= 6
+
+    def test_run_self_test_all_green(self):
+        assert all(r.detected for r in run_self_test())
+
+
+class TestEdgeCaseGraphs:
+    """The analysis handles the CFG shapes freeze() accepts but tests rarely
+    build: single blocks, self-loops, multiple back edges to one header."""
+
+    def test_single_exit_block_kernel(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block(_exit_block(), EdgeKind.EXIT)
+        report = verify_cfg(cfg.freeze(), 1, source="minimal")
+        assert not report.has_errors, report.format()
+
+    def test_self_loop_is_reducible(self):
+        cfg = build_loop_cfg()
+        assert back_edges(cfg) == [(1, 1)]
+        report = verify_cfg(cfg, 8, source="self-loop")
+        assert not report.has_errors, report.format()
+
+    def test_multi_backedge_loop_is_clean(self):
+        # Two latches, both looping back to the same header: B1 dominates
+        # both, so the loop is reducible and must verify clean.
+        cfg = ControlFlowGraph()
+        cfg.add_block([_compute(0)], EdgeKind.FALLTHROUGH, successors=(1,))
+        cfg.add_block([_compute(1, 0)], EdgeKind.FALLTHROUGH, successors=(2,))
+        cfg.add_block([Instruction(Opcode.BRA, None, (1,))],
+                      EdgeKind.LOOP_BACK, successors=(1, 3),
+                      mean_trip_count=2.0)
+        cfg.add_block([Instruction(Opcode.BRA, None, (1,))],
+                      EdgeKind.LOOP_BACK, successors=(1, 4),
+                      mean_trip_count=2.0)
+        cfg.add_block(_exit_block(), EdgeKind.EXIT)
+        frozen = cfg.freeze()
+        assert back_edges(frozen) == [(2, 1), (3, 1)]
+        report = verify_cfg(frozen, 4, source="multi-backedge")
+        assert not report.has_errors, report.format()
+
+    def test_dominators_on_branch_diamond(self):
+        cfg = build_branch_cfg()
+        dom = dominators(cfg)
+        assert dom[3] == {0, 3}          # arms do not dominate the tail
+        pdom = postdominators(cfg)
+        assert immediate_postdominator(pdom, 0) == 3
+
+    def test_reachability_sees_every_block_of_healthy_cfgs(self):
+        cfg = build_branch_cfg()
+        assert reachable_from_entry(cfg) == {0, 1, 2, 3}
+
+
+class TestFindingDetails:
+    def test_unreachable_finding_names_the_block(self):
+        case = next(c for c in BROKEN_KERNELS if c.tag == "cfg-unreachable")
+        cfg, regs, threads, shmem = case.build()
+        report = verify_cfg(cfg, regs, source="x")
+        finding = next(f for f in report.errors if f.tag == "cfg-unreachable")
+        assert finding.block == 2
+        assert "B2" in finding.format()
+
+    def test_barrier_finding_carries_a_pc(self):
+        case = next(c for c in BROKEN_KERNELS
+                    if c.tag == "barrier-divergence")
+        cfg, regs, threads, shmem = case.build()
+        report = verify_cfg(cfg, regs, source="x")
+        finding = next(f for f in report.errors
+                       if f.tag == "barrier-divergence")
+        assert finding.pc is not None
+
+    def test_under_declared_liveness_not_propagated(self):
+        case = next(c for c in BROKEN_KERNELS
+                    if c.tag == "register-pressure")
+        cfg, regs, threads, shmem = case.build()
+        report = verify_cfg(cfg, regs, source="x")
+        # The solved table carries the wrong num_registers; it must not be
+        # handed onward for reuse.
+        assert report.liveness is None
+
+
+class TestGeneratorGate:
+    def test_suite_builds_through_the_gate(self, config):
+        instance = generator.build_workload(get_spec("KM"), config, TINY)
+        assert instance.kernel is not None
+
+    def test_gate_reuses_verifier_liveness(self, config):
+        instance = generator.build_workload(get_spec("KM"), config, TINY)
+        assert instance._liveness is not None
+        assert instance.liveness is instance._liveness
+
+    def test_under_declared_spec_raises_at_build_time(self, config,
+                                                      monkeypatch):
+        spec = get_spec("KM")
+
+        def bad_cfg(_spec):
+            cfg = ControlFlowGraph()
+            setup = [_compute(r) for r in range(spec.regs_per_thread + 4)]
+            use = [_compute(0, spec.regs_per_thread + 3)]
+            cfg.add_block(setup + use, EdgeKind.FALLTHROUGH, successors=(1,))
+            cfg.add_block(_exit_block(), EdgeKind.EXIT)
+            return cfg.freeze()
+
+        monkeypatch.setattr(generator, "_build_cfg", bad_cfg)
+        with pytest.raises(KernelVerificationError) as excinfo:
+            generator.build_workload(spec, config, TINY)
+        report = excinfo.value.report
+        assert any(f.tag == "register-pressure" for f in report.errors)
+        assert spec.abbrev in str(excinfo.value)
+
+    def test_gate_can_be_bypassed_explicitly(self, config, monkeypatch):
+        # verify=False skips the static gate; the Kernel constructor's own
+        # (weaker) check then fires instead, proving the gate ran earlier.
+        spec = get_spec("KM")
+
+        def bad_cfg(_spec):
+            cfg = ControlFlowGraph()
+            setup = [_compute(r) for r in range(spec.regs_per_thread + 4)]
+            cfg.add_block(setup, EdgeKind.FALLTHROUGH, successors=(1,))
+            cfg.add_block(_exit_block(), EdgeKind.EXIT)
+            return cfg.freeze()
+
+        monkeypatch.setattr(generator, "_build_cfg", bad_cfg)
+        with pytest.raises(ValueError) as excinfo:
+            generator.build_workload(spec, config, TINY, verify=False)
+        assert not isinstance(excinfo.value, KernelVerificationError)
+
+
+class TestOccupancyAndCapacity:
+    def test_oversized_shmem_is_an_error(self, config):
+        cfg = build_linear_cfg()
+        report = verify_cfg(cfg, 8, source="x", config=config,
+                            threads_per_cta=64,
+                            shmem_per_cta=config.shared_memory_bytes + 1)
+        assert any(f.tag == "occupancy" for f in report.errors)
+
+    def test_non_warp_multiple_threads_is_an_error(self, config):
+        report = verify_cfg(build_linear_cfg(), 8, source="x",
+                            config=config, threads_per_cta=48)
+        assert any(f.tag == "occupancy" for f in report.errors)
+
+    def test_zero_regs_is_an_error(self):
+        report = verify_cfg(build_linear_cfg(), 0, source="x")
+        assert any(f.tag == "register-pressure" for f in report.errors)

@@ -112,6 +112,65 @@ class TestQueries:
         assert branch_cfg.num_instructions == 6
 
 
+class TestEdgeCases:
+    """Shapes freeze() accepts at the edge of its local validation; global
+    properties (reachability, reducibility) are repro.analyze's job."""
+
+    def test_single_block_kernel(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block([Instruction(Opcode.EXIT)], EdgeKind.EXIT)
+        frozen = cfg.freeze()
+        assert frozen.num_instructions == 1
+        assert frozen.blocks[0].successors == ()
+        assert frozen.block_of(0) == 0
+
+    def test_self_loop_block_freezes(self):
+        # The canonical loop shape: the latch's back edge targets itself.
+        cfg = build_loop_cfg()
+        assert cfg.blocks[1].successors[0] == 1
+        assert cfg.blocks[1].edge_kind is EdgeKind.LOOP_BACK
+
+    def test_multi_backedge_loop_freezes(self):
+        # Two latches sharing one header: local validation (each back edge
+        # goes backward) accepts this, and PC layout stays linear.
+        cfg = ControlFlowGraph()
+        cfg.add_block([Instruction(Opcode.IALU, 0, ())],
+                      EdgeKind.FALLTHROUGH, successors=(1,))
+        cfg.add_block([Instruction(Opcode.IALU, 1, (0,))],
+                      EdgeKind.FALLTHROUGH, successors=(2,))
+        cfg.add_block([Instruction(Opcode.BRA, None, (1,))],
+                      EdgeKind.LOOP_BACK, successors=(1, 3),
+                      mean_trip_count=2.0)
+        cfg.add_block([Instruction(Opcode.BRA, None, (1,))],
+                      EdgeKind.LOOP_BACK, successors=(1, 4),
+                      mean_trip_count=2.0)
+        cfg.add_block([Instruction(Opcode.EXIT)], EdgeKind.EXIT)
+        frozen = cfg.freeze()
+        assert frozen.num_instructions == 5
+        assert [b.edge_kind for b in frozen.blocks[2:4]] == \
+            [EdgeKind.LOOP_BACK, EdgeKind.LOOP_BACK]
+
+    def test_unreachable_block_passes_local_validation(self):
+        # freeze() checks arity/direction per block, not reachability; the
+        # static verifier (repro.analyze) flags this as cfg-unreachable.
+        cfg = ControlFlowGraph()
+        cfg.add_block([Instruction(Opcode.IALU, 0, ())],
+                      EdgeKind.FALLTHROUGH, successors=(1,))
+        cfg.add_block([Instruction(Opcode.EXIT)], EdgeKind.EXIT)
+        cfg.add_block([Instruction(Opcode.IALU, 1, ())],
+                      EdgeKind.FALLTHROUGH, successors=(1,))
+        frozen = cfg.freeze()
+        assert frozen.num_instructions == 3
+        assert frozen.first_index(2) == 2
+
+    def test_empty_body_kernel_rejected_even_with_exit(self):
+        cfg = ControlFlowGraph()
+        cfg.add_block([], EdgeKind.FALLTHROUGH, successors=(1,))
+        cfg.add_block([Instruction(Opcode.EXIT)], EdgeKind.EXIT)
+        with pytest.raises(ValueError):
+            cfg.freeze()
+
+
 class TestReconvergence:
     def test_branch_reconverges_at_common_successor(self, branch_cfg):
         assert branch_cfg.reconvergence_block(0) == 3

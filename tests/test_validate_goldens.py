@@ -13,6 +13,7 @@ import pytest
 
 from repro.validate.golden import (
     CORPUS,
+    check_golden_payload,
     GoldenCase,
     case_payload,
     default_goldens_dir,
@@ -121,3 +122,79 @@ class TestCorpusOperations:
         payload = case_payload(case, result, gpu)
         assert payload == json.loads(json.dumps(payload))
         assert payload["dropped_events"] == 0
+
+
+class TestSchemaValidation:
+    """Truncated or hand-edited goldens must fail with a named field, not a
+    KeyError inside the diff machinery."""
+
+    def golden(self):
+        return json.loads(
+            (default_goldens_dir() / CORPUS[0].filename).read_text())
+
+    def test_checked_in_goldens_pass_the_schema(self):
+        for case in CORPUS:
+            payload = json.loads(
+                (default_goldens_dir() / case.filename).read_text())
+            assert check_golden_payload(payload) == [], case.name
+
+    def test_non_object_payload(self):
+        problems = check_golden_payload([1, 2, 3])
+        assert problems and "JSON object" in problems[0]
+
+    def test_missing_key_is_named(self):
+        payload = self.golden()
+        del payload["events"]
+        problems = check_golden_payload(payload)
+        assert any("missing required key 'events'" in p for p in problems)
+
+    def test_mistyped_key_is_named(self):
+        payload = self.golden()
+        payload["result"] = "oops"
+        problems = check_golden_payload(payload)
+        assert any("'result' must be dict" in p for p in problems)
+
+    def test_schema_version_drift(self):
+        payload = self.golden()
+        payload["schema"] = 99
+        problems = check_golden_payload(payload)
+        assert any("re-record" in p for p in problems)
+
+    def test_undeserializable_result_block(self):
+        payload = self.golden()
+        payload["result"] = {"cycles": 10}
+        problems = check_golden_payload(payload)
+        assert any("result block does not deserialize" in p
+                   for p in problems)
+
+    def test_broken_event_is_located(self):
+        payload = self.golden()
+        payload["events"][1] = {"cycle": "late", "sm": 0, "kind": "x"}
+        problems = check_golden_payload(payload)
+        assert any("events[1]" in p and "cycle" in p for p in problems)
+
+    def test_event_problem_flood_is_capped(self):
+        payload = self.golden()
+        payload["events"] = [{}] * 50
+        problems = check_golden_payload(payload)
+        assert problems[-1].startswith("...")
+        assert len(problems) <= 6
+
+    def test_truncated_file_fails_with_json_message(self, tmp_path):
+        case = CORPUS[0]
+        text = (default_goldens_dir() / case.filename).read_text()
+        (tmp_path / case.filename).write_text(text[:len(text) // 2])
+        report = validate_goldens(tmp_path, cases=[case])[0]
+        assert not report.ok
+        assert "not valid JSON" in report.error
+        assert "--record" in report.error
+
+    def test_hand_edited_file_fails_schema_not_keyerror(self, tmp_path):
+        case = CORPUS[0]
+        payload = self.golden()
+        del payload["result"]
+        (tmp_path / case.filename).write_text(json.dumps(payload))
+        report = validate_goldens(tmp_path, cases=[case])[0]
+        assert not report.ok
+        assert "fails schema validation" in report.error
+        assert "missing required key 'result'" in report.error
