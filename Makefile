@@ -3,7 +3,8 @@
 PYTHON ?= python
 SCALE ?= small
 
-.PHONY: install test bench bench-fast report calibrate analyze typecheck clean
+.PHONY: install test bench bench-fast report calibrate analyze typecheck \
+	trace clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || \
@@ -41,6 +42,16 @@ typecheck:
 	else \
 		echo "typecheck: mypy not installed, skipping (pip install mypy)"; \
 	fi
+
+# Traced tiny simulation with Perfetto + timeline export (docs/TELEMETRY.md).
+# Override APP / POLICY to trace something else: make trace APP=LB POLICY=baseline
+APP ?= KM
+POLICY ?= finereg
+trace:
+	PYTHONPATH=src $(PYTHON) -m repro trace $(APP) --policy $(POLICY) \
+		--scale tiny \
+		--perfetto results/trace-$(APP)-$(POLICY).json \
+		--timeline results/timeline-$(APP)-$(POLICY).json
 
 calibrate:
 	$(PYTHON) tools/calibrate.py $(SCALE)

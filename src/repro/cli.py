@@ -4,6 +4,7 @@ Usage examples::
 
     python -m repro list                         # the Table II suite
     python -m repro run KM --policy finereg      # one simulation
+    python -m repro trace KM --perfetto out.json # traced run + export
     python -m repro compare KM LB --scale tiny   # all five policies
     python -m repro figure fig13 --apps KM,LB    # regenerate a figure
     python -m repro figure all --jobs 8          # the whole evaluation
@@ -84,6 +85,28 @@ def build_parser() -> argparse.ArgumentParser:
     fig_cmd.add_argument("--jobs", type=int, default=None,
                          help="worker processes (default: all CPUs)")
     fig_cmd.set_defaults(func=cmd_figure)
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="traced simulation: Perfetto export + per-cycle timelines")
+    trace_cmd.add_argument("app", help="Table II abbreviation, e.g. KM")
+    trace_cmd.add_argument("--policy", default="finereg",
+                           choices=sorted(POLICIES))
+    trace_cmd.add_argument("--scale", default="tiny",
+                           choices=sorted(SCALES))
+    trace_cmd.add_argument("--perfetto", default=None, metavar="OUT",
+                           help="write Chrome trace-event JSON here "
+                                "(open in ui.perfetto.dev)")
+    trace_cmd.add_argument("--timeline", default=None, metavar="OUT",
+                           help="write the columnar per-cycle timeline "
+                                "JSON here")
+    trace_cmd.add_argument("--interval", type=int, default=1,
+                           help="timeline sampling interval in cycles "
+                                "(default 1)")
+    trace_cmd.add_argument("--capacity", type=int, default=100_000,
+                           help="event ring-buffer capacity "
+                                "(oldest dropped beyond this)")
+    trace_cmd.set_defaults(func=cmd_trace)
 
     cache_cmd = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache")
@@ -225,6 +248,15 @@ def cmd_figure(args: argparse.Namespace) -> int:
         print(result.to_text())
         print()
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    # Lazy import: the telemetry exporters are only needed here.
+    from repro.telemetry.cli import run_trace
+    return run_trace(args.app, policy=args.policy, scale_name=args.scale,
+                     perfetto_out=args.perfetto,
+                     timeline_out=args.timeline,
+                     interval=args.interval, capacity=args.capacity)
 
 
 def cmd_cache(args: argparse.Namespace) -> int:

@@ -9,7 +9,10 @@ the *pending* copy in the PCRF is reduced to live registers.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.registry import MetricsRegistry
 
 
 class ACRFAllocator:
@@ -20,6 +23,8 @@ class ACRFAllocator:
             raise ValueError("ACRF capacity must be positive")
         self._capacity = capacity_entries
         self._allocated: Dict[int, int] = {}
+        #: MetricsRegistry installed by repro.telemetry (None = off).
+        self.telemetry: Optional["MetricsRegistry"] = None
         #: Test-only fault injection (mutation self-test): when non-zero,
         #: every release leaks this many entries into a phantom allocation.
         self.fault_leak_on_release = 0
@@ -57,6 +62,9 @@ class ACRFAllocator:
                 f"ACRF overflow: need {entries}, have {self.free} free"
             )
         self._allocated[cta_id] = entries
+        if self.telemetry is not None:
+            self.telemetry.inc("acrf.allocations")
+            self.telemetry.gauge_set("acrf.free_entries", self.free)
 
     def release(self, cta_id: int) -> int:
         """Free a CTA's registers (it finished or moved to the PCRF)."""
@@ -66,6 +74,9 @@ class ACRFAllocator:
         if self.fault_leak_on_release:
             # Deliberate accounting leak, keyed off the real ID space.
             self._allocated[-(cta_id + 1)] = self.fault_leak_on_release
+        if self.telemetry is not None:
+            self.telemetry.inc("acrf.releases")
+            self.telemetry.gauge_set("acrf.free_entries", self.free)
         return freed
 
     def allocation_of(self, cta_id: int) -> int:

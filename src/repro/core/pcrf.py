@@ -14,7 +14,10 @@ slots in ascending index order (what the free-space monitor bitmap yields).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.registry import MetricsRegistry
 
 NEXT_POINTER_BITS = 10
 WARP_ID_BITS = 5
@@ -70,6 +73,8 @@ class PCRF:
         self._free_count = capacity_entries
         self._head_of_cta: Dict[int, int] = {}
         self._count_of_cta: Dict[int, int] = {}
+        #: MetricsRegistry installed by repro.telemetry (None = off).
+        self.telemetry: Optional["MetricsRegistry"] = None
         #: Test-only fault injection (mutation self-test): when True, each
         #: restore under-credits the free-space monitor by one slot.
         self.fault_leak_on_restore = False
@@ -151,6 +156,10 @@ class PCRF:
             )
         self._head_of_cta[cta_id] = slots[0]
         self._count_of_cta[cta_id] = needed
+        if self.telemetry is not None:
+            self.telemetry.inc("pcrf.spills")
+            self.telemetry.observe("pcrf.spill_registers", needed)
+            self.telemetry.gauge_set("pcrf.free_entries", self._free_count)
         return SpillResult(head_index=slots[0], entries_used=needed,
                            slots=tuple(slots))
 
@@ -183,6 +192,10 @@ class PCRF:
             )
         if self.fault_leak_on_restore and registers:
             self._free_count -= 1
+        if self.telemetry is not None:
+            self.telemetry.inc("pcrf.restores")
+            self.telemetry.observe("pcrf.restore_registers", len(registers))
+            self.telemetry.gauge_set("pcrf.free_entries", self._free_count)
         return tuple(registers)
 
     def peek_chain(self, cta_id: int) -> Tuple[int, ...]:

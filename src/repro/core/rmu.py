@@ -17,7 +17,10 @@ whether a switch fits and what it costs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.registry import MetricsRegistry
 
 from repro.core.bitvector import LiveBitVector
 from repro.core.bitvector_cache import BitVectorCache
@@ -67,6 +70,8 @@ class RegisterManagementUnit:
         self._dram_latency = dram_latency
         self._pointer_table: Dict[int, _PointerTableEntry] = {}
         self.stats = RMUStats()
+        #: MetricsRegistry installed by repro.telemetry (None = off).
+        self.telemetry: Optional["MetricsRegistry"] = None
         #: Test-only fault injection (mutation self-test): when True, a
         #: spill claims PCRF space but never records its pointer-table row.
         self.fault_drop_pointer = False
@@ -158,6 +163,9 @@ class RegisterManagementUnit:
         self.stats.spills += 1
         self.stats.spilled_registers += result.entries_used
         cycles = self._transfer_cycles(result.entries_used) + fetch_latency
+        if self.telemetry is not None:
+            self.telemetry.inc("rmu.spills")
+            self.telemetry.observe("rmu.spill_cycles", cycles)
         return SwitchCost(cycles=cycles, offchip_bytes=0)
 
     def restore(self, cta_id: int) -> SwitchCost:
@@ -173,8 +181,11 @@ class RegisterManagementUnit:
             )
         self.stats.restores += 1
         self.stats.restored_registers += len(registers)
-        return SwitchCost(cycles=self._transfer_cycles(len(registers)),
-                          offchip_bytes=0)
+        cycles = self._transfer_cycles(len(registers))
+        if self.telemetry is not None:
+            self.telemetry.inc("rmu.restores")
+            self.telemetry.observe("rmu.restore_cycles", cycles)
+        return SwitchCost(cycles=cycles, offchip_bytes=0)
 
     def pending_live_count(self, cta_id: int) -> int:
         return self._pointer_table[cta_id].live_count

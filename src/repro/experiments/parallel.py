@@ -41,16 +41,22 @@ class RunRequest:
     sample_usage: bool = False
     unified_memory: bool = False
     policy_kwargs: Tuple[Tuple[str, object], ...] = ()
+    #: Collect telemetry (warp-level trace + metrics + timeline) and write
+    #: the artifact next to the run's cached result.  Observation-only: the
+    #: SimResult is identical with the flag on or off.
+    telemetry: bool = False
 
     @classmethod
     def make(cls, abbrev: str, policy: str,
              config: Optional[GPUConfig] = None,
              sample_usage: bool = False,
              unified_memory: bool = False,
+             telemetry: bool = False,
              **policy_kwargs) -> "RunRequest":
         return cls(abbrev=abbrev, policy=policy, config=config,
                    sample_usage=sample_usage, unified_memory=unified_memory,
-                   policy_kwargs=tuple(sorted(policy_kwargs.items())))
+                   policy_kwargs=tuple(sorted(policy_kwargs.items())),
+                   telemetry=telemetry)
 
     def with_config(self, config: GPUConfig) -> "RunRequest":
         return replace(self, config=config)
@@ -108,7 +114,67 @@ def simulate_request(scale: Scale, base_config: GPUConfig,
     if sanitize_enabled():
         from repro.validate.sanitizer import attach_sanitizer
         attach_sanitizer(gpu)
+    if request.telemetry:
+        from repro.sim.tracing import attach_tracer
+        from repro.telemetry.session import attach_telemetry
+        tracer = attach_tracer(gpu, level="warp")
+        session = attach_telemetry(gpu)
+        result = gpu.run(max_cycles=scale.max_cycles)
+        write_run_telemetry(scale, base_config, request, session, result,
+                            tracer=tracer)
+        return result
     return gpu.run(max_cycles=scale.max_cycles)
+
+
+#: Directory for per-run telemetry artifacts (override via env).
+TELEMETRY_DIR_ENV = "REPRO_TELEMETRY_DIR"
+
+
+def telemetry_dir() -> str:
+    return os.environ.get(TELEMETRY_DIR_ENV,
+                          os.path.join("results", "telemetry"))
+
+
+def telemetry_artifact_path(scale: Scale, base_config: GPUConfig,
+                            request: RunRequest) -> str:
+    """Deterministic artifact path keyed by the run's content hash."""
+    from repro.experiments.cache import run_key
+    config = request.config if request.config is not None else base_config
+    key = run_key(
+        scale=scale,
+        reference=base_config.with_num_sms(config.num_sms),
+        config=config,
+        spec=get_spec(request.abbrev),
+        policy=request.policy,
+        policy_kwargs=dict(request.policy_kwargs),
+        sample_usage=request.sample_usage,
+        unified_memory=request.unified_memory,
+    )
+    name = (f"{request.abbrev}-{request.policy}-{scale.name}"
+            f"-{key[:12]}.telemetry.json")
+    return os.path.join(telemetry_dir(), name)
+
+
+def write_run_telemetry(scale: Scale, base_config: GPUConfig,
+                        request: RunRequest, session, result: SimResult,
+                        tracer=None) -> str:
+    """Persist one run's telemetry artifact; returns its path."""
+    import json
+    path = telemetry_artifact_path(scale, base_config, request)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    payload = session.as_payload()
+    if tracer is not None:
+        payload["events"] = tracer.as_dicts()
+    payload["run"] = {
+        "abbrev": request.abbrev,
+        "policy": request.policy,
+        "scale": scale.name,
+        "cycles": result.cycles,
+        "switch_overhead_cycles": result.switch_overhead_cycles,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, separators=(",", ":"))
+    return path
 
 
 def _simulate_payload(payload: Payload) -> SimResult:

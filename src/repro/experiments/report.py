@@ -23,6 +23,22 @@ def arithmean(values: Iterable[float]) -> float:
     return sum(values) / len(values)
 
 
+def percentile(values: Iterable[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    points = sorted(values)
+    if not points:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("percentile q must be in [0, 100]")
+    if len(points) == 1:
+        return points[0]
+    position = q / 100.0 * (len(points) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(points) - 1)
+    weight = position - lower
+    return points[lower] * (1 - weight) + points[upper] * weight
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence],
                  title: str = "", precision: int = 3) -> str:
     """Render an aligned text table (the harness's figure/table output)."""

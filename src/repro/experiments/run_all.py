@@ -18,12 +18,15 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.config import SCALES
 from repro.experiments.runner import ExperimentRunner
+from repro.telemetry.rollup import render_rollup, rollup_results
+from repro.telemetry.selfprof import SelfProfiler
 
 #: (module, headline summary keys) in paper order.
 CAMPAIGN = (
@@ -70,29 +73,41 @@ def campaign_plan(runner: ExperimentRunner,
 
 def run_campaign(runner: ExperimentRunner,
                  modules: Optional[Sequence[str]] = None,
-                 jobs: Optional[int] = None) -> List:
+                 jobs: Optional[int] = None,
+                 profiler: Optional[SelfProfiler] = None) -> List:
     """Run every experiment; returns the ExperimentResult list.
 
     With ``jobs != 1`` the combined module plans are prefetched over a
     process pool first; the per-module ``run()`` calls below then hit the
     runner's memo for everything except result-dependent follow-ups
     (e.g. Fig 18's resource-scaled baseline).
+
+    ``profiler`` (a :class:`~repro.telemetry.selfprof.SelfProfiler`)
+    records the campaign's own wall-clock phases and simulated
+    cycles-per-second throughput.
     """
+    if profiler is None:
+        profiler = SelfProfiler()
     if jobs is None or jobs > 1:
-        runner.run_many(campaign_plan(runner, modules), jobs=jobs)
+        with profiler.phase("plan+prefetch") as timer:
+            runner.run_many(campaign_plan(runner, modules), jobs=jobs)
+            timer.sim_cycles = sum(
+                r.cycles for __, r in runner.memoized_results())
     results = []
-    for name, __ in CAMPAIGN:
-        if modules is not None and name not in modules:
-            continue
-        module = importlib.import_module(f"repro.experiments.{name}")
-        started = time.time()  # lint: allow[wall-clock] (report timing only)
-        result = module.run(runner)
-        result.summary["_elapsed_s"] = time.time() - started  # lint: allow[wall-clock]
-        results.append(result)
+    with profiler.phase("render"):
+        for name, __ in CAMPAIGN:
+            if modules is not None and name not in modules:
+                continue
+            module = importlib.import_module(f"repro.experiments.{name}")
+            started = time.time()  # lint: allow[wall-clock] (report timing only)
+            result = module.run(runner)
+            result.summary["_elapsed_s"] = time.time() - started  # lint: allow[wall-clock]
+            results.append(result)
     return results
 
 
-def write_report(results, path: Path, scale_name: str) -> None:
+def write_report(results, path: Path, scale_name: str,
+                 rollup_text: Optional[str] = None) -> None:
     lines = [
         "# FineReg reproduction — full evaluation campaign",
         "",
@@ -105,6 +120,16 @@ def write_report(results, path: Path, scale_name: str) -> None:
         lines.append("")
         lines.append("```")
         lines.append(result.to_text())
+        lines.append("```")
+        lines.append("")
+    if rollup_text:
+        lines.append("## Telemetry roll-up")
+        lines.append("")
+        lines.append("Stall attribution and CTA-switch overhead budgets "
+                     "across every run of the campaign (docs/TELEMETRY.md).")
+        lines.append("")
+        lines.append("```")
+        lines.append(rollup_text)
         lines.append("```")
         lines.append("")
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -124,10 +149,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     runner = ExperimentRunner(scale=SCALES[args.scale])
     modules = args.only.split(",") if args.only else None
-    results = run_campaign(runner, modules, jobs=args.jobs)
+    profiler = SelfProfiler()
+    results = run_campaign(runner, modules, jobs=args.jobs,
+                           profiler=profiler)
+    rollup = rollup_results(runner.memoized_results())
     report = Path(args.out) / "REPORT.md"
-    write_report(results, report, args.scale)
+    with profiler.phase("report"):
+        write_report(results, report, args.scale,
+                     rollup_text=render_rollup(rollup))
+    bench = Path(args.out) / "BENCH_campaign.json"
+    payload = profiler.as_payload()
+    payload["rollup"] = rollup
+    bench.write_text(json.dumps(payload, indent=2, sort_keys=True))
     print(f"wrote {report} ({len(results)} experiments)")
+    print(f"wrote {bench} (self-profile, {profiler.total_wall_s:.1f}s)")
     for result in results:
         keys = [k for k in result.summary if not k.startswith("_")][:3]
         brief = ", ".join(f"{k}={result.summary[k]:.3g}" for k in keys)

@@ -90,6 +90,7 @@ class ExperimentRunner:
             config: Optional[GPUConfig] = None,
             sample_usage: bool = False,
             unified_memory: bool = False,
+            telemetry: bool = False,
             **policy_kwargs) -> SimResult:
         """Simulate one benchmark under one policy (memoized)."""
         if policy not in POLICIES:
@@ -97,11 +98,18 @@ class ExperimentRunner:
             raise KeyError(f"unknown policy {policy!r}; known: {known}")
         request = RunRequest.make(
             abbrev, policy, config=config, sample_usage=sample_usage,
-            unified_memory=unified_memory, **policy_kwargs)
+            unified_memory=unified_memory, telemetry=telemetry,
+            **policy_kwargs)
         return self.run_request(request)
 
     def run_request(self, request: RunRequest) -> SimResult:
-        """Execute one request through the memo and persistent cache."""
+        """Execute one request through the memo and persistent cache.
+
+        Telemetry runs bypass the cache *read*: their purpose is the
+        artifact the simulation writes as a side effect, so they must
+        actually simulate.  The result they produce is identical to the
+        untraced one and is written back to the cache as usual.
+        """
         config = request.config if request.config is not None \
             else self.base_config
         key = self._memo_key(request, config)
@@ -109,7 +117,7 @@ class ExperimentRunner:
         if cached is not None:
             return cached
         disk_key = self._persistent_key(request, config)
-        result = self.cache.get(disk_key)
+        result = None if request.telemetry else self.cache.get(disk_key)
         if result is None:
             # In-process runs share workload instances with direct
             # ``workload()`` callers via the runner's own memo.
@@ -141,7 +149,8 @@ class ExperimentRunner:
             key = self._memo_key(request, config)
             if key in self._results or key in claimed:
                 continue
-            result = self.cache.get(self._persistent_key(request, config))
+            result = None if request.telemetry else \
+                self.cache.get(self._persistent_key(request, config))
             if result is not None:
                 self._results[key] = result
                 continue
@@ -166,11 +175,21 @@ class ExperimentRunner:
         """All five Fig-12/13 configurations for one benchmark."""
         return {policy: self.run(abbrev, policy) for policy in MAIN_POLICIES}
 
+    def memoized_results(self) -> List[Tuple[str, SimResult]]:
+        """(abbrev, result) pairs for every run this runner has memoized.
+
+        Feed for the campaign telemetry roll-up: memo keys lead with the
+        benchmark abbreviation, so grouping by app needs no extra state.
+        """
+        return [(key[0], result) for key, result in self._results.items()]
+
     # ------------------------------------------------------------------
     def _memo_key(self, request: RunRequest, config: GPUConfig) -> Tuple:
+        # ``telemetry`` is part of the key so a traced run actually runs
+        # (and writes its artifact) even when the untraced result is memoized.
         return (request.abbrev, request.policy, self._config_key(config),
                 request.sample_usage, request.unified_memory,
-                request.policy_kwargs)
+                request.policy_kwargs, request.telemetry)
 
     def _persistent_key(self, request: RunRequest,
                         config: GPUConfig) -> str:

@@ -41,6 +41,8 @@ class MemoryHierarchy:
                         allocate_on_write=True)
         self.dram = DRAM(config.dram_bytes_per_cycle, config.dram_latency)
         self.stats = HierarchyStats()
+        #: MetricsRegistry installed by repro.telemetry (None = off).
+        self.telemetry = None
         # Per-SM outstanding-miss table: line address -> completion cycle.
         self._outstanding: List[Dict[int, int]] = [
             {} for _ in range(config.num_sms)
@@ -50,7 +52,11 @@ class MemoryHierarchy:
     def load(self, sm_id: int, address: int, now: int) -> int:
         """A warp-level coalesced load; returns the data-ready cycle."""
         self.stats.loads += 1
-        return self._access(sm_id, address, now, is_write=False)
+        done = self._access(sm_id, address, now, is_write=False)
+        if self.telemetry is not None:
+            self.telemetry.inc("mem.loads")
+            self.telemetry.observe("mem.load_cycles", done - now)
+        return done
 
     def store(self, sm_id: int, address: int, now: int) -> int:
         """A warp-level coalesced store; returns the retire cycle.
@@ -59,6 +65,8 @@ class MemoryHierarchy:
         quickly but still consume DRAM bandwidth on an L2 miss.
         """
         self.stats.stores += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("mem.stores")
         self._access(sm_id, address, now, is_write=True)
         # Stores retire once handed to the memory pipeline.
         return now + self._config.l1_hit_latency

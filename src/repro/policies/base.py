@@ -20,6 +20,7 @@ import heapq
 from typing import List, Optional, TYPE_CHECKING
 
 from repro.sim.cta import CTASim, CTAState
+from repro.sim.tracing import EventKind
 from repro.sim.warp import FOREVER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -175,6 +176,29 @@ class RegisterFilePolicy:
         if self._blocked_on_rf:
             return "rf"
         return "other"
+
+    def _set_rf_blocked(self, blocked: bool, now: int, cta_id: int) -> None:
+        """Flip the RF-depletion flag, emitting stall begin/end events on
+        transitions when a warp-level tracer is attached."""
+        if blocked == self._blocked_on_rf:
+            return
+        self._blocked_on_rf = blocked
+        tracer = self.sm.gpu.warp_tracer
+        if tracer is not None:
+            kind = (EventKind.RF_STALL_BEGIN if blocked
+                    else EventKind.RF_STALL_END)
+            tracer.record(now, self.sm.sm_id, kind, cta_id)
+
+    def telemetry_levels(self) -> dict:
+        """Register-file occupancy levels for per-cycle timeline sampling.
+
+        Baseline policies expose the unified RF; split-RF policies override
+        with ACRF/PCRF series.
+        """
+        return {
+            "rf_free": self.rf_capacity_entries - self.rf_used_entries,
+            "rf_used": self.rf_used_entries,
+        }
 
     def next_event(self, now: int) -> int:
         """Earliest cycle a policy-driven event (pending ready) can fire."""

@@ -29,6 +29,7 @@ from repro.core.status_monitor import (
 )
 from repro.policies.base import PendingTracker, RegisterFilePolicy
 from repro.sim.cta import CTASim, CTAState
+from repro.sim.tracing import EventKind
 
 #: Pipeline-context backup latency (shared-memory side of a switch).
 CONTEXT_SWITCH_LATENCY = 36
@@ -133,7 +134,7 @@ class FineRegPolicy(RegisterFilePolicy):
             self._restore_ready(now)
             if candidate is None:
                 self.fill(now)
-            self._blocked_on_rf = False
+            self._set_rf_blocked(False, now, cta.cta_id)
             return True
 
         if candidate is not None and \
@@ -146,13 +147,13 @@ class FineRegPolicy(RegisterFilePolicy):
             self._restore(self.pending.pop_ready(now, candidate), now)
             self._finish_spill(cta, live, fetch_latency, now)
             self.switch_pairs += 1
-            self._blocked_on_rf = False
+            self._set_rf_blocked(False, now, cta.cta_id)
             return True
 
         # PCRF depleted: the stalled CTA must remain in the ACRF (V-B).
         self.failed_spills += 1
         self.rmu.stats.rejected_switches += 1
-        self._blocked_on_rf = True
+        self._set_rf_blocked(True, now, cta.cta_id)
         return False
 
     # ------------------------------------------------------------------
@@ -181,7 +182,12 @@ class FineRegPolicy(RegisterFilePolicy):
         self.pending.add(cta, max(now + latency, cta.earliest_resume(now)))
         self.monitor.set_context(cta.cta_id, ContextLocation.SHARED_MEMORY)
         self.monitor.set_registers(cta.cta_id, RegisterLocation.PCRF)
-        self.sm.stats.pcrf_writes += self.pcrf.live_count_of(cta.cta_id)
+        spilled = self.pcrf.live_count_of(cta.cta_id)
+        self.sm.stats.pcrf_writes += spilled
+        tracer = self.sm.gpu.warp_tracer
+        if tracer is not None:
+            tracer.record(now, self.sm.sm_id, EventKind.PCRF_SPILL,
+                          cta.cta_id, dur=latency, value=spilled)
 
     def _restore(self, cta: CTASim, now: int) -> None:
         restored = self.rmu.pending_live_count(cta.cta_id)
@@ -193,6 +199,10 @@ class FineRegPolicy(RegisterFilePolicy):
         self.monitor.set_context(cta.cta_id, ContextLocation.PIPELINE)
         self.monitor.set_registers(cta.cta_id, RegisterLocation.ACRF)
         self.sm.stats.pcrf_reads += restored
+        tracer = self.sm.gpu.warp_tracer
+        if tracer is not None:
+            tracer.record(now, self.sm.sm_id, EventKind.PCRF_FILL,
+                          cta.cta_id, dur=latency, value=restored)
 
     def _peek_ready(self, now: int) -> Optional[CTASim]:
         """The pending CTA the status monitor would pick, without removal."""
@@ -243,7 +253,7 @@ class FineRegPolicy(RegisterFilePolicy):
             if candidate is None:
                 break
             self._restore(candidate, now)
-            self._blocked_on_rf = False
+            self._set_rf_blocked(False, now, candidate.cta_id)
         if (self.pending.has_ready(now) and self.sm.scheduler_slots_free()
                 and not self.acrf.can_allocate(self._cta_regs)):
             # A ready CTA is waiting on ACRF space (adaptive-split signal).
@@ -257,6 +267,14 @@ class FineRegPolicy(RegisterFilePolicy):
         if self._blocked_on_rf:
             return "rf"
         return "other"
+
+    def telemetry_levels(self) -> dict:
+        return {
+            "acrf_free": self.acrf.free,
+            "acrf_used": self.acrf.used,
+            "pcrf_free": self.pcrf.free_entries,
+            "pcrf_used": self.pcrf.used_entries,
+        }
 
     def extras(self) -> dict:
         cache = self.rmu.bitvector_cache.stats

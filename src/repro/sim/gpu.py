@@ -39,7 +39,9 @@ class GPU:
             LivenessAnalysis(kernel.cfg).run(kernel.regs_per_thread)
         self.hierarchy = MemoryHierarchy(config)
         self.tracer = None  # set by sim.tracing.attach_tracer
+        self.warp_tracer = None  # set by attach_tracer(level="warp")
         self.sanitizer = None  # set by validate.sanitizer.attach_sanitizer
+        self.telemetry = None  # set by telemetry.session.attach_telemetry
         if hasattr(address_model, "warm_l2"):
             address_model.warm_l2(self.hierarchy.l2)
         self._grid = deque(range(kernel.geometry.grid_ctas))
@@ -73,6 +75,7 @@ class GPU:
         timed_out = False
         sms = self.sms
         sanitizer = self.sanitizer
+        telemetry = self.telemetry
         while True:
             if not self._grid and all(not sm.busy for sm in sms):
                 break
@@ -99,9 +102,15 @@ class GPU:
                 idle = True
             for sm in sms:
                 sm.accumulate(dt, idle)
+            if telemetry is not None:
+                # Sample the same post-step levels accumulate() just
+                # integrated over [now, now + dt).
+                telemetry.on_advance(now, dt)
             now += dt
         if sanitizer is not None:
             sanitizer.on_run_end(now, timed_out)
+        if telemetry is not None:
+            telemetry.on_run_end(now)
         return self._build_result(now, timed_out)
 
     def _next_event(self, now: int) -> int:
@@ -186,6 +195,10 @@ class GPU:
             bitvector_hit_rate=bv_rate,
             completed_ctas=completed,
             timed_out=timed_out,
+            switch_out_overhead_cycles=sum(
+                sm.stats.switch_out_overhead_cycles for sm in self.sms),
+            switch_in_overhead_cycles=sum(
+                sm.stats.switch_in_overhead_cycles for sm in self.sms),
         )
 
 

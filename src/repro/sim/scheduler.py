@@ -28,13 +28,16 @@ IssueFn = Callable[[WarpSim, int], bool]
 class GTOScheduler:
     """One of the SM's warp schedulers."""
 
-    __slots__ = ("scheduler_id", "warps", "_current", "_sleep_until")
+    __slots__ = ("scheduler_id", "warps", "_current", "_sleep_until",
+                 "telemetry")
 
     def __init__(self, scheduler_id: int) -> None:
         self.scheduler_id = scheduler_id
         self.warps: List[WarpSim] = []
         self._current: Optional[WarpSim] = None
         self._sleep_until = 0
+        # MetricsRegistry installed by repro.telemetry (None = off).
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     def add_warp(self, warp: WarpSim) -> None:
@@ -112,6 +115,11 @@ class GTOScheduler:
             if blocked < earliest:
                 earliest = blocked
         self._sleep_until = earliest
+        if self.telemetry is not None:
+            self.telemetry.inc("scheduler.sleep_entries")
+            if earliest < FOREVER:
+                self.telemetry.observe("scheduler.sleep_cycles",
+                                       earliest - now)
 
     def has_runnable(self, now: int) -> bool:
         return any(warp.is_runnable(now) for warp in self.warps)

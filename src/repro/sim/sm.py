@@ -12,12 +12,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.config import GPUConfig
+from repro.isa.cfg import EdgeKind
 from repro.isa.instructions import Opcode
 from repro.isa.kernel import Kernel
 from repro.policies.base import RegisterFilePolicy
 from repro.sim.cta import CTASim, CTAState
 from repro.sim.scheduler import SCHEDULER_KINDS
 from repro.sim.stats import SMStats
+from repro.sim.tracing import EventKind
 from repro.sim.warp import FOREVER, WarpSim
 
 #: Issued-instruction window length for Fig-5 register-usage sampling.
@@ -53,6 +55,13 @@ class StreamingMultiprocessor:
         # nothing wakes them.  Skips the whole issue stage in one test.
         self._sched_sleep = 0
         self._instrs = kernel.cfg.instructions
+        # Telemetry surfaces.  ``telemetry`` is a MetricsRegistry installed
+        # by repro.telemetry; ``_wt`` caches the warp-level tracer so the
+        # warp-event emission sites pay one attribute test when disabled.
+        self.telemetry = None
+        self._wt = None
+        self._div_forks: Optional[Set[int]] = None
+        self._div_joins: Optional[Set[int]] = None
         self._sample_usage = sample_usage
         self._window_regs: Set[Tuple[int, int]] = set()
         self._window_count = 0
@@ -131,6 +140,37 @@ class StreamingMultiprocessor:
         return self.shmem_used + nbytes <= self.config.shared_memory_bytes
 
     # ------------------------------------------------------------------
+    # Warp-level tracing
+    # ------------------------------------------------------------------
+    def enable_warp_events(self, tracer) -> None:
+        """Install a warp-level tracer (called by ``attach_tracer``)."""
+        self._wt = tracer
+        if self._div_forks is None:
+            self._build_divergence_index()
+
+    def _build_divergence_index(self) -> None:
+        """Static indices where divergence events fire.
+
+        A warp *forks* when it issues the terminating BRA of a two-successor
+        block and *joins* when it reaches the first instruction of that
+        branch's PDOM reconvergence block -- the same reconvergence model the
+        static verifier checks.
+        """
+        cfg = self.kernel.cfg
+        forks: Set[int] = set()
+        joins: Set[int] = set()
+        for block in cfg.blocks:
+            if block.edge_kind is not EdgeKind.BRANCH or not block.instructions:
+                continue
+            forks.add(cfg.first_index(block.block_id)
+                      + len(block.instructions) - 1)
+            reconv = cfg.reconvergence_block(block.block_id)
+            if reconv is not None:
+                joins.add(cfg.first_index(reconv))
+        self._div_forks = forks
+        self._div_joins = joins
+
+    # ------------------------------------------------------------------
     # CTA lifecycle (mechanics; policies decide when)
     # ------------------------------------------------------------------
     def launch_new_cta(self, now: int) -> Optional[CTASim]:
@@ -153,7 +193,6 @@ class StreamingMultiprocessor:
         self._attach_warps(cta)
         self.stats.cta_launches += 1
         if self.gpu.tracer is not None:
-            from repro.sim.tracing import EventKind
             self.gpu.tracer.record(now, self.sm_id, EventKind.LAUNCH, cta_id)
         return cta
 
@@ -164,10 +203,11 @@ class StreamingMultiprocessor:
         cta.begin_transit(now + latency, CTAState.PENDING)
         self.transit_ctas.append(cta)
         self.stats.cta_switch_events += 1
-        if self.gpu.tracer is not None:
-            from repro.sim.tracing import EventKind
-            self.gpu.tracer.record(now, self.sm_id, EventKind.SWITCH_OUT,
-                                   cta.cta_id)
+        self.stats.switch_out_overhead_cycles += latency
+        tracer = self.gpu.tracer
+        if tracer is not None:
+            tracer.record(now, self.sm_id, EventKind.SWITCH_OUT, cta.cta_id,
+                          dur=latency if tracer.warp_level else 0)
 
     def activate_cta(self, cta: CTASim, now: int, latency: int) -> None:
         """Move a pending CTA toward ACTIVE (switch-in in flight)."""
@@ -176,17 +216,17 @@ class StreamingMultiprocessor:
         self.transit_ctas.append(cta)
         self._incoming_ctas += 1
         self.stats.cta_switch_events += 1
-        if self.gpu.tracer is not None:
-            from repro.sim.tracing import EventKind
-            self.gpu.tracer.record(now, self.sm_id, EventKind.SWITCH_IN,
-                                   cta.cta_id)
+        self.stats.switch_in_overhead_cycles += latency
+        tracer = self.gpu.tracer
+        if tracer is not None:
+            tracer.record(now, self.sm_id, EventKind.SWITCH_IN, cta.cta_id,
+                          dur=latency if tracer.warp_level else 0)
 
     def retire_cta(self, cta: CTASim, now: int) -> None:
         """A finished CTA releases shmem and scheduler slots."""
         cta.state = CTAState.FINISHED
         self.shmem_used -= cta.shmem_bytes
         if self.gpu.tracer is not None:
-            from repro.sim.tracing import EventKind
             self.gpu.tracer.record(now, self.sm_id, EventKind.RETIRE,
                                    cta.cta_id)
         if self.policy is not None:
@@ -276,6 +316,16 @@ class StreamingMultiprocessor:
         stats.rf_reads += len(srcs)
         if instr.dest is not None:
             stats.rf_writes += 1
+        if self.telemetry is not None:
+            self.telemetry.issue_counts[instr.opcode.value] += 1
+        wt = self._wt
+        if wt is not None:
+            if static_index in self._div_forks:
+                wt.record(now, self.sm_id, EventKind.DIVERGE_FORK,
+                          cta.cta_id, warp=warp.warp_id)
+            elif static_index in self._div_joins:
+                wt.record(now, self.sm_id, EventKind.DIVERGE_JOIN,
+                          cta.cta_id, warp=warp.warp_id)
 
         bank_penalty = 0
         if self._rf_banks and len(srcs) > 1:
@@ -306,7 +356,14 @@ class StreamingMultiprocessor:
         elif op is Opcode.SFU:
             warp.ready_at[instr.dest] = now + self._sfu_lat
         elif op is Opcode.BAR:
-            if cta.arrive_at_barrier(warp, now):
+            released = cta.arrive_at_barrier(warp, now)
+            if wt is not None:
+                wt.record(now, self.sm_id, EventKind.BARRIER_ARRIVE,
+                          cta.cta_id, warp=warp.warp_id)
+                if released:
+                    wt.record(now, self.sm_id, EventKind.BARRIER_RELEASE,
+                              cta.cta_id)
+            if released:
                 # Barrier released: warps (possibly on sleeping sibling
                 # schedulers) just became runnable.
                 self._wake_schedulers()
@@ -328,6 +385,9 @@ class StreamingMultiprocessor:
                 break
         cta = warp.cta
         if cta.maybe_release_barrier(now):
+            if self._wt is not None:
+                self._wt.record(now, self.sm_id, EventKind.BARRIER_RELEASE,
+                                cta.cta_id)
             self._wake_schedulers()
         if cta.finished:
             self.active_ctas.remove(cta)

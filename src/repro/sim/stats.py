@@ -12,7 +12,8 @@ from typing import Dict, List, Optional, Tuple
 
 #: Bump whenever the :class:`SimResult` field set changes; serialized
 #: payloads carry it so stale cache entries are rejected, not misparsed.
-RESULT_SCHEMA_VERSION = 1
+#: v2: added switch_out_overhead_cycles / switch_in_overhead_cycles.
+RESULT_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -33,6 +34,10 @@ class SMStats:
     # Switching activity.
     cta_switch_events: int = 0
     cta_launches: int = 0
+    # Table-IV switch phases: overhead cycles each direction spends moving
+    # register state (spill to PCRF / restore to ACRF).
+    switch_out_overhead_cycles: int = 0
+    switch_in_overhead_cycles: int = 0
     # Register-file event counts (energy model inputs).
     rf_reads: int = 0
     rf_writes: int = 0
@@ -93,6 +98,11 @@ class SimResult:
     bitvector_hit_rate: Optional[float]
     completed_ctas: int
     timed_out: bool
+    # Telemetry summary (schema v2): Table-IV switch-phase overhead cycles
+    # summed over all SMs.  Trailing defaults keep older positional
+    # constructions valid.
+    switch_out_overhead_cycles: int = 0
+    switch_in_overhead_cycles: int = 0
 
     @property
     def ipc(self) -> float:
@@ -112,6 +122,18 @@ class SimResult:
         """Fraction of execution time stalled on register-file depletion
         (paper Fig 14b)."""
         return self.rf_depletion_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def switch_overhead_cycles(self) -> int:
+        """Total Table-IV context-switch overhead (both directions)."""
+        return (self.switch_out_overhead_cycles
+                + self.switch_in_overhead_cycles)
+
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of execution time the GPU issued nothing at all."""
+        total = self.cycles * self.num_sms
+        return self.idle_cycles / total if total else 0.0
 
     # ------------------------------------------------------------------
     # Serialization (persistent result cache, parallel campaign workers)

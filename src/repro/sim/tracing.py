@@ -5,82 +5,179 @@ lifecycle (launches, switch-outs, switch-ins, retirements).  Useful for
 debugging policies and for teaching -- the recorded timeline shows exactly
 how a register-file management scheme rotates CTAs through the SM.
 
+Two verbosity levels exist (``attach_tracer(gpu, level=...)``):
+
+* ``"cta"`` (default) -- the four CTA-lifecycle kinds only.  This is the
+  level the golden-trace corpus records, so its event streams stay stable
+  across telemetry changes.
+* ``"warp"`` -- additionally records warp-level events (barrier arrivals
+  and releases, RF-depletion stall begin/end, PCRF spill/fill with their
+  register counts) and annotates switch events with their overhead-cycle
+  durations (the Table-IV switch phases).  This is the level
+  ``repro trace`` and the Perfetto exporter consume.
+
+Bounded-log semantics: the log is a **drop-oldest ring buffer**.  Once
+``capacity`` events are held, each new event evicts the oldest one and
+increments ``dropped``; the retained window is always the *most recent*
+``capacity`` events.  :meth:`as_dicts` surfaces the loss explicitly with a
+leading ``dropped_events`` marker record, so a consumer of a saturated log
+can never mistake the window for the complete stream.
+
 The hot path pays a single ``is not None`` check when tracing is off.
 """
 
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Deque, Iterator, List, Optional
 
 
 class EventKind(enum.Enum):
+    # CTA lifecycle (recorded at every level; the golden corpus pins these).
     LAUNCH = "launch"
     SWITCH_OUT = "switch_out"    # active -> pending
     SWITCH_IN = "switch_in"      # pending -> active
     RETIRE = "retire"
+    # Warp-level kinds (recorded only by level="warp" tracers).
+    BARRIER_ARRIVE = "barrier_arrive"    # one warp reached the CTA barrier
+    BARRIER_RELEASE = "barrier_release"  # the barrier opened for the CTA
+    DIVERGE_FORK = "diverge_fork"        # warp entered a divergent region
+    DIVERGE_JOIN = "diverge_join"        # warp reached the reconvergence pt
+    RF_STALL_BEGIN = "rf_stall_begin"    # policy blocked on RF depletion
+    RF_STALL_END = "rf_stall_end"        # RF space freed; switching resumed
+    PCRF_SPILL = "pcrf_spill"            # live registers chained into PCRF
+    PCRF_FILL = "pcrf_fill"              # live registers restored to ACRF
+
+#: Kinds delivered to :attr:`EventTracer.listener` -- the sanitizer's CTA
+#: lifecycle machine consumes exactly this stream, so warp-level kinds are
+#: recorded but never forwarded.
+LIFECYCLE_KINDS = frozenset((EventKind.LAUNCH, EventKind.SWITCH_OUT,
+                             EventKind.SWITCH_IN, EventKind.RETIRE))
+
+#: ``sm`` field of the :meth:`EventTracer.as_dicts` loss marker.
+DROPPED_MARKER_SM = -1
 
 
 @dataclass(frozen=True)
 class Event:
-    """One timeline entry."""
+    """One timeline entry.
+
+    ``warp`` is the in-CTA warp index for warp-level kinds (``None`` for
+    CTA-scope events); ``dur`` is the overhead-cycle duration of switch
+    phases (0 when not applicable), and ``value`` carries a kind-specific
+    magnitude (spilled/filled register count).
+    """
 
     cycle: int
     sm_id: int
     kind: EventKind
     cta_id: int
+    warp: Optional[int] = None
+    dur: int = 0
+    value: int = 0
 
     def __str__(self) -> str:
+        extra = ""
+        if self.warp is not None:
+            extra += f" warp {self.warp}"
+        if self.dur:
+            extra += f" (+{self.dur} cycles)"
+        if self.value:
+            extra += f" [{self.value} regs]"
         return (f"[{self.cycle:>8}] SM{self.sm_id} "
-                f"{self.kind.value:<10} CTA {self.cta_id}")
+                f"{self.kind.value:<15} CTA {self.cta_id}{extra}")
 
 
 class EventTracer:
-    """Bounded in-memory event log."""
+    """Bounded in-memory event log (drop-oldest ring buffer)."""
 
-    def __init__(self, capacity: int = 100_000) -> None:
+    def __init__(self, capacity: int = 100_000, level: str = "cta") -> None:
         if capacity <= 0:
             raise ValueError("tracer capacity must be positive")
+        if level not in ("cta", "warp"):
+            raise ValueError(f"unknown tracer level {level!r}")
         self.capacity = capacity
-        self.events: List[Event] = []
+        self.level = level
+        self._events: Deque[Event] = deque(maxlen=capacity)
         self.dropped = 0
         #: Optional callback ``(cycle, sm_id, kind, cta_id)`` invoked for
-        #: every event, *including* ones dropped once the log is full --
-        #: the sanitizer's lifecycle checks must see the complete stream.
+        #: every *CTA-lifecycle* event, *including* ones dropped once the
+        #: log is full -- the sanitizer's lifecycle checks must see the
+        #: complete stream.  Warp-level kinds are never forwarded.
         self.listener: Optional[Callable[[int, int, EventKind, int],
                                          None]] = None
 
+    @property
+    def warp_level(self) -> bool:
+        return self.level == "warp"
+
+    @property
+    def events(self) -> Deque[Event]:
+        """The retained window (most recent ``capacity`` events)."""
+        return self._events
+
     def record(self, cycle: int, sm_id: int, kind: EventKind,
-               cta_id: int) -> None:
-        if self.listener is not None:
+               cta_id: int, warp: Optional[int] = None, dur: int = 0,
+               value: int = 0) -> None:
+        if self.listener is not None and kind in LIFECYCLE_KINDS:
             self.listener(cycle, sm_id, kind, cta_id)
-        if len(self.events) >= self.capacity:
+        if len(self._events) >= self.capacity:
+            # deque(maxlen=...) evicts the oldest entry on append.
             self.dropped += 1
-            return
-        self.events.append(Event(cycle, sm_id, kind, cta_id))
+        self._events.append(Event(cycle, sm_id, kind, cta_id,
+                                  warp=warp, dur=dur, value=value))
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._events)
 
     def __iter__(self) -> Iterator[Event]:
-        return iter(self.events)
+        return iter(self._events)
 
     def of_kind(self, kind: EventKind) -> List[Event]:
-        return [e for e in self.events if e.kind is kind]
+        return [e for e in self._events if e.kind is kind]
 
     def events_for_sm(self, sm_id: int) -> List[Event]:
         """All recorded events of one SM, in record order."""
-        return [e for e in self.events if e.sm_id == sm_id]
+        return [e for e in self._events if e.sm_id == sm_id]
 
     def as_dicts(self) -> List[dict]:
-        """JSON-ready view of the log (golden traces, external tooling)."""
-        return [{"cycle": e.cycle, "sm": e.sm_id, "kind": e.kind.value,
-                 "cta": e.cta_id} for e in self.events]
+        """JSON-ready view of the log (golden traces, external tooling).
+
+        CTA-scope events keep the compact 4-key shape the golden corpus
+        pins; warp-level fields are added only when set.  If the ring
+        buffer dropped events, the first entry is a marker record
+        (``kind="dropped_events"``, ``sm=-1``) whose ``cta`` field carries
+        the drop count and whose ``cycle`` is the oldest retained cycle.
+        """
+        out: List[dict] = []
+        if self.dropped:
+            oldest = self._events[0].cycle if self._events else 0
+            out.append({"cycle": oldest, "sm": DROPPED_MARKER_SM,
+                        "kind": "dropped_events", "cta": self.dropped})
+        for e in self._events:
+            entry = {"cycle": e.cycle, "sm": e.sm_id, "kind": e.kind.value,
+                     "cta": e.cta_id}
+            if e.warp is not None:
+                entry["warp"] = e.warp
+            if e.dur:
+                entry["dur"] = e.dur
+            if e.value:
+                entry["value"] = e.value
+            out.append(entry)
+        return out
+
+    def counts_by_kind(self) -> dict:
+        """Retained-event histogram keyed by kind value (summary output)."""
+        counts: dict = {}
+        for e in self._events:
+            counts[e.kind.value] = counts.get(e.kind.value, 0) + 1
+        return counts
 
     def for_cta(self, cta_id: int) -> List[Event]:
-        return [e for e in self.events if e.cta_id == cta_id]
+        return [e for e in self._events if e.cta_id == cta_id]
 
     def residency_of(self, cta_id: int) -> Optional[int]:
         """Cycles between a CTA's launch and retirement, if both recorded."""
@@ -99,14 +196,28 @@ class EventTracer:
                     if e.kind is EventKind.SWITCH_OUT])
 
     def timeline(self, limit: int = 50) -> str:
-        lines = [str(e) for e in self.events[:limit]]
-        if len(self.events) > limit:
-            lines.append(f"... {len(self.events) - limit} more events")
+        lines = []
+        for index, event in enumerate(self._events):
+            if index >= limit:
+                break
+            lines.append(str(event))
+        if len(self._events) > limit:
+            lines.append(f"... {len(self._events) - limit} more events")
         return "\n".join(lines)
 
 
-def attach_tracer(gpu, capacity: int = 100_000) -> EventTracer:
-    """Create a tracer and hook it into every SM of a GPU."""
-    tracer = EventTracer(capacity)
+def attach_tracer(gpu, capacity: int = 100_000,
+                  level: str = "cta") -> EventTracer:
+    """Create a tracer and hook it into every SM of a GPU.
+
+    With ``level="warp"`` the same tracer is also installed as
+    ``gpu.warp_tracer``, which is the handle the SM/policy warp-event
+    emission sites test (one ``is not None`` check each).
+    """
+    tracer = EventTracer(capacity, level=level)
     gpu.tracer = tracer
+    gpu.warp_tracer = tracer if tracer.warp_level else None
+    if tracer.warp_level:
+        for sm in getattr(gpu, "sms", ()):
+            sm.enable_warp_events(tracer)
     return tracer

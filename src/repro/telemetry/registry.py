@@ -1,0 +1,114 @@
+"""Low-overhead metrics registry (counters, gauges, histograms).
+
+Publishers hold a reference that is ``None`` when telemetry is off -- the
+single ``is not None`` test is the entire disabled-path cost.  When enabled,
+counters are plain dict increments; histograms store fixed summary moments
+(count / sum / min / max) plus a small reservoir for percentile estimates so
+memory stays bounded no matter how many observations arrive.
+
+Everything here is deterministic: the reservoir is strided, not sampled
+randomly, so two identical runs publish identical snapshots.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+#: Histogram reservoirs keep every 2^k-th observation so they stay under
+#: this many points while remaining deterministic.
+RESERVOIR_CAP = 512
+
+
+class _Histogram:
+    """Bounded deterministic histogram."""
+
+    __slots__ = ("count", "total", "min", "max", "_stride", "_reservoir")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._stride = 1
+        self._reservoir: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if (self.count - 1) % self._stride == 0:
+            self._reservoir.append(value)
+            if len(self._reservoir) >= RESERVOIR_CAP:
+                # Decimate: keep every other point, double the stride.
+                self._reservoir = self._reservoir[::2]
+                self._stride *= 2
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained reservoir."""
+        if not self._reservoir:
+            return 0.0
+        points = sorted(self._reservoir)
+        rank = min(len(points) - 1, int(q / 100.0 * len(points)))
+        return points[rank]
+
+    def snapshot(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.total / self.count,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class MetricsRegistry:
+    """One registry per simulation run; shared by every publisher."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = defaultdict(int)
+        self.gauges: Dict[str, float] = {}
+        #: Per-opcode issue counts; the SM's hot loop writes this mapping
+        #: directly (``registry.issue_counts[op] += 1``) to keep the
+        #: enabled-path cost to one dict increment.
+        self.issue_counts: Dict[str, int] = defaultdict(int)
+        self._histograms: Dict[str, _Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counters[name] += n
+
+    def gauge_set(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = _Histogram()
+        hist.observe(value)
+
+    # ------------------------------------------------------------------
+    def histogram(self, name: str) -> _Histogram:
+        """The named histogram (created empty if it never observed)."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = _Histogram()
+        return hist
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-ready view: stable key order for byte-stable artifacts."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "issue_counts": {k: self.issue_counts[k]
+                             for k in sorted(self.issue_counts)},
+            "histograms": {k: self._histograms[k].snapshot()
+                           for k in sorted(self._histograms)},
+        }

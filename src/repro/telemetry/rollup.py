@@ -1,0 +1,82 @@
+"""Campaign-level telemetry roll-up (p50/p95 stall fractions, switch
+overhead budgets).
+
+Aggregates the per-run numbers every :class:`~repro.sim.stats.SimResult`
+now carries into a per-app / per-policy summary the campaign report embeds:
+how much of each app's execution time is stalled (and on what), and how many
+cycles its policy spent inside Table-IV switch phases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.experiments.report import format_table, percentile
+from repro.sim.stats import SimResult
+
+
+def _fractions(result: SimResult) -> Dict[str, float]:
+    span = max(1, result.cycles * result.num_sms)
+    return {
+        "stall_fraction": result.idle_cycles / span,
+        "rf_depletion_fraction": result.rf_depletion_cycles / span,
+        "srp_stall_fraction": result.srp_stall_cycles / span,
+        "switch_overhead_fraction": result.switch_overhead_cycles / span,
+    }
+
+
+def rollup_results(results: Iterable[Tuple[str, SimResult]]) -> Dict:
+    """Aggregate ``(app, result)`` pairs into the roll-up payload.
+
+    Keys are grouped per (app, policy); each metric reports p50/p95 over
+    the group's runs plus the total switch-overhead cycle budget.
+    """
+    grouped: Dict[Tuple[str, str], List[SimResult]] = {}
+    for app, result in results:
+        grouped.setdefault((app, result.policy), []).append(result)
+
+    rows = []
+    for (app, policy), group in sorted(grouped.items()):
+        series = {name: [] for name in _fractions(group[0])}
+        for result in group:
+            for name, value in _fractions(result).items():
+                series[name].append(value)
+        rows.append({
+            "app": app,
+            "policy": policy,
+            "runs": len(group),
+            "stall_fraction_p50": percentile(series["stall_fraction"], 50),
+            "stall_fraction_p95": percentile(series["stall_fraction"], 95),
+            "rf_depletion_p50": percentile(
+                series["rf_depletion_fraction"], 50),
+            "rf_depletion_p95": percentile(
+                series["rf_depletion_fraction"], 95),
+            "srp_stall_p50": percentile(series["srp_stall_fraction"], 50),
+            "switch_overhead_p50": percentile(
+                series["switch_overhead_fraction"], 50),
+            "switch_overhead_cycles": sum(
+                r.switch_overhead_cycles for r in group),
+            "cta_switch_events": sum(r.cta_switch_events for r in group),
+        })
+    return {"groups": rows}
+
+
+def render_rollup(payload: Dict) -> str:
+    """Text table for REPORT.md."""
+    headers = ("app/policy", "runs", "stall p50", "stall p95", "rf p50",
+               "rf p95", "switch cyc", "switches")
+    rows = []
+    for group in payload["groups"]:
+        rows.append((
+            f"{group['app']}/{group['policy']}",
+            group["runs"],
+            group["stall_fraction_p50"],
+            group["stall_fraction_p95"],
+            group["rf_depletion_p50"],
+            group["rf_depletion_p95"],
+            group["switch_overhead_cycles"],
+            group["cta_switch_events"],
+        ))
+    return format_table(
+        headers, rows,
+        title="Telemetry roll-up (stall fractions, switch budgets)")

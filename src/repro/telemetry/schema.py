@@ -1,0 +1,119 @@
+"""Shape validation for telemetry artifacts (trace-event + timeline JSON).
+
+Same philosophy as ``repro.validate.golden.check_golden_payload``: these
+files are consumed by external tools (Perfetto, notebooks) and checked in
+CI, so a malformed export should fail with a message naming the broken
+field, not crash a viewer somewhere downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.telemetry.timeline import TIMELINE_SCHEMA_VERSION
+
+#: Trace-event phases this exporter is allowed to emit.
+_ALLOWED_PHASES = frozenset({"M", "X", "i", "C", "B", "E"})
+
+#: Required fields per phase (beyond the common ph/pid/name).
+_PHASE_FIELDS: Dict[str, Dict[str, type]] = {
+    "M": {"tid": int, "args": dict},
+    "X": {"tid": int, "ts": int, "dur": int},
+    "i": {"tid": int, "ts": int, "s": str},
+    "C": {"ts": int, "args": dict},
+    "B": {"tid": int, "ts": int},
+    "E": {"tid": int, "ts": int},
+}
+
+_MAX_PROBLEMS = 10
+
+
+def check_trace_payload(payload: object) -> List[str]:
+    """Schema problems in a trace-event document (empty list = valid)."""
+    if not isinstance(payload, dict):
+        return [f"payload must be a JSON object, got "
+                f"{type(payload).__name__}"]
+    problems: List[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or mistyped 'traceEvents' (must be a list)"]
+    for index, event in enumerate(events):
+        if len(problems) >= _MAX_PROBLEMS:
+            problems.append("... further event problems suppressed")
+            break
+        if not isinstance(event, dict):
+            problems.append(f"traceEvents[{index}] must be an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _ALLOWED_PHASES:
+            problems.append(f"traceEvents[{index}] has unknown ph "
+                            f"{phase!r}")
+            continue
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"traceEvents[{index}] missing int 'pid'")
+        if not isinstance(event.get("name"), str):
+            problems.append(f"traceEvents[{index}] missing str 'name'")
+        for field, expected in _PHASE_FIELDS[phase].items():
+            if not isinstance(event.get(field), expected):
+                problems.append(
+                    f"traceEvents[{index}] ({phase}) field {field!r} must "
+                    f"be {expected.__name__}, got "
+                    f"{type(event.get(field)).__name__}")
+        if phase == "X" and event.get("dur", 0) < 0:
+            problems.append(f"traceEvents[{index}] has negative dur")
+    return problems
+
+
+def switch_phase_durations(payload: Dict) -> List[int]:
+    """Overhead-cycle durations of all CTA switch phases in a trace.
+
+    CI asserts this is non-empty with nonzero entries for a traced FineReg
+    run -- the acceptance check that Table-IV overhead actually reaches the
+    exported trace.
+    """
+    return [event["dur"] for event in payload.get("traceEvents", [])
+            if event.get("ph") == "X"
+            and event.get("name") in ("switch-out", "switch-in")]
+
+
+#: Shape of the timeline artifact's top level.
+_TIMELINE_SHAPE: Dict[str, type] = {
+    "schema": int,
+    "interval": int,
+    "num_sms": int,
+    "truncated": bool,
+    "cycles": list,
+    "sms": list,
+}
+
+
+def check_timeline_payload(payload: object) -> List[str]:
+    """Schema problems in a timeline artifact (empty list = valid)."""
+    if not isinstance(payload, dict):
+        return [f"payload must be a JSON object, got "
+                f"{type(payload).__name__}"]
+    problems: List[str] = []
+    for key, expected in _TIMELINE_SHAPE.items():
+        if key not in payload:
+            problems.append(f"missing required key {key!r}")
+        elif not isinstance(payload[key], expected):
+            problems.append(f"key {key!r} must be {expected.__name__}, got "
+                            f"{type(payload[key]).__name__}")
+    if problems:
+        return problems
+    if payload["schema"] != TIMELINE_SCHEMA_VERSION:
+        problems.append(f"timeline schema {payload['schema']} != "
+                        f"{TIMELINE_SCHEMA_VERSION}")
+    n = len(payload["cycles"])
+    for entry in payload["sms"]:
+        if not isinstance(entry, dict) or "series" not in entry:
+            problems.append("sms entries must be objects with 'series'")
+            break
+        for name, column in entry["series"].items():
+            if len(column) != n:
+                problems.append(
+                    f"series {name!r} of SM {entry.get('sm')} has "
+                    f"{len(column)} samples, cycles axis has {n}")
+        if len(problems) >= _MAX_PROBLEMS:
+            break
+    return problems

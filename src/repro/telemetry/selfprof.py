@@ -1,0 +1,82 @@
+"""Simulator self-profiling: wall-clock per phase, cycles per second.
+
+This is the ONE module in the tree allowed to read the host clock: it
+measures the *simulator*, never simulated time, so determinism of simulated
+results is untouched.  Every clock read carries a ``lint: allow[wall-clock]``
+tag and a test asserts the shipped module stays lint-clean while an
+untagged copy is flagged -- the exemption is audited, not assumed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+class PhaseProfile:
+    """Wall-clock record of one named phase."""
+
+    __slots__ = ("name", "wall_s", "sim_cycles")
+
+    def __init__(self, name: str, wall_s: float,
+                 sim_cycles: Optional[int] = None) -> None:
+        self.name = name
+        self.wall_s = wall_s
+        self.sim_cycles = sim_cycles
+
+    @property
+    def cycles_per_second(self) -> Optional[float]:
+        if self.sim_cycles is None or self.wall_s <= 0:
+            return None
+        return self.sim_cycles / self.wall_s
+
+    def as_dict(self) -> Dict:
+        out: Dict[str, object] = {"name": self.name,
+                                  "wall_s": round(self.wall_s, 6)}
+        if self.sim_cycles is not None:
+            out["sim_cycles"] = self.sim_cycles
+            cps = self.cycles_per_second
+            out["cycles_per_second"] = round(cps, 1) if cps else None
+        return out
+
+
+class SelfProfiler:
+    """Accumulates named phases; use :meth:`phase` as a context manager."""
+
+    def __init__(self) -> None:
+        self.phases: List[PhaseProfile] = []
+
+    def phase(self, name: str) -> "_PhaseTimer":
+        return _PhaseTimer(self, name)
+
+    def add(self, name: str, wall_s: float,
+            sim_cycles: Optional[int] = None) -> None:
+        self.phases.append(PhaseProfile(name, wall_s, sim_cycles))
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(p.wall_s for p in self.phases)
+
+    def as_payload(self) -> Dict:
+        return {
+            "total_wall_s": round(self.total_wall_s, 6),
+            "phases": [p.as_dict() for p in self.phases],
+        }
+
+
+class _PhaseTimer:
+    """``with profiler.phase("simulate") as t: ...; t.sim_cycles = n``"""
+
+    def __init__(self, profiler: SelfProfiler, name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+        self._start = 0.0
+        self.sim_cycles: Optional[int] = None
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._start = time.perf_counter()  # lint: allow[wall-clock]
+        return self
+
+    def __exit__(self, *exc) -> None:
+        wall = time.perf_counter() - self._start  # lint: allow[wall-clock]
+        self._profiler.add(self._name, wall, self.sim_cycles)

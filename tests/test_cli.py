@@ -25,6 +25,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "KM", "--policy", "magic"])
 
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "KM"])
+        assert args.policy == "finereg"
+        assert args.scale == "tiny"
+        assert args.interval == 1
+        assert args.capacity == 100_000
+        assert args.perfetto is None
+        assert args.timeline is None
+
     def test_validate_defaults(self):
         args = build_parser().parse_args(["validate"])
         assert args.record is False
@@ -76,6 +85,27 @@ class TestCommands:
                      "--scale", "tiny", "--sanitize"]) == 0
         out = capsys.readouterr().out
         assert "IPC" in out
+
+    def test_trace_writes_artifacts(self, capsys, tmp_path):
+        import json
+
+        from repro.telemetry.schema import (
+            check_timeline_payload,
+            check_trace_payload,
+        )
+
+        trace_path = tmp_path / "nested" / "trace.json"
+        timeline_path = tmp_path / "timeline.json"
+        assert main(["trace", "km", "--policy", "finereg", "--scale",
+                     "tiny", "--perfetto", str(trace_path),
+                     "--timeline", str(timeline_path)]) == 0
+        out = capsys.readouterr().out
+        assert "stall fraction" in out
+        assert "switch overhead" in out
+        assert check_trace_payload(
+            json.loads(trace_path.read_text())) == []
+        assert check_timeline_payload(
+            json.loads(timeline_path.read_text())) == []
 
     def test_validate_missing_corpus_fails_fast(self, capsys, tmp_path):
         # No golden files in tmp_path: every case reports an error without

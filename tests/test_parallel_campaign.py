@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.config import TINY
@@ -102,6 +104,36 @@ class TestRunManyDedup:
             "repro.experiments.runner.simulate_request",
             lambda *a, **k: pytest.fail("memo bypassed"))
         assert runner.run("LB", "finereg") is prefetched
+
+
+class TestTelemetryRequests:
+    def test_traced_request_writes_artifact_and_matches_untraced(
+            self, tmp_path, monkeypatch):
+        import json
+
+        from repro.experiments.parallel import telemetry_artifact_path
+
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path))
+        runner = ExperimentRunner(scale=TINY)
+        plain = RunRequest.make("KM", "finereg")
+        traced = RunRequest.make("KM", "finereg", telemetry=True)
+        # Observation-only: the SimResult is unaffected by the flag.
+        assert runner.run_request(traced) == runner.run_request(plain)
+        path = telemetry_artifact_path(TINY, runner.base_config, traced)
+        payload = json.loads(Path(path).read_text())
+        assert payload["schema"] == 1
+        assert payload["run"]["abbrev"] == "KM"
+        assert payload["metrics"]["counters"]
+        assert payload["events"]  # warp-level trace rides along
+        assert payload["timeline"]["sms"]
+
+    def test_telemetry_flag_makes_requests_distinct_in_memo(self):
+        runner = ExperimentRunner(scale=TINY)
+        plain = RunRequest.make("KM", "finereg")
+        traced = RunRequest.make("KM", "finereg", telemetry=True)
+        assert plain != traced
+        assert runner._memo_key(plain, runner.base_config) \
+            != runner._memo_key(traced, runner.base_config)
 
 
 class TestFigurePlans:

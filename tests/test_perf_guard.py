@@ -41,3 +41,37 @@ def test_small_km_baseline_within_budget():
     assert best < BUDGET_S, (
         f"small-scale KM baseline took {best:.2f}s (budget {BUDGET_S}s); "
         f"the simulator hot loop has regressed")
+
+
+#: Ceiling for the same simulation with full telemetry attached (warp-level
+#: tracing + metrics + per-cycle timeline sampling).  Generous: the enabled
+#: path is allowed to cost real time, it just must not explode.
+TRACED_BUDGET_S = 60.0
+
+
+def test_traced_run_overhead_within_budget():
+    """Telemetry-enabled runs stay within an order of magnitude.
+
+    The *disabled* path is covered by the budget above (the hot loop now
+    carries its ``is not None`` telemetry checks); this guards the enabled
+    path against accidentally quadratic sampling or per-event allocation
+    blowups.
+    """
+    from repro.sim.tracing import attach_tracer
+    from repro.telemetry.session import attach_telemetry
+
+    runner = ExperimentRunner(scale=SMALL)
+    instance = runner.workload("KM")
+    from repro.experiments.runner import POLICIES
+    from repro.sim.gpu import GPU
+    gpu = GPU(runner.base_config, instance.kernel, POLICIES["baseline"](),
+              instance.trace_provider, instance.address_model,
+              liveness=instance.liveness)
+    attach_tracer(gpu, level="warp")
+    attach_telemetry(gpu)
+    started = time.perf_counter()
+    gpu.run(max_cycles=SMALL.max_cycles)
+    wall = time.perf_counter() - started
+    assert wall < TRACED_BUDGET_S, (
+        f"traced small-scale KM baseline took {wall:.2f}s "
+        f"(budget {TRACED_BUDGET_S}s); telemetry overhead has regressed")

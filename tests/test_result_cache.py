@@ -226,6 +226,27 @@ class TestResultCache:
         path.write_text("{not json")
         assert cache.get(key) is None
 
+    def test_stale_schema_entry_degrades_to_miss(self, tmp_path):
+        # PR-4 bumped RESULT_SCHEMA_VERSION (SimResult grew the switch
+        # overhead split).  Entries persisted by the previous version must
+        # be rejected cleanly -- a miss and a re-run, never a SimResult
+        # missing the new fields.
+        cache = ResultCache(root=tmp_path, enabled=True)
+        key = "ce" + "0" * 62
+        cache.put(key, make_result())
+        path = cache._path(key)
+        payload = json.loads(path.read_text())
+        payload["result"]["_schema"] = 1
+        for field in ("switch_out_overhead_cycles",
+                      "switch_in_overhead_cycles"):
+            payload["result"].pop(field, None)
+        path.write_text(json.dumps(payload))
+        assert cache.get(key) is None
+        assert cache.misses == 1
+        # The stale entry can be overwritten and served again.
+        cache.put(key, make_result())
+        assert cache.get(key) == make_result()
+
     def test_clear_removes_everything(self, tmp_path):
         cache = ResultCache(root=tmp_path, enabled=True)
         for i in range(3):

@@ -1,8 +1,11 @@
 """Tests for the full-campaign driver."""
 
+import json
 from pathlib import Path
 
 from repro.experiments.run_all import CAMPAIGN, run_campaign, write_report
+from repro.telemetry.rollup import render_rollup, rollup_results
+from repro.telemetry.selfprof import SelfProfiler
 
 
 class TestCampaignDefinition:
@@ -34,3 +37,28 @@ class TestCampaignExecution:
         text = report.read_text()
         assert "# FineReg reproduction" in text
         assert "fig03" in text
+
+    def test_profiled_campaign_with_rollup_report(self, tiny_runner,
+                                                  tmp_path):
+        profiler = SelfProfiler()
+        results = run_campaign(tiny_runner, modules=["fig03_cta_overhead"],
+                               profiler=profiler)
+        phases = {p["name"] for p in profiler.as_payload()["phases"]}
+        assert {"plan+prefetch", "render"} <= phases
+        # Roll-up derives purely from the memoized SimResults (fig03 is
+        # analytic, so simulate a pair of runs to have something to roll up).
+        tiny_runner.run("KM", "finereg")
+        tiny_runner.run("KM", "baseline")
+        rollup = rollup_results(tiny_runner.memoized_results())
+        assert rollup["groups"]
+        assert all(g["runs"] > 0 for g in rollup["groups"])
+        report = tmp_path / "REPORT.md"
+        write_report(results, report, "tiny",
+                     rollup_text=render_rollup(rollup))
+        text = report.read_text()
+        assert "## Telemetry roll-up" in text
+        assert "stall p50" in text
+        # ... so the BENCH payload round-trips through JSON.
+        payload = profiler.as_payload()
+        payload["rollup"] = rollup
+        assert json.loads(json.dumps(payload)) == payload

@@ -5,18 +5,24 @@ import pytest
 from repro.config import GPUConfig, TINY
 from repro.policies.finereg import FineRegPolicy
 from repro.sim.gpu import GPU
-from repro.sim.tracing import Event, EventKind, EventTracer, attach_tracer
+from repro.sim.tracing import (
+    LIFECYCLE_KINDS,
+    Event,
+    EventKind,
+    EventTracer,
+    attach_tracer,
+)
 from repro.workloads.generator import build_workload
 from repro.workloads.suite import get_spec
 
 
-def traced_run(app="KM", policy=FineRegPolicy):
+def traced_run(app="KM", policy=FineRegPolicy, level="cta", capacity=100_000):
     config = GPUConfig().with_num_sms(1)
     instance = build_workload(get_spec(app), config, TINY)
     gpu = GPU(config, instance.kernel, policy,
               instance.trace_provider, instance.address_model,
               liveness=instance.liveness)
-    tracer = attach_tracer(gpu)
+    tracer = attach_tracer(gpu, capacity=capacity, level=level)
     result = gpu.run(max_cycles=TINY.max_cycles)
     return gpu, tracer, result
 
@@ -65,6 +71,31 @@ class TestTracerBasics:
         assert tracer.as_dicts() == [
             {"cycle": 5, "sm": 2, "kind": "switch_in", "cta": 7}]
 
+    def test_drop_oldest_retains_newest(self):
+        tracer = EventTracer(capacity=3)
+        for i in range(10):
+            tracer.record(i, 0, EventKind.LAUNCH, i)
+        # Ring buffer policy: the oldest records make room for the newest.
+        assert [e.cta_id for e in tracer.events] == [7, 8, 9]
+        assert tracer.dropped == 7
+
+    def test_as_dicts_leads_with_drop_marker_when_saturated(self):
+        tracer = EventTracer(capacity=3)
+        for i in range(10):
+            tracer.record(i, 0, EventKind.LAUNCH, i)
+        dicts = tracer.as_dicts()
+        # A synthetic first record tells consumers the log is truncated
+        # and where the retained window begins.
+        assert dicts[0] == {
+            "cycle": 7, "sm": -1, "kind": "dropped_events", "cta": 7}
+        assert [d["cta"] for d in dicts[1:]] == [7, 8, 9]
+
+    def test_as_dicts_has_no_marker_when_unsaturated(self):
+        tracer = EventTracer(capacity=16)
+        tracer.record(1, 0, EventKind.LAUNCH, 0)
+        assert all(d["kind"] != "dropped_events"
+                   for d in tracer.as_dicts())
+
 
 class TestTracedRun:
     def test_every_cta_launches_and_retires(self):
@@ -107,3 +138,32 @@ class TestTracedRun:
     def test_untraced_run_has_no_tracer(self, tiny_runner):
         result = tiny_runner.run("KM", "baseline")
         assert result is not None  # runner path never attaches a tracer
+
+
+class TestWarpLevelRun:
+    def test_warp_events_recorded_only_at_warp_level(self):
+        __, cta_tracer, __ = traced_run(level="cta")
+        __, warp_tracer, __ = traced_run(level="warp")
+        cta_kinds = {e.kind for e in cta_tracer.events}
+        warp_kinds = {e.kind for e in warp_tracer.events}
+        assert cta_kinds <= LIFECYCLE_KINDS
+        # The warp-level run is a strict superset: same lifecycle stream
+        # plus warp/policy detail.
+        assert warp_kinds > cta_kinds
+        assert warp_kinds - LIFECYCLE_KINDS
+
+    def test_switch_events_carry_overhead_durations(self):
+        __, tracer, result = traced_run(level="warp")
+        outs = tracer.of_kind(EventKind.SWITCH_OUT)
+        ins = tracer.of_kind(EventKind.SWITCH_IN)
+        assert outs and ins
+        assert all(e.dur > 0 for e in outs + ins)
+        assert (sum(e.dur for e in outs + ins)
+                == result.switch_overhead_cycles)
+
+    def test_cta_level_dicts_stay_compact(self):
+        __, tracer, __ = traced_run(level="cta")
+        # At CTA level no warp/dur/value fields are populated, so the
+        # JSON rows keep the original 4-key shape.
+        assert all(set(d) == {"cycle", "sm", "kind", "cta"}
+                   for d in tracer.as_dicts())

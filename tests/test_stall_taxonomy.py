@@ -1,0 +1,157 @@
+"""Stall-taxonomy attribution on hand-computable micro-workloads.
+
+These pin the exact values of the three stall counters
+(``idle_cycles`` / ``rf_depletion_cycles`` / ``srp_stall_cycles``) on
+kernels small enough to reason about by hand with the Table-I latencies.
+The simulator is deterministic, so exact equality is the right assertion:
+any drift in issue timing, stall attribution, or switch accounting shows
+up here as a changed constant rather than a vague ratio.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import GPUConfig
+from repro.isa.cfg import ControlFlowGraph, EdgeKind
+from repro.isa.instructions import AccessPattern, Instruction, Opcode
+from repro.isa.kernel import Kernel, LaunchGeometry
+from repro.policies.baseline import BaselinePolicy
+from repro.policies.finereg import FineRegPolicy
+from repro.sim.gpu import GPU
+from repro.workloads.traces import AddressModel, TraceProvider
+
+#: Table-I ALU latency the derivations below assume.
+ALU = GPUConfig().alu_latency
+assert ALU == 6, "derived constants below assume the Table-I ALU latency"
+
+
+def chain_cfg() -> ControlFlowGraph:
+    """Three chained IALUs + EXIT: every issue waits out the full ALU
+    latency of its predecessor."""
+    cfg = ControlFlowGraph()
+    cfg.add_block([
+        Instruction(Opcode.IALU, 1, (0,)),
+        Instruction(Opcode.IALU, 2, (1,)),
+        Instruction(Opcode.IALU, 3, (2,)),
+    ], EdgeKind.FALLTHROUGH, successors=(1,))
+    cfg.add_block([Instruction(Opcode.EXIT)], EdgeKind.EXIT)
+    return cfg.freeze()
+
+
+def live_load_cfg() -> ControlFlowGraph:
+    """Six registers written before a global load and all consumed after
+    it: they are live across the long-latency block, so a FineReg
+    switch-out must spill at least six warp-registers."""
+    cfg = ControlFlowGraph()
+    cfg.add_block([
+        Instruction(Opcode.IALU, 1, ()),
+        Instruction(Opcode.IALU, 2, ()),
+        Instruction(Opcode.IALU, 3, ()),
+        Instruction(Opcode.IALU, 4, ()),
+        Instruction(Opcode.IALU, 5, ()),
+        Instruction(Opcode.IALU, 6, ()),
+        Instruction(Opcode.LDG, 7, (0,), AccessPattern.STREAM),
+        Instruction(Opcode.IALU, 0, (1, 2, 3, 4, 5, 6, 7)),
+    ], EdgeKind.FALLTHROUGH, successors=(1,))
+    cfg.add_block([Instruction(Opcode.EXIT)], EdgeKind.EXIT)
+    return cfg.freeze()
+
+
+def run(cfg, policy, config, grid=2, regs=8):
+    kernel = Kernel("unit", cfg,
+                    LaunchGeometry(threads_per_cta=32, grid_ctas=grid),
+                    regs_per_thread=regs)
+    gpu = GPU(config, kernel, policy, TraceProvider(cfg, seed=1),
+              AddressModel())
+    return gpu.run(max_cycles=500_000)
+
+
+class TestDependentChain:
+    """Both CTAs fit in the RF: idle time is pure ALU-latency gaps."""
+
+    def check(self, policy):
+        config = GPUConfig().with_num_sms(1)
+        result = run(chain_cfg(), policy, config)
+        # Each warp issues its chain at cycles 0 / L / 2L (each issue
+        # waits out the predecessor's L-cycle latency) and EXIT at 2L+1;
+        # the run ends one cycle later at 2L+2.  The two 1-warp CTAs fit
+        # concurrently and execute in lockstep on separate schedulers, so
+        # the SM-wide issue/idle pattern is that of a single chain:
+        #   cycles = 2L + 2 = 14
+        #   idle   = 2 (L - 1) = 10   (the two latency gaps)
+        assert result.cycles == 2 * ALU + 2
+        assert result.idle_cycles == 2 * (ALU - 1)
+        assert result.rf_depletion_cycles == 0
+        assert result.srp_stall_cycles == 0
+        assert result.cta_switch_events == 0
+        assert result.completed_ctas == 2
+        return result
+
+    def test_baseline_exact(self):
+        self.check(BaselinePolicy)
+
+    def test_finereg_exact(self):
+        result = self.check(FineRegPolicy)
+        assert result.switch_overhead_cycles == 0
+
+    def test_finereg_serializes_when_acrf_holds_one_cta(self):
+        # Shrink the RF to 2 KiB with a 1 KiB PCRF carve-out: the ACRF
+        # (1 KiB = 8 warp-registers) holds exactly one 8-entry CTA, so
+        # FineReg runs the two CTAs back to back.  Each CTA contributes
+        # its own two latency gaps; no idle cycle is attributed to RF
+        # depletion because the second CTA was never switched out -- it
+        # simply had not launched yet (launch throttling, not depletion).
+        config = dataclasses.replace(GPUConfig().with_num_sms(1),
+                                     register_file_bytes=2048,
+                                     pcrf_bytes=1024)
+        result = run(chain_cfg(), FineRegPolicy, config)
+        assert result.completed_ctas == 2
+        assert result.cta_switch_events == 0
+        assert result.idle_cycles == 2 * 2 * (ALU - 1)
+        assert result.rf_depletion_cycles == 0
+        assert result.srp_stall_cycles == 0
+        # Serialized: strictly slower than the concurrent run above.
+        assert result.cycles == 27
+
+
+class TestRFDepletionAttribution:
+    """A switch-out that cannot spill marks subsequent idle as RF
+    depletion -- the Fig-14 attribution path."""
+
+    #: ACRF = 2 KiB - 256 B = 14 entries: one 8-entry CTA fits, two don't.
+    #: PCRF = 256 B = 2 entries: cannot absorb the >= 6 live registers a
+    #: switch-out of `live_load_cfg` must spill, so every switch attempt
+    #: fails and the policy reports itself blocked on RF space.
+    CONFIG = dataclasses.replace(GPUConfig().with_num_sms(1),
+                                 register_file_bytes=2048,
+                                 pcrf_bytes=256)
+
+    def test_finereg_attributes_blocked_idle_to_rf(self):
+        result = run(live_load_cfg(), FineRegPolicy, self.CONFIG)
+        assert result.completed_ctas == 2
+        # The spill never fits, so no switch ever completes ...
+        assert result.cta_switch_events == 0
+        assert result.switch_overhead_cycles == 0
+        # ... and from the first failed attempt to the end of the run the
+        # policy is blocked on RF space: every idle cycle is attributed.
+        assert result.idle_cycles == result.rf_depletion_cycles
+        assert result.srp_stall_cycles == 0
+        # Exact pinned taxonomy for this deterministic workload: the two
+        # serialized CTAs wait out their DRAM loads (600 cycles each)
+        # plus ALU gaps; 17 of the 1851 cycles issue instructions.
+        assert result.cycles == 1851
+        assert result.idle_cycles == 1834
+
+    def test_baseline_same_workload_has_no_rf_stalls(self):
+        # The baseline never switches CTAs, so nothing is ever blocked on
+        # spill space; its idle time is attributed to 'other' (memory
+        # latency), never 'rf'.  Both CTAs fit its undivided 16-entry RF
+        # and run concurrently, overlapping their DRAM waits.
+        result = run(live_load_cfg(), BaselinePolicy, self.CONFIG)
+        assert result.completed_ctas == 2
+        assert result.rf_depletion_cycles == 0
+        assert result.srp_stall_cycles == 0
+        assert result.cta_switch_events == 0
+        assert result.cycles == 933
+        assert result.idle_cycles == 922
