@@ -73,12 +73,19 @@ class Cache:
         ``last_evicted_dirty`` is set when the allocation this access
         performed pushed out a dirty line (the caller owes a write-back).
         """
+        return self.access_line(address // self.line_bytes, is_write)
+
+    def access_line(self, line: int, is_write: bool = False) -> bool:
+        """:meth:`access` keyed by line index (callers that already divided
+        the address by the line size skip redoing it)."""
         self.last_evicted_dirty = False
-        set_index, tag = self._locate(address)
+        set_index = line % self.num_sets
+        tag = line // self.num_sets
         ways = self._sets[set_index]
         if tag in ways:
-            ways.remove(tag)
-            ways.insert(0, tag)
+            if ways[0] != tag:  # already-MRU hits skip the list shuffle
+                ways.remove(tag)
+                ways.insert(0, tag)
             if is_write:
                 self.stats.write_hits += 1
                 self._dirty.add((set_index, tag))
@@ -91,6 +98,7 @@ class Cache:
                 return False
         else:
             self.stats.read_misses += 1
+        # Miss allocation path (reads, and writes on allocate-on-write).
         ways.insert(0, tag)
         if is_write:
             self._dirty.add((set_index, tag))

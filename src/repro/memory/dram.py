@@ -53,12 +53,18 @@ class DRAM:
         """Issue a request; returns the absolute completion cycle."""
         if nbytes <= 0:
             raise ValueError("request must move at least one byte")
-        start = max(float(now), self._channel_free)
-        service = nbytes / self.bytes_per_cycle
-        self._channel_free = start + service
-        queue_cycles = int(start - now)
-        self.stats.add(nbytes, traffic_class, queue_cycles)
-        return int(self._channel_free) + self.access_latency
+        free = self._channel_free
+        start = free if free > now else float(now)
+        free = start + nbytes / self.bytes_per_cycle
+        self._channel_free = free
+        # Stats bookkeeping open-coded (DRAMStats.add) for the hot path.
+        stats = self.stats
+        stats.requests += 1
+        stats.total_bytes += nbytes
+        by_class = stats.bytes_by_class
+        by_class[traffic_class] = by_class.get(traffic_class, 0) + nbytes
+        stats.total_queue_cycles += int(start - now)
+        return int(free) + self.access_latency
 
     def busy_until(self) -> float:
         return self._channel_free

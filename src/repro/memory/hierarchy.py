@@ -40,6 +40,10 @@ class MemoryHierarchy:
         self.l2 = Cache("L2", config.l2_size_bytes, config.l2_assoc, line,
                         allocate_on_write=True)
         self.dram = DRAM(config.dram_bytes_per_cycle, config.dram_latency)
+        # Config scalars hoisted for the per-access hot path.
+        self._line_bytes = line
+        self._l1_hit_lat = config.l1_hit_latency
+        self._l2_hit_lat = config.l2_hit_latency
         self.stats = HierarchyStats()
         #: MetricsRegistry installed by repro.telemetry (None = off).
         self.telemetry = None
@@ -69,42 +73,101 @@ class MemoryHierarchy:
             self.telemetry.inc("mem.stores")
         self._access(sm_id, address, now, is_write=True)
         # Stores retire once handed to the memory pipeline.
-        return now + self._config.l1_hit_latency
+        return now + self._l1_hit_lat
 
     # ------------------------------------------------------------------
     def _access(self, sm_id: int, address: int, now: int,
                 is_write: bool) -> int:
-        config = self._config
-        line_addr = address - address % config.cache_line_bytes
+        line_bytes = self._line_bytes
+        line = address // line_bytes
+        line_addr = line * line_bytes
 
         # A miss to this line may still be in flight: later accesses (from
         # this SM) complete with it instead of hitting the freshly-allocated
         # tag before the data has actually arrived.
         outstanding = self._outstanding[sm_id]
+        l1 = self.l1s[sm_id]
         pending = outstanding.get(line_addr)
         if pending is not None:
             if pending > now:
                 self.stats.merged_misses += 1
-                self.l1s[sm_id].access(address, is_write)  # keep LRU honest
+                l1.access_line(line, is_write)  # keep LRU honest
                 return pending
             del outstanding[line_addr]
 
-        if self.l1s[sm_id].access(address, is_write):
-            return now + config.l1_hit_latency
-
-        if self.l2.access(address, is_write):
-            done = now + config.l2_hit_latency
+        # L1 probe open-coded from Cache.access_line (write-through /
+        # no-write-allocate; ``last_evicted_dirty`` is left stale — the
+        # hierarchy only consults the L2's flag).
+        num_sets = l1.num_sets
+        set_index = line % num_sets
+        tag = line // num_sets
+        ways = l1._sets[set_index]
+        l1_stats = l1.stats
+        if tag in ways:
+            if ways[0] != tag:
+                ways.remove(tag)
+                ways.insert(0, tag)
+            if is_write:
+                l1_stats.write_hits += 1
+                l1._dirty.add((set_index, tag))
+            else:
+                l1_stats.read_hits += 1
+            return now + self._l1_hit_lat
+        if is_write:
+            l1_stats.write_misses += 1
         else:
+            l1_stats.read_misses += 1
+            ways.insert(0, tag)
+            if len(ways) > l1.assoc:
+                victim = ways.pop()
+                key = (set_index, victim)
+                dirty = l1._dirty
+                if key in dirty:
+                    dirty.remove(key)
+                    l1_stats.dirty_evictions += 1
+
+        # L2 probe open-coded from Cache.access_line (allocate-on-write,
+        # write-back; ``evicted_dirty`` stands in for last_evicted_dirty).
+        l2 = self.l2
+        num_sets = l2.num_sets
+        set_index = line % num_sets
+        tag = line // num_sets
+        ways = l2._sets[set_index]
+        l2_stats = l2.stats
+        evicted_dirty = False
+        if tag in ways:
+            if ways[0] != tag:
+                ways.remove(tag)
+                ways.insert(0, tag)
+            if is_write:
+                l2_stats.write_hits += 1
+                l2._dirty.add((set_index, tag))
+            else:
+                l2_stats.read_hits += 1
+            done = now + self._l2_hit_lat
+        else:
+            dirty = l2._dirty
             if is_write:
                 # Write-back L2: the store allocates on-chip; DRAM is only
                 # charged when a dirty line is eventually evicted (below).
-                done = now + config.l2_hit_latency
+                l2_stats.write_misses += 1
+                done = now + self._l2_hit_lat
             else:
-                done = self.dram.request(now, config.cache_line_bytes,
-                                         "demand_read")
-                done += config.l2_hit_latency - config.l1_hit_latency
-        if self.l2.last_evicted_dirty:
-            self.dram.request(now, config.cache_line_bytes, "demand_write")
+                l2_stats.read_misses += 1
+                done = self.dram.request(now, line_bytes, "demand_read")
+                done += self._l2_hit_lat - self._l1_hit_lat
+            ways.insert(0, tag)
+            if is_write:
+                dirty.add((set_index, tag))
+            if len(ways) > l2.assoc:
+                victim = ways.pop()
+                key = (set_index, victim)
+                if key in dirty:
+                    dirty.remove(key)
+                    evicted_dirty = True
+                    l2_stats.dirty_evictions += 1
+        if evicted_dirty:
+            self.dram.request(now, line_bytes, "demand_write")
         if not is_write:
             outstanding[line_addr] = done
             if len(outstanding) > 256:  # bound the merge-table size

@@ -204,6 +204,17 @@ class RegisterFilePolicy:
         """Earliest cycle a policy-driven event (pending ready) can fire."""
         return FOREVER
 
+    def wake_time(self, now: int) -> int:
+        """Event engine: earliest executed cycle ``on_tick`` could act.
+
+        Consulted (after ``on_tick`` already ran at ``now``) only for
+        policies that override ``on_tick``; returning ``now + 1`` disables
+        skipping.  Must be conservative: between ``now`` and the returned
+        cycle, ``on_tick`` has to be an observable no-op given the SM's
+        frozen state.
+        """
+        return FOREVER
+
     # ------------------------------------------------------------------
     # Result extras
     # ------------------------------------------------------------------

@@ -262,6 +262,14 @@ class FineRegPolicy(RegisterFilePolicy):
     def next_event(self, now: int) -> int:
         return self.pending.next_ready_time()
 
+    def wake_time(self, now: int) -> int:
+        # While a ready CTA waits on ACRF space, _restore_ready counts a
+        # blocked restore every tick (the adaptive-split pressure signal),
+        # so ticking may not be skipped in that state.
+        if self.pending.has_ready(now):
+            return now + 1
+        return self.pending.next_ready_time()
+
     # ------------------------------------------------------------------
     def classify_idle(self, dt: int) -> str:
         if self._blocked_on_rf:

@@ -69,6 +69,14 @@ class AdaptiveFineRegPolicy(FineRegPolicy):
             self._maybe_repartition()
             self._next_epoch = now + EPOCH_CYCLES
 
+    def wake_time(self, now: int) -> int:
+        # The repartition epoch fires at the first executed cycle past
+        # _next_epoch, exactly like the dense per-cycle check.
+        wake = super().wake_time(now)
+        if self._next_epoch < wake:
+            wake = self._next_epoch
+        return wake
+
     def _maybe_repartition(self) -> None:
         pcrf_pressure = self._epoch_failed_spills
         acrf_pressure = self._epoch_acrf_blocked \

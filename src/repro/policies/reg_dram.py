@@ -141,6 +141,13 @@ class RegDRAMPolicy(VirtualThreadPolicy):
         return min(self.pending.next_ready_time(),
                    self.dram_pending.next_ready_time())
 
+    def wake_time(self, now: int) -> int:
+        if (self.pending.has_ready(now)
+                or self.dram_pending.has_ready(now)):
+            return now + 1
+        return min(self.pending.next_ready_time(),
+                   self.dram_pending.next_ready_time())
+
     def extras(self) -> dict:
         return {
             "context_spills": self.context_spills,

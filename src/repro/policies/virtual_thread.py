@@ -80,6 +80,14 @@ class VirtualThreadPolicy(RegisterFilePolicy):
     def next_event(self, now: int) -> int:
         return self.pending.next_ready_time()
 
+    def wake_time(self, now: int) -> int:
+        # A ready CTA still parked after on_tick means the residency limits
+        # bind: on_tick must re-check every cycle.  Otherwise nothing can
+        # happen before the readiness heap's next expiry.
+        if self.pending.has_ready(now):
+            return now + 1
+        return self.pending.next_ready_time()
+
     # ------------------------------------------------------------------
     def worth_parking(self, cta: CTASim, now: int) -> bool:
         """Park only for stalls long enough to amortize the switch."""

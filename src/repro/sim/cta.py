@@ -6,7 +6,9 @@ from __future__ import annotations
 import enum
 from typing import List, Optional
 
-from repro.sim.warp import FOREVER, WarpSim
+from repro.sim.warp import FOREVER, WarpSim, WarpState
+
+_FINISHED = WarpState.FINISHED
 
 
 class CTAState(enum.Enum):
@@ -69,7 +71,7 @@ class CTASim:
         threshold = max(1, min_remaining)
         saw_unfinished = False
         for warp in self.warps:
-            if warp.finished:
+            if warp.state is _FINISHED:
                 continue
             saw_unfinished = True
             if warp.blocked_until - now < threshold:

@@ -1,13 +1,28 @@
 """Top-level GPU: SMs + shared memory hierarchy + the simulation loop.
 
-The loop steps all SMs one cycle at a time but skips ahead over dead time:
-when no SM issues anything, the clock jumps to the earliest future event
-(warp wake-up, switch completion, pending-CTA readiness).  This keeps pure
-Python simulation tractable without changing any observable timing.
+Two observably identical engines drive the simulation:
+
+* The **event-driven engine** (default): on top of the global idle-jump,
+  each SM carries a wake-up cycle — the earliest cycle at which stepping it
+  could have any observable effect (scheduler sleep expiry, CTA transit
+  settling, a policy ``wake_time`` such as a pending-CTA readiness heap, or
+  the idle-switch cooldown).  SMs are skipped, not stepped, until their
+  wake-up arrives.  The global clock rule is untouched, so the set of
+  executed cycles — and with it every per-cycle observable (sanitizer
+  checks, telemetry samples, stall attribution) — is bit-identical to the
+  dense engine's.
+* The **dense engine** (``REPRO_DENSE_STEP=1``): steps every SM on every
+  executed cycle.  Retained as the differential-testing oracle.
+
+Both jump over globally dead time: when no SM issues anything, the clock
+advances to the earliest future event (warp wake-up, switch completion,
+pending-CTA readiness) in one step.
 """
 
 from __future__ import annotations
 
+import gc
+import os
 from collections import deque
 from typing import Callable, Dict, List, Optional
 
@@ -68,6 +83,22 @@ class GPU:
     # ------------------------------------------------------------------
     def run(self, max_cycles: int = 10_000_000) -> SimResult:
         """Simulate until the grid drains; returns the aggregate result."""
+        # The hot loop allocates heavily (heap entries, scoreboard cycle
+        # ints) but retains almost none of it, so generational GC passes
+        # during the run are pure overhead; pause collection for the span.
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            if os.environ.get("REPRO_DENSE_STEP") == "1":
+                return self._run_dense(max_cycles)
+            return self._run_event(max_cycles)
+        finally:
+            if was_enabled:
+                gc.enable()
+
+    def _run_dense(self, max_cycles: int) -> SimResult:
+        """The dense oracle: step every SM on every executed cycle."""
         now = 0
         # Initial fill.
         for sm in self.sms:
@@ -107,10 +138,228 @@ class GPU:
                 # integrated over [now, now + dt).
                 telemetry.on_advance(now, dt)
             now += dt
-        if sanitizer is not None:
-            sanitizer.on_run_end(now, timed_out)
-        if telemetry is not None:
-            telemetry.on_run_end(now)
+        return self._finish_run(now, timed_out)
+
+    def _run_event(self, max_cycles: int) -> SimResult:
+        """Event-driven engine: skip SMs until their wake-up cycle.
+
+        An SM is skipped at an executed cycle only while stepping it would
+        provably be a no-op: its schedulers sleep (``_sched_sleep``), no CTA
+        transit settles, the policy's ``on_tick`` cannot act before its
+        declared ``wake_time``, and — for policies that switch CTAs from
+        ``on_idle`` — the idle-check cooldown has not expired.  A skipped
+        SM's state is frozen (nothing cross-SM mutates it), so its
+        ``next_event``/``accumulate``/telemetry observables are exactly the
+        dense engine's.
+        """
+        now = 0
+        for sm in self.sms:
+            sm.policy.fill(now)
+        timed_out = False
+        sms = self.sms
+        sanitizer = self.sanitizer
+        telemetry = self.telemetry
+        grid = self._grid
+        wake = [0] * len(sms)
+        # (sm, step-callable) pairs: hook-free SMs run the fused fast step;
+        # anything wrapped or instrumented runs the reference sm.step.  The
+        # same split picks the next-event flavour (the fused step maintains
+        # the _sched_sleep cache next_event_fast reads).
+        steppers = []
+        nextevs = []
+        all_fast = True
+        for sm in sms:
+            if sm.fast_step_eligible():
+                sm._bind_fast_path()
+                steppers.append((sm, sm._step_fast))
+                nextevs.append(sm.next_event_fast)
+            else:
+                all_fast = False
+                steppers.append((sm, sm.step))
+                nextevs.append(sm.next_event)
+        if sanitizer is None and telemetry is None and all_fast:
+            # Dedicated copy of the cycle loop for the uninstrumented
+            # common case: the per-cycle sanitizer/telemetry None checks
+            # disappear and the skipped-SM accumulate fold is inlined.
+            # Logic is otherwise identical to the general loop below.
+            while True:
+                if not grid:
+                    for sm in sms:
+                        if (sm.active_ctas or sm.pending_ctas
+                                or sm.transit_ctas):
+                            break
+                    else:
+                        break
+                if now >= max_cycles:
+                    timed_out = True
+                    break
+                issued = 0
+                index = -1
+                for sm, step in steppers:
+                    index += 1
+                    if now < wake[index]:
+                        continue
+                    if step(now):
+                        issued = 1
+                        wake[index] = 0
+                        continue
+                    busy = (sm.active_ctas or sm.pending_ctas
+                            or sm.transit_ctas)
+                    if busy and sm._needs_idle:
+                        sm._policy.on_idle(now)
+                    w = sm._sched_sleep
+                    if w > now + 1:
+                        for cta in sm.transit_ctas:
+                            if cta.transit_until < w:
+                                w = cta.transit_until
+                        if sm._needs_tick:
+                            t = sm._policy.wake_time(now)
+                            if t < w:
+                                w = t
+                        if busy and sm._needs_idle:
+                            t = sm._policy._next_idle_check
+                            if t < w:
+                                w = t
+                    wake[index] = w
+                if issued:
+                    for sm in sms:
+                        if not sm._last_step_issued:
+                            if sm._lvl_dirty:
+                                sm.accumulate(1, False)
+                                continue
+                            sm._lvl_dt += 1
+                            if (sm.active_ctas or sm.pending_ctas
+                                    or sm.transit_ctas):
+                                st = sm.stats
+                                st.idle_cycles += 1
+                                policy = sm._policy
+                                if policy is not None:
+                                    reason = policy.classify_idle(1)
+                                    if reason == "rf":
+                                        st.rf_depletion_cycles += 1
+                                    elif reason == "srp":
+                                        st.srp_stall_cycles += 1
+                    now += 1
+                    continue
+                nxt = FOREVER
+                for ne in nextevs:
+                    t = ne(now)
+                    if t < nxt:
+                        nxt = t
+                if nxt >= FOREVER:
+                    self._raise_deadlock(now)
+                dt = max(1, nxt - now)
+                for sm in sms:
+                    sm.accumulate(dt, True)
+                now += dt
+            return self._finish_run(now, timed_out)
+        while True:
+            if not grid:
+                for sm in sms:
+                    if sm.active_ctas or sm.pending_ctas or sm.transit_ctas:
+                        break
+                else:
+                    break
+            if now >= max_cycles:
+                timed_out = True
+                break
+            issued = 0
+            index = -1
+            for sm, step in steppers:
+                index += 1
+                if now < wake[index]:
+                    continue
+                sm_issued = step(now)
+                if sm_issued:
+                    issued += sm_issued
+                    wake[index] = 0
+                    continue
+                busy = sm.active_ctas or sm.pending_ctas or sm.transit_ctas
+                if busy and sm._needs_idle:
+                    # Policies without an _act_on_idle override get no call:
+                    # the base on_idle only arms its own cooldown, which
+                    # nothing else reads.
+                    sm._policy.on_idle(now)
+                # Earliest cycle at which stepping this SM could matter
+                # again, from post-step/post-on_idle state.
+                w = sm._sched_sleep
+                if w > now + 1:
+                    for cta in sm.transit_ctas:
+                        if cta.transit_until < w:
+                            w = cta.transit_until
+                    if sm._needs_tick:
+                        t = sm._policy.wake_time(now)
+                        if t < w:
+                            w = t
+                    if busy and sm._needs_idle:
+                        t = sm._policy._next_idle_check
+                        if t < w:
+                            w = t
+                wake[index] = w
+            if sanitizer is not None:
+                sanitizer.on_cycle(now)
+            if issued:
+                # Busy span, levels clean: accumulate() would only buffer
+                # the cycle; do it inline.  Fast-path SMs that issued have
+                # already folded their cycle in at the end of _step_fast.
+                if all_fast:
+                    for sm in sms:
+                        if not sm._last_step_issued:
+                            if sm._lvl_dirty:
+                                sm.accumulate(1, False)
+                                continue
+                            # accumulate(1, False) with clean levels, open
+                            # coded: buffer the span cycle, then the exact
+                            # per-cycle idle taxonomy (classify_idle may be
+                            # stateful, so the call cadence must not change).
+                            sm._lvl_dt += 1
+                            if (sm.active_ctas or sm.pending_ctas
+                                    or sm.transit_ctas):
+                                st = sm.stats
+                                st.idle_cycles += 1
+                                policy = sm._policy
+                                if policy is not None:
+                                    reason = policy.classify_idle(1)
+                                    if reason == "rf":
+                                        st.rf_depletion_cycles += 1
+                                    elif reason == "srp":
+                                        st.srp_stall_cycles += 1
+                else:
+                    for sm in sms:
+                        if sm._last_step_issued and sm._defer_stats:
+                            continue
+                        if sm._lvl_dirty or not sm._last_step_issued:
+                            sm.accumulate(1, False)
+                        else:
+                            sm._lvl_dt += 1
+                if telemetry is not None:
+                    telemetry.on_advance(now, 1)
+                now += 1
+                continue
+            nxt = FOREVER
+            for ne in nextevs:
+                t = ne(now)
+                if t < nxt:
+                    nxt = t
+            if nxt >= FOREVER:
+                self._raise_deadlock(now)
+            dt = max(1, nxt - now)
+            for sm in sms:
+                sm.accumulate(dt, True)
+            if telemetry is not None:
+                telemetry.on_advance(now, dt)
+            now += dt
+        return self._finish_run(now, timed_out)
+
+    def _finish_run(self, now: int, timed_out: bool) -> SimResult:
+        for sm in self.sms:
+            if sm._defer_stats:
+                sm._flush_deferred_stats()
+            sm.flush_levels()
+        if self.sanitizer is not None:
+            self.sanitizer.on_run_end(now, timed_out)
+        if self.telemetry is not None:
+            self.telemetry.on_run_end(now)
         return self._build_result(now, timed_out)
 
     def _next_event(self, now: int) -> int:

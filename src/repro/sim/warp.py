@@ -9,7 +9,7 @@ cycle, and synthetic address counters for each memory access pattern.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List
+from typing import List
 
 #: Sentinel "blocked forever" used for barrier waits.
 FOREVER = 1 << 60
@@ -26,21 +26,39 @@ class WarpSim:
 
     __slots__ = (
         "warp_id", "global_warp_id", "cta", "trace", "pos",
-        "ready_at", "blocked_until", "state",
+        "ready_at", "peak_ready", "blocked_until", "state", "sched_seq",
+        "chk_pos", "chk_ready",
         "stream_counter", "reuse_counter", "shared_counter",
         "stream_base", "reuse_base",
     )
 
     def __init__(self, warp_id: int, global_warp_id: int, cta_id: int,
-                 trace: List[int]) -> None:
+                 trace: List[int], nregs: int = 64) -> None:
         self.warp_id = warp_id                  # index within the CTA
         self.global_warp_id = global_warp_id    # unique across the launch
         self.cta = None                         # attached by the SM
         self.trace = trace
         self.pos = 0
-        self.ready_at: Dict[int, int] = {}
+        # Scoreboard: per-register ready cycle, indexed by register id
+        # (register ids are small and dense, so a flat list beats a dict on
+        # every hot-path read/write; never-written registers read 0 exactly
+        # like the old ``dict.get(reg, 0)``).
+        self.ready_at: List[int] = [0] * nregs
+        # Upper bound on max(ready_at.values()): while it is <= now, no
+        # source register can be pending, so the per-issue operand scan is
+        # skipped entirely.  Writebacks raise it; it never needs lowering
+        # (a stale-high bound only costs one redundant scan).
+        self.peak_ready = 0
+        # Memoized operand scan: the max source-ready cycle computed for
+        # trace position ``chk_pos``.  ``ready_at`` only changes when this
+        # warp issues (which advances ``pos``), so a matching position means
+        # the cached value is still exact.
+        self.chk_pos = -1
+        self.chk_ready = 0
         self.blocked_until = 0
         self.state = WarpState.RUNNABLE
+        # Stable GTO priority key (attach order); set by the scheduler.
+        self.sched_seq = 0
         # Synthetic address-stream state (see workloads.traces).
         self.stream_counter = 0
         self.reuse_counter = 0
@@ -75,9 +93,9 @@ class WarpSim:
     def operands_ready_at(self, srcs) -> int:
         """Cycle when all source registers are available."""
         ready = 0
-        get = self.ready_at.get
+        ready_at = self.ready_at
         for reg in srcs:
-            t = get(reg, 0)
+            t = ready_at[reg]
             if t > ready:
                 ready = t
         return ready

@@ -78,8 +78,8 @@ class _OversleepScheduler(GTOScheduler):
 
     __slots__ = ()
 
-    def _set_sleep(self, now: int) -> None:
-        GTOScheduler._set_sleep(self, now)
+    def _note_sleep(self, now: int, earliest: int) -> None:
+        GTOScheduler._note_sleep(self, now, earliest)
         if now < self._sleep_until < FOREVER:
             self._sleep_until += 97
 

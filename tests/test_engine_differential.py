@@ -1,0 +1,118 @@
+"""Dense-vs-event engine differential tests.
+
+The event-driven engine (``GPU._run_event``) is a pure performance
+transformation: for every workload, policy and seed it must produce a
+``SimResult`` that is *byte-identical* (as sorted JSON) to the dense
+per-cycle oracle retained behind ``REPRO_DENSE_STEP=1``.  These tests pin
+that contract over the full golden corpus and over hypothesis-chosen
+(app, seed) micro-workloads for every registered policy, so any divergence
+introduced in the fused fast step, the wakeup computation, or the
+closed-form idle-span accounting fails loudly with a payload diff instead
+of silently drifting the science.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SCALES, GPUConfig
+from repro.experiments.runner import POLICIES
+from repro.sim.gpu import GPU
+from repro.validate.golden import CORPUS, run_case
+from repro.workloads.generator import build_workload
+from repro.workloads.suite import get_spec
+
+TINY = SCALES["tiny"]
+#: Two SMs keep the micro-workloads fast while still exercising the
+#: cross-SM parts of the engine (shared L2/DRAM, global cycle advance).
+MICRO_CONFIG = GPUConfig(num_sms=2)
+APPS = ("KM", "HS", "LB")
+
+
+@contextmanager
+def dense_engine():
+    """Route ``GPU.run`` to the dense per-cycle oracle for the block."""
+    os.environ["REPRO_DENSE_STEP"] = "1"
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_DENSE_STEP", None)
+
+
+def result_bytes(result) -> str:
+    return json.dumps(result.to_json(), sort_keys=True)
+
+
+def simulate_micro(policy: str, app: str, seed: int):
+    """One tiny 2-SM simulation with the workload spec reseeded."""
+    spec = replace(get_spec(app), seed=seed)
+    instance = build_workload(spec, MICRO_CONFIG, TINY)
+    gpu = GPU(MICRO_CONFIG, instance.kernel, POLICIES[policy](),
+              instance.trace_provider, instance.address_model,
+              liveness=instance.liveness)
+    return gpu.run(max_cycles=TINY.max_cycles)
+
+
+# ----------------------------------------------------------------------
+# Oracle plumbing
+# ----------------------------------------------------------------------
+def test_env_switch_selects_dense_engine():
+    """``REPRO_DENSE_STEP=1`` must actually reach ``_run_dense``."""
+    instance = build_workload(get_spec("KM"), MICRO_CONFIG, TINY)
+    gpu = GPU(MICRO_CONFIG, instance.kernel, POLICIES["baseline"](),
+              instance.trace_provider, instance.address_model,
+              liveness=instance.liveness)
+    sentinel = object()
+    gpu._run_dense = lambda max_cycles: sentinel
+    with dense_engine():
+        assert gpu.run(max_cycles=10) is sentinel
+    gpu._run_event = lambda max_cycles: sentinel
+    assert gpu.run(max_cycles=10) is sentinel
+
+
+def test_uninstrumented_run_binds_the_fast_path():
+    """Hook-free SMs must take the fused step (guards eligibility drift)."""
+    instance = build_workload(get_spec("KM"), MICRO_CONFIG, TINY)
+    gpu = GPU(MICRO_CONFIG, instance.kernel, POLICIES["baseline"](),
+              instance.trace_provider, instance.address_model,
+              liveness=instance.liveness)
+    gpu.run(max_cycles=TINY.max_cycles)
+    assert all(sm._fast_consts is not None for sm in gpu.sms), (
+        "fast_step_eligible() stopped admitting a plain uninstrumented run")
+
+
+# ----------------------------------------------------------------------
+# Golden corpus, both engines
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("case", CORPUS, ids=lambda c: c.name)
+def test_golden_case_bit_identical_across_engines(case):
+    with dense_engine():
+        dense, _, _ = run_case(case, sanitize=False)
+    event, _, _ = run_case(case, sanitize=False)
+    assert result_bytes(dense) == result_bytes(event), (
+        f"event engine diverged from the dense oracle on {case.name}")
+
+
+# ----------------------------------------------------------------------
+# Random micro-workloads, every policy
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+@settings(max_examples=3, deadline=None, derandomize=True, database=None)
+@given(data=st.data())
+def test_random_micro_workloads_bit_identical(policy, data):
+    seed = data.draw(st.integers(min_value=0, max_value=2 ** 16 - 1),
+                     label="spec seed")
+    app = data.draw(st.sampled_from(APPS), label="app")
+    with dense_engine():
+        dense = simulate_micro(policy, app, seed)
+    event = simulate_micro(policy, app, seed)
+    assert result_bytes(dense) == result_bytes(event), (
+        f"event engine diverged from the dense oracle "
+        f"({policy}, {app}, seed={seed})")

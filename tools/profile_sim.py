@@ -8,10 +8,19 @@ best-of wall clock, and takes one cProfile pass for the hot-function
 table.  Results land in ``BENCH_sim.json`` (override with ``--out``),
 including the speedup against the recorded pre-optimization reference.
 
+A full run also sweeps a per-app x per-policy benchmark ``matrix`` (KM,
+HS and LB under every registered policy at the chosen scale) so BENCH
+captures throughput beyond the single headline workload.  ``--quick``
+skips the cProfile pass and the matrix for CI smoke use, and ``--check
+<committed BENCH>`` exits non-zero when the headline ``sim_cycles_per_s``
+regresses more than ``--check-slack`` (default 20%) below the committed
+value.
+
 Usage::
 
     PYTHONPATH=src python tools/profile_sim.py [--app KM] [--policy baseline]
         [--scale small] [--repeats 3] [--out BENCH_sim.json] [--top 15]
+        [--quick] [--check BENCH_sim.json]
 """
 
 from __future__ import annotations
@@ -39,8 +48,13 @@ SEED_REFERENCE = {"app": "KM", "policy": "baseline", "scale": "small",
                   "wall_s": 0.657}
 
 
+#: Matrix coverage: the three workloads whose goldens span the suite's
+#: memory/compute mixes, under every registered policy.
+MATRIX_APPS = ("KM", "HS", "LB")
+
+
 def profile_run(app: str, policy: str, scale_name: str, repeats: int,
-                top: int) -> dict:
+                top: int, profile: bool = True) -> dict:
     scale = SCALES[scale_name]
     config = default_config(scale)
     request = RunRequest.make(app, policy)
@@ -57,22 +71,24 @@ def profile_run(app: str, policy: str, scale_name: str, repeats: int,
         walls.append(time.perf_counter() - t0)
     best = min(walls)
 
-    profiler = cProfile.Profile()
-    profiler.enable()
-    simulate_request(scale, config, request, instance=instance)
-    profiler.disable()
-    stats = pstats.Stats(profiler)
-    stats.sort_stats("tottime")
     hot = []
-    for func, (cc, nc, tt, ct, __) in sorted(
-            stats.stats.items(), key=lambda kv: kv[1][2], reverse=True)[:top]:
-        filename, line, name = func
-        hot.append({
-            "function": f"{Path(filename).name}:{line}:{name}",
-            "calls": nc,
-            "tottime_s": round(tt, 4),
-            "cumtime_s": round(ct, 4),
-        })
+    if profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        simulate_request(scale, config, request, instance=instance)
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("tottime")
+        for func, (cc, nc, tt, ct, __) in sorted(
+                stats.stats.items(),
+                key=lambda kv: kv[1][2], reverse=True)[:top]:
+            filename, line, name = func
+            hot.append({
+                "function": f"{Path(filename).name}:{line}:{name}",
+                "calls": nc,
+                "tottime_s": round(tt, 4),
+                "cumtime_s": round(ct, 4),
+            })
 
     report = {
         "app": app,
@@ -96,6 +112,59 @@ def profile_run(app: str, policy: str, scale_name: str, repeats: int,
     return report
 
 
+def bench_matrix(scale_name: str, repeats: int) -> dict:
+    """Best-of wall clock for every (matrix app, policy) pair."""
+    from repro.experiments.runner import POLICIES
+
+    scale = SCALES[scale_name]
+    config = default_config(scale)
+    matrix: dict = {}
+    for app in MATRIX_APPS:
+        instance = build_workload(get_spec(app), config, scale)
+        row: dict = {}
+        for policy in sorted(POLICIES):
+            request = RunRequest.make(app, policy)
+            result = None
+            best = None
+            for _ in range(max(1, repeats)):
+                t0 = time.perf_counter()
+                result = simulate_request(scale, config, request,
+                                          instance=instance)
+                wall = time.perf_counter() - t0
+                if best is None or wall < best:
+                    best = wall
+            row[policy] = {
+                "cycles": result.cycles,
+                "best_s": round(best, 4),
+                "sim_cycles_per_s": round(result.cycles / best),
+            }
+        matrix[app] = row
+    return matrix
+
+
+def check_regression(report: dict, committed_path: Path,
+                     slack: float) -> int:
+    """Compare the headline throughput against a committed BENCH file.
+
+    Returns 0 when within ``slack`` (fractional allowed drop), 1 on a
+    regression or an incomparable baseline.
+    """
+    committed = json.loads(committed_path.read_text())
+    key = ("app", "policy", "scale")
+    if tuple(committed.get(k) for k in key) != tuple(report[k] for k in key):
+        print(f"check: {committed_path} benchmarks "
+              f"{[committed.get(k) for k in key]}, current run is "
+              f"{[report[k] for k in key]}; incomparable")
+        return 1
+    baseline = committed["sim_cycles_per_s"]
+    current = report["sim_cycles_per_s"]
+    floor = baseline * (1.0 - slack)
+    verdict = "OK" if current >= floor else "REGRESSION"
+    print(f"check: {current:,} cycles/s vs committed {baseline:,} "
+          f"(floor {floor:,.0f}, slack {slack:.0%}): {verdict}")
+    return 0 if current >= floor else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--app", default="KM")
@@ -105,10 +174,21 @@ def main(argv=None) -> int:
     parser.add_argument("--top", type=int, default=15,
                         help="hot functions to record")
     parser.add_argument("--out", default="BENCH_sim.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="skip the cProfile pass and the app x policy "
+                             "matrix (CI smoke mode)")
+    parser.add_argument("--check", metavar="BENCH",
+                        help="committed BENCH file to compare against; "
+                             "exit 1 on a throughput regression")
+    parser.add_argument("--check-slack", type=float, default=0.20,
+                        help="allowed fractional drop before --check fails")
+    parser.add_argument("--matrix-repeats", type=int, default=2)
     args = parser.parse_args(argv)
 
     report = profile_run(args.app.upper(), args.policy, args.scale,
-                         args.repeats, args.top)
+                         args.repeats, args.top, profile=not args.quick)
+    if not args.quick:
+        report["matrix"] = bench_matrix(args.scale, args.matrix_repeats)
     Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
 
     stages = report["stages"]
@@ -120,7 +200,14 @@ def main(argv=None) -> int:
         print(f"speedup vs pre-optimization reference "
               f"({SEED_REFERENCE['wall_s']}s): "
               f"{report['speedup_vs_seed']:.2f}x")
+    if "matrix" in report:
+        for app, row in report["matrix"].items():
+            cells = ", ".join(f"{p}={c['sim_cycles_per_s']:,}"
+                              for p, c in row.items())
+            print(f"matrix {app}: {cells}")
     print(f"wrote {args.out}")
+    if args.check:
+        return check_regression(report, Path(args.check), args.check_slack)
     return 0
 
 
