@@ -1,4 +1,9 @@
-"""Setup shim for environments without the `wheel` package (offline)."""
+"""Setup shim for environments without the `wheel` package (offline).
+
+Metadata (including the numpy dependency for the vectorized engine
+backend) lives in pyproject.toml; see repro.sim.backend for the graceful
+numpy-less degradation story.
+"""
 from setuptools import setup
 
 setup()

@@ -7,7 +7,13 @@ lint statically flags the code patterns that silently break that purity:
 * ``unseeded-random`` (error) — any call through the global ``random``
   module (``random.random()``, ``random.shuffle`` ...).  Seeded
   ``random.Random(seed)`` instances are the sanctioned source of
-  randomness; the module-level RNG is process-global state.
+  randomness; the module-level RNG is process-global state.  The same
+  rule covers ``numpy.random``: draws through the legacy process-global
+  RNG (``np.random.rand()`` ...) are errors, and the seeded-constructor
+  allowlist (``default_rng``, ``Generator``, the bit generators,
+  ``RandomState``) still flags zero-argument calls, which seed from OS
+  entropy.  Plain numpy ufuncs/array ops are stateless and produce no
+  findings — the vectorized engine backend depends on exactly that.
 * ``wall-clock`` (error) — reads of wall-clock time (``time.time``,
   ``perf_counter``, ``datetime.now`` ...).  Legitimate *reporting* uses
   carry an inline suppression.
@@ -36,6 +42,14 @@ from repro.validate.findings import Finding, FindingReport, Severity
 #: Attributes of the ``random`` module that are legal to touch: seeded RNG
 #: class constructors, not draws from the process-global generator.
 _RANDOM_ALLOWED = {"Random", "SystemRandom"}
+
+#: ``numpy.random`` attributes that construct an explicitly seedable RNG
+#: (everything else on the module is a draw from the legacy process-global
+#: ``RandomState``).  Zero-argument calls to these seed from OS entropy
+#: and are still flagged.
+_NUMPY_SEEDED = {"Generator", "default_rng", "SeedSequence", "RandomState",
+                 "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "SFC64",
+                 "MT19937"}
 
 #: Wall-clock reads: (module, attribute) pairs.
 _CLOCK_CALLS = {
@@ -91,6 +105,12 @@ class _ModuleLinter(ast.NodeVisitor):
         # Aliases under which hazard modules are imported in this file.
         self._random_aliases: Set[str] = set()
         self._clock_aliases: Dict[str, str] = {}   # local name -> module
+        self._numpy_aliases: Set[str] = set()          # import numpy as np
+        self._numpy_random_aliases: Set[str] = set()   # numpy.random as npr
+        # Seeded numpy RNG constructors imported by name (still need the
+        # zero-argument entropy-seeding check at their call sites);
+        # local name -> original numpy.random attribute.
+        self._numpy_seeded_names: Dict[str, str] = {}
         # Local names known to be set-valued (flow-insensitive, per scope
         # stack is overkill for this codebase's flat functions).
         self._set_names: Set[str] = set()
@@ -117,6 +137,15 @@ class _ModuleLinter(ast.NodeVisitor):
                 self._random_aliases.add(local)
             if alias.name in ("time", "datetime"):
                 self._clock_aliases[local] = alias.name
+            if alias.name == "numpy":
+                self._numpy_aliases.add(local)
+            if alias.name == "numpy.random":
+                if alias.asname:
+                    self._numpy_random_aliases.add(alias.asname)
+                else:
+                    # `import numpy.random` binds `numpy`; draws go
+                    # through the two-level `numpy.random.<draw>` path.
+                    self._numpy_aliases.add("numpy")
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -135,7 +164,41 @@ class _ModuleLinter(ast.NodeVisitor):
                         alias.name == "datetime":
                     local = alias.asname or alias.name
                     self._clock_aliases[local] = node.module
+        if node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self._numpy_random_aliases.add(alias.asname
+                                                   or alias.name)
+        if node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name in _NUMPY_SEEDED:
+                    self._numpy_seeded_names[alias.asname
+                                             or alias.name] = alias.name
+                else:
+                    self._report(
+                        "unseeded-random", Severity.ERROR,
+                        f"`from numpy.random import {alias.name}` pulls in "
+                        f"numpy's process-global RNG; use an explicitly "
+                        f"seeded numpy.random.default_rng(seed)",
+                        node)
         self.generic_visit(node)
+
+    # -- numpy.random ---------------------------------------------------
+    def _check_numpy_random_call(self, node: ast.Call, display: str,
+                                 attr: str) -> None:
+        if attr not in _NUMPY_SEEDED:
+            self._report(
+                "unseeded-random", Severity.ERROR,
+                f"draw from numpy's process-global RNG `{display}()`; "
+                f"use an explicitly seeded numpy.random.Generator "
+                f"(numpy.random.default_rng(seed))",
+                node)
+        elif not node.args and not node.keywords:
+            self._report(
+                "unseeded-random", Severity.ERROR,
+                f"`{display}()` without an explicit seed draws OS "
+                f"entropy; pass a seed so runs are reproducible",
+                node)
 
     # -- calls ----------------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
@@ -151,6 +214,9 @@ class _ModuleLinter(ast.NodeVisitor):
                         f"`{base.id}.{func.attr}()`; draw from a seeded "
                         f"random.Random instance instead",
                         node)
+                if base.id in self._numpy_random_aliases:
+                    self._check_numpy_random_call(
+                        node, f"{base.id}.{func.attr}", func.attr)
                 module = self._clock_aliases.get(base.id)
                 if module and (module, func.attr) in _CLOCK_CALLS:
                     self._report(
@@ -170,6 +236,17 @@ class _ModuleLinter(ast.NodeVisitor):
                         f"wall-clock read "
                         f"`{base.value.id}.{base.attr}.{func.attr}()`",
                         node)
+                # np.random.<draw>() two-level access through a numpy
+                # module alias.
+                if (base.value.id in self._numpy_aliases
+                        and base.attr == "random"):
+                    self._check_numpy_random_call(
+                        node, f"{base.value.id}.random.{func.attr}",
+                        func.attr)
+        elif isinstance(func, ast.Name) and \
+                func.id in self._numpy_seeded_names:
+            self._check_numpy_random_call(
+                node, func.id, self._numpy_seeded_names[func.id])
         self.generic_visit(node)
 
     # -- set iteration --------------------------------------------------

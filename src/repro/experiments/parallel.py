@@ -45,6 +45,11 @@ class RunRequest:
     #: the artifact next to the run's cached result.  Observation-only: the
     #: SimResult is identical with the flag on or off.
     telemetry: bool = False
+    #: Engine backend for the run (see ``repro.sim.backend``); ``None``
+    #: defers to ``REPRO_ENGINE`` / auto resolution.  Backends are
+    #: bit-identical, so this is deliberately *not* part of the result cache
+    #: key — it only selects which driver executes the simulation.
+    engine: Optional[str] = None
 
     @classmethod
     def make(cls, abbrev: str, policy: str,
@@ -52,11 +57,12 @@ class RunRequest:
              sample_usage: bool = False,
              unified_memory: bool = False,
              telemetry: bool = False,
+             engine: Optional[str] = None,
              **policy_kwargs) -> "RunRequest":
         return cls(abbrev=abbrev, policy=policy, config=config,
                    sample_usage=sample_usage, unified_memory=unified_memory,
                    policy_kwargs=tuple(sorted(policy_kwargs.items())),
-                   telemetry=telemetry)
+                   telemetry=telemetry, engine=engine)
 
     def with_config(self, config: GPUConfig) -> "RunRequest":
         return replace(self, config=config)
@@ -119,11 +125,11 @@ def simulate_request(scale: Scale, base_config: GPUConfig,
         from repro.telemetry.session import attach_telemetry
         tracer = attach_tracer(gpu, level="warp")
         session = attach_telemetry(gpu)
-        result = gpu.run(max_cycles=scale.max_cycles)
+        result = gpu.run(max_cycles=scale.max_cycles, engine=request.engine)
         write_run_telemetry(scale, base_config, request, session, result,
                             tracer=tracer)
         return result
-    return gpu.run(max_cycles=scale.max_cycles)
+    return gpu.run(max_cycles=scale.max_cycles, engine=request.engine)
 
 
 #: Directory for per-run telemetry artifacts (override via env).

@@ -1,0 +1,97 @@
+"""Engine backend selection: ``reference`` / ``fused`` / ``vectorized``.
+
+Every backend is a pure performance transformation of the same simulation
+-- the dense per-cycle oracle (``REPRO_DENSE_STEP=1``) remains the ground
+truth and ``tests/test_engine_differential.py`` pins all of them to it
+byte-for-byte.  The seam only decides *which* observably-identical driver
+executes a run:
+
+* ``reference`` — the event-driven engine stepping every SM through the
+  unfused ``StreamingMultiprocessor.step`` path.  Slowest, but every hook
+  surface (sanitizer wrappers, telemetry, tracers, issue hooks) works.
+* ``fused`` — the event-driven engine with the per-SM fused fast step
+  (``_step_fast``) for SMs that pass ``fast_step_eligible()``; ineligible
+  SMs transparently fall back to the reference step.  This is the PR-5
+  behaviour and the universal default.
+* ``vectorized`` — decoupled per-SM runners with numpy-precomputed
+  structure-of-arrays trace tables (:mod:`repro.sim.vectorized`).  Run-level
+  eligibility is conservative (inert policy, hook-free SMs); ineligible
+  runs degrade to ``fused`` automatically, so selecting ``vectorized`` is
+  always safe when numpy is importable.
+
+Selection order: an explicit ``engine=`` argument to ``GPU.run`` wins, then
+the ``REPRO_ENGINE`` environment variable, then ``auto`` (vectorized when
+numpy is available, else fused).  ``REPRO_DENSE_STEP=1`` overrides
+everything -- the oracle is not a backend, it is the spec.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+#: Environment variable consulted when no explicit engine is passed.
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: Every accepted ``REPRO_ENGINE`` value (``auto`` resolves at run time).
+ENGINE_NAMES: Tuple[str, ...] = ("auto", "reference", "fused", "vectorized")
+
+
+class EngineUnavailableError(RuntimeError):
+    """An explicitly requested backend cannot run in this environment.
+
+    Raised when ``REPRO_ENGINE=vectorized`` (or ``engine="vectorized"``)
+    is requested but numpy is not importable.  ``auto`` never raises; it
+    degrades to ``fused``.
+    """
+
+
+_NUMPY_AVAILABLE: Optional[bool] = None
+
+
+def numpy_available() -> bool:
+    """True when the vectorized backend's numpy dependency is importable."""
+    global _NUMPY_AVAILABLE
+    if _NUMPY_AVAILABLE is None:
+        try:
+            import numpy  # noqa: F401
+            _NUMPY_AVAILABLE = True
+        except ImportError:  # pragma: no cover - numpy ships in the image
+            _NUMPY_AVAILABLE = False
+    return _NUMPY_AVAILABLE
+
+
+def parse_engine(value: Optional[str]) -> str:
+    """Normalize a requested engine name (``None``/empty -> ``auto``).
+
+    Unknown names fail loudly: a typo in ``REPRO_ENGINE`` silently running
+    the wrong backend would invalidate a benchmark, so it is a ValueError.
+    """
+    if not value:
+        return "auto"
+    name = value.strip().lower()
+    if name not in ENGINE_NAMES:
+        raise ValueError(
+            f"unknown engine {value!r}; expected one of {ENGINE_NAMES}")
+    return name
+
+
+def select_backend(engine: Optional[str] = None) -> str:
+    """Resolve the backend one run will use: the explicit argument, then
+    ``REPRO_ENGINE``, then ``auto`` resolution.
+
+    Returns one of ``reference`` / ``fused`` / ``vectorized``.  ``auto``
+    picks ``vectorized`` when numpy is importable and ``fused`` otherwise;
+    an *explicit* ``vectorized`` without numpy raises
+    :class:`EngineUnavailableError` instead of silently degrading.
+    """
+    name = parse_engine(engine if engine is not None
+                        else os.environ.get(ENGINE_ENV))
+    if name == "auto":
+        return "vectorized" if numpy_available() else "fused"
+    if name == "vectorized" and not numpy_available():
+        raise EngineUnavailableError(
+            "REPRO_ENGINE=vectorized requires numpy, which is not "
+            "importable in this environment; install numpy or use "
+            "REPRO_ENGINE=auto (degrades to the fused backend)")
+    return name

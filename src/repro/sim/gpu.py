@@ -30,6 +30,7 @@ from repro.config import GPUConfig
 from repro.core.liveness import LivenessAnalysis, LivenessTable
 from repro.isa.kernel import Kernel
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.backend import select_backend
 from repro.sim.sm import StreamingMultiprocessor
 from repro.sim.stats import SimResult
 from repro.sim.warp import FOREVER
@@ -57,6 +58,9 @@ class GPU:
         self.warp_tracer = None  # set by attach_tracer(level="warp")
         self.sanitizer = None  # set by validate.sanitizer.attach_sanitizer
         self.telemetry = None  # set by telemetry.session.attach_telemetry
+        # Backend that actually drove the last run() ("dense", "reference",
+        # "fused" or "vectorized"); None before the first run.
+        self.engine_used = None
         if hasattr(address_model, "warm_l2"):
             address_model.warm_l2(self.hierarchy.l2)
         self._grid = deque(range(kernel.geometry.grid_ctas))
@@ -81,8 +85,18 @@ class GPU:
         return len(self._grid)
 
     # ------------------------------------------------------------------
-    def run(self, max_cycles: int = 10_000_000) -> SimResult:
-        """Simulate until the grid drains; returns the aggregate result."""
+    def run(self, max_cycles: int = 10_000_000,
+            engine: Optional[str] = None) -> SimResult:
+        """Simulate until the grid drains; returns the aggregate result.
+
+        ``engine`` picks the backend explicitly (``auto`` / ``reference``
+        / ``fused`` / ``vectorized``); ``None`` defers to ``REPRO_ENGINE``
+        and then ``auto`` resolution (see :mod:`repro.sim.backend`).  The
+        dense oracle override ``REPRO_DENSE_STEP=1`` beats everything.
+        Every backend is observably identical; ``engine_used`` records
+        which driver actually ran (``vectorized`` falls back to the event
+        engine when the run is not decoupling-eligible).
+        """
         # The hot loop allocates heavily (heap entries, scoreboard cycle
         # ints) but retains almost none of it, so generational GC passes
         # during the run are pure overhead; pause collection for the span.
@@ -91,7 +105,14 @@ class GPU:
             gc.disable()
         try:
             if os.environ.get("REPRO_DENSE_STEP") == "1":
+                self.engine_used = "dense"
                 return self._run_dense(max_cycles)
+            backend = select_backend(engine)
+            if backend == "vectorized":
+                from repro.sim.vectorized import run_vectorized
+                return run_vectorized(self, max_cycles)
+            if backend == "reference":
+                return self._run_event(max_cycles, force_reference=True)
             return self._run_event(max_cycles)
         finally:
             if was_enabled:
@@ -140,7 +161,8 @@ class GPU:
             now += dt
         return self._finish_run(now, timed_out)
 
-    def _run_event(self, max_cycles: int) -> SimResult:
+    def _run_event(self, max_cycles: int,
+                   force_reference: bool = False) -> SimResult:
         """Event-driven engine: skip SMs until their wake-up cycle.
 
         An SM is skipped at an executed cycle only while stepping it would
@@ -169,7 +191,7 @@ class GPU:
         nextevs = []
         all_fast = True
         for sm in sms:
-            if sm.fast_step_eligible():
+            if not force_reference and sm.fast_step_eligible():
                 sm._bind_fast_path()
                 steppers.append((sm, sm._step_fast))
                 nextevs.append(sm.next_event_fast)
@@ -177,6 +199,7 @@ class GPU:
                 all_fast = False
                 steppers.append((sm, sm.step))
                 nextevs.append(sm.next_event)
+        self.engine_used = "fused" if all_fast else "reference"
         if sanitizer is None and telemetry is None and all_fast:
             # Dedicated copy of the cycle loop for the uninstrumented
             # common case: the per-cycle sanitizer/telemetry None checks
@@ -456,11 +479,11 @@ def run_kernel(config: GPUConfig, kernel: Kernel,
                liveness: Optional[LivenessTable] = None,
                sample_usage: bool = False,
                max_cycles: int = 10_000_000,
-               post_setup: Optional[Callable[[GPU], None]] = None
-               ) -> SimResult:
+               post_setup: Optional[Callable[[GPU], None]] = None,
+               engine: Optional[str] = None) -> SimResult:
     """Convenience wrapper: build a GPU, optionally tweak it, and run."""
     gpu = GPU(config, kernel, policy_factory, trace_provider, address_model,
               liveness=liveness, sample_usage=sample_usage)
     if post_setup is not None:
         post_setup(gpu)
-    return gpu.run(max_cycles=max_cycles)
+    return gpu.run(max_cycles=max_cycles, engine=engine)

@@ -421,6 +421,12 @@ class StreamingMultiprocessor:
         0 = fixed-latency register write for ALU/SFU/LDS with the total
         latency precomputed in ``meta[9]``, 1 = LDG, 2 = STG, 3 = BAR,
         4 = EXIT, 5 = no-op) so the common case is a single branch.
+
+        The vectorized backend's per-SM runner
+        (``repro.sim.vectorized._sm_runner``) carries a line-for-line copy
+        of this issue loop (plus merge-protocol yields before shared
+        operations); any change here must be mirrored there — the
+        three-way engine differential suite catches divergence.
         """
         if self.transit_ctas:
             self._settle_transits(now)

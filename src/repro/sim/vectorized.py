@@ -1,0 +1,571 @@
+"""Vectorized backend: decoupled per-SM runners over a shared-op merge.
+
+The event engine (``GPU._run_event``) still orchestrates every SM from one
+global cycle loop: per executed cycle it dispatches steps, maintains wake
+caches, folds idle/level accounting, and recomputes the next event.  For a
+*decoupled* run none of that global work is needed: each SM's issue timing
+is a function of its own warps plus a small set of shared interactions.
+This backend runs each SM to completion as an independent generator (a
+"runner") and only synchronizes where the simulation is genuinely coupled:
+
+* **Shared memory hierarchy** -- L2/DRAM state (and the write-through L1
+  path) is mutated by every access, so accesses must happen in the dense
+  engine's global order: by (cycle, sm_id, program order).
+* **Grid pulls** -- ``GPU.next_cta`` pops a shared deque; launches must
+  observe the same global order.
+* **Run end** -- final cycle count, timeout flag and deadlock detection
+  are global reductions over the per-runner summaries.
+
+Each runner ``yield``s its current cycle immediately before any shared
+operation; a k-way merge serves the minimum ``(cycle, sm_id)`` runner,
+which then performs the operation synchronously and runs privately until
+its next yield.  Runner cycles are nondecreasing, so the merge reproduces
+the exact dense interleaving (all of SM *i*'s cycle-*c* operations before
+SM *j*'s for ``i < j``).  One yield before ``_finish_warp`` covers the
+whole EXIT -> retire -> ``on_cta_finished`` -> ``fill`` chain, because one
+SM's same-cycle shared operations are consecutive in dense order anyway;
+the chain runs through the *real* SM/policy methods, so instance-level
+wrappers (mutation tests) stay honored and grid races revalidate naturally
+(``launch_new_cta`` returns None when another runner drained the deque).
+
+Eligibility is conservative and run-level: no tracer/sanitizer/telemetry
+surface anywhere, every SM passes ``fast_step_eligible``, and every policy
+is *inert* -- byte-for-byte the base :class:`RegisterFilePolicy` behaviour
+(see ``policy_inert``).  Inert policies never create pending/transit CTAs,
+never act on idle/tick, and classify every idle span as "other", which is
+what makes the per-SM accounting closed-form:
+
+* **Executed-cycle set**: a runner visits exactly the cycles the dense
+  engine would step its SM with a chance to act; the global clock rule
+  (+1 on any issue, else jump to the min next event) never skips a cycle
+  in which any SM can act, so per-SM issue cycles are independent of the
+  global visit set.
+* **Cycles/timeout**: with ``L`` the global last issue and runners never
+  executing a cycle ``>= max_cycles``: all drained -> ``L + 1``, no
+  timeout; ``L + 1 >= max_cycles`` -> ``L + 1``, timeout; otherwise the
+  min busy-runner wake ``W`` (each ``>= max_cycles`` by construction,
+  with runners that stopped on a ``wake <= now`` cycle contributing
+  ``max_cycles`` -- the dense clamp marches the clock there one cycle at
+  a time), or a deadlock at ``L + 1`` when ``W`` is FOREVER.
+* **Idle cycles**: busy spans minus issue cycles -- ``now_final -
+  n_issue`` for a busy-at-end runner, ``last_issue - (n_issue - 1)`` for
+  a drained one (its busy span is ``[0, last_issue)`` plus the drain
+  cycle itself, which the dense engine sees already-retired).
+* **Level integrals**: piecewise-constant; the runner flushes the open
+  segment at the end of every visited cycle whose mutations set
+  ``_lvl_dirty`` (matching the dense buffered-flush boundaries, operand
+  for operand, so the float sums are bit-identical), and the final
+  segment is closed at reconciliation.
+
+numpy's role is deliberately narrow: per-trace-position metadata tables
+(``WarpSim.wmeta``) are gathered once per *unique* trace with an object
+``take`` over the static ``_meta`` table, turning the hot loop's
+``meta[trace[pos]]`` double index into a single ``wmeta[pos]``.  A full
+per-cycle SoA step (ready masks over warp x reg arrays) was prototyped
+and measured slower at this machine's scheduler widths (<= 64 warps/SM):
+numpy's per-op dispatch overhead exceeds the scalar loop it replaces.
+docs/PERFORMANCE.md records the measurements and the resulting scalar
+fallback boundaries.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import heapify, heappop, heappush
+
+from repro.policies.base import RegisterFilePolicy
+from repro.sim.warp import FOREVER, WarpState
+from repro.workloads.traces import AddressModel
+
+_RUNNABLE = WarpState.RUNNABLE
+_FINISHED = WarpState.FINISHED
+_SHARED_BASE = AddressModel.SHARED_BASE
+
+#: Policy surface that must be byte-for-byte the base implementation for a
+#: run to decouple.  State-changing hooks (fill / on_cta_*) because a real
+#: implementation could park or activate CTAs (transit machinery the
+#: runners do not model); bookkeeping hooks (classify_idle / next_event /
+#: wake_time / on_tick / on_idle) because the closed-form accounting
+#: replaces their call sites outright.
+_INERT_POLICY_ATTRS = (
+    "fill", "can_launch", "register_space_for_launch", "note_launched",
+    "on_cta_stalled", "on_cta_finished", "on_tick", "on_idle",
+    "_act_on_idle", "classify_idle", "next_event", "wake_time",
+    "on_issue", "extras",
+)
+
+#: SM methods the runners bypass (vs. call dynamically): an instance-level
+#: wrapper on any of these would be silently skipped, so its presence
+#: routes the run back to the fused engine.
+_BYPASSED_SM_ATTRS = ("accumulate", "next_event", "next_event_fast",
+                      "_step_fast")
+
+
+def policy_inert(policy) -> bool:
+    """True when ``policy`` is observably the base no-op policy."""
+    cls = type(policy)
+    for name in _INERT_POLICY_ATTRS:
+        if getattr(cls, name) is not getattr(RegisterFilePolicy, name):
+            return False
+    instance_dict = getattr(policy, "__dict__", None)
+    if instance_dict:
+        for name in _INERT_POLICY_ATTRS:
+            if name in instance_dict:
+                return False
+    return not policy.needs_issue_hook and not policy._blocked_on_rf
+
+
+def run_eligible(gpu) -> bool:
+    """True when the whole run can use the decoupled runners.
+
+    Stricter than per-SM ``fast_step_eligible``: the CTA-level tracer
+    records launch/retire events in global order (which the runners would
+    scramble), and any non-inert policy could create pending/transit CTAs
+    or observable idle/tick behaviour the closed-form accounting omits.
+    """
+    if (gpu.sanitizer is not None or gpu.telemetry is not None
+            or gpu.tracer is not None or gpu.warp_tracer is not None):
+        return False
+    for sm in gpu.sms:
+        if not sm.fast_step_eligible():
+            return False
+        instance_dict = sm.__dict__
+        for name in _BYPASSED_SM_ATTRS:
+            if name in instance_dict:
+                return False
+        if not policy_inert(sm._policy):
+            return False
+    return True
+
+
+class TraceTables:
+    """Per-trace-position metadata, gathered once per unique trace.
+
+    ``warp.wmeta[pos]`` replaces ``meta[warp.trace[pos]]`` in the issue
+    loop.  Entries are memoized by trace identity -- safe because each
+    entry keeps a strong reference to its trace (provider cache evictions
+    cannot recycle the id) and traces are immutable after generation.
+    """
+
+    def __init__(self, meta) -> None:
+        import numpy
+        table = numpy.empty(len(meta), dtype=object)
+        for index, entry in enumerate(meta):
+            table[index] = entry
+        self._table = table
+        self._memo = {}
+
+    def install(self, cta) -> None:
+        memo = self._memo
+        for warp in cta.warps:
+            trace = warp.trace
+            entry = memo.get(id(trace))
+            if entry is None:
+                entry = (self._table.take(trace).tolist(), trace)
+                memo[id(trace)] = entry
+            warp.wmeta = entry[0]
+
+
+def _sm_runner(gpu, sm, tables, max_cycles,
+               _RUNNABLE=_RUNNABLE, _FINISHED=_FINISHED,
+               heappush=heappush, heappop=heappop, insort=insort,
+               FOREVER=FOREVER, _SHARED_BASE=_SHARED_BASE):
+    """One SM simulated to completion; yields before every shared op.
+
+    The issue body is a line-for-line copy of ``_step_fast``'s two
+    try-issue copies (greedy retry + oldest-first scan) with three edits:
+    ``warp.wmeta[pos]`` replaces the double index, ``yield now`` precedes
+    every hierarchy access and every ``_finish_warp`` (grid pulls), and
+    the per-cycle clock/accounting moves into the runner (end-of-cycle
+    level flush, +1 after issue, private jump to the min scheduler sleep
+    otherwise).
+
+    Returns ``(busy, wake, last_issue, n_issue, seg_start, seg_active,
+    seg_warps)``: whether CTAs remain at stop, the earliest cycle the SM
+    could act again (only consulted when the run times out before
+    ``last_issue + 1``), the issue counters for the closed-form idle
+    accounting, and the open level segment for reconciliation to close.
+    """
+    (__, thresh, hier, sm_id,
+     reuse_spatial, reuse_lines, shared_lines,
+     schedulers) = sm._fast_consts
+    hier_stats = hier.stats
+    access = hier._access
+    stats = sm.stats
+    accumulate = stats.accumulate
+    active_ctas = sm.active_ctas
+    finish_warp = sm._finish_warp
+    on_long_block = sm._on_long_block
+    wake_schedulers = sm._wake_schedulers
+    install = tables.install
+
+    seg_start = 0
+    seg_active = 0
+    seg_warps = 0
+    last_issue = -1
+    n_issue = 0
+
+    if not active_ctas:
+        return (False, FOREVER, -1, 0, 0, 0, 0)
+    if max_cycles <= 0:
+        return (True, FOREVER, -1, 0, 0, 0, 0)
+
+    now = 0
+    while True:
+        issued = 0
+        for sched in schedulers:
+            if now < sched._sleep_until:
+                continue
+            current = sched._current
+            if current is not None:
+                if current.state is _FINISHED:
+                    sched._current = None
+                    current = None
+                elif (current.blocked_until <= now
+                        and current.state is _RUNNABLE):
+                    # ---- greedy retry of the current warp ----
+                    warp = current
+                    pos = warp.pos
+                    meta = warp.wmeta[pos]
+                    srcs = meta[0]
+                    rdy = 0
+                    if srcs and warp.peak_ready > now:
+                        if warp.chk_pos == pos:
+                            rdy = warp.chk_ready
+                        else:
+                            ra = warp.ready_at
+                            nsrc = meta[6]
+                            if nsrc == 1:
+                                rdy = ra[srcs[0]]
+                            elif nsrc == 2:
+                                rdy = ra[srcs[0]]
+                                t = ra[srcs[1]]
+                                if t > rdy:
+                                    rdy = t
+                            else:
+                                for reg in srcs:
+                                    t = ra[reg]
+                                    if t > rdy:
+                                        rdy = t
+                    if rdy <= now:
+                        cta = warp.cta
+                        if cta.first_issue_cycle is None:
+                            cta.first_issue_cycle = now
+                        warp.pos = pos + 1
+                        fk = meta[8]
+                        if fk == 0:       # ALU / SFU / LDS
+                            t = now + meta[9]
+                            warp.ready_at[meta[1]] = t
+                            if t > warp.peak_ready:
+                                warp.peak_ready = t
+                        elif fk <= 2:     # LDG / STG
+                            pat = meta[7]
+                            if pat == 0:      # STREAM
+                                c = warp.stream_counter + 1
+                                warp.stream_counter = c
+                                address = warp.stream_base + c * 128
+                            elif pat == 1:    # REUSE
+                                c = warp.reuse_counter
+                                warp.reuse_counter = c + 1
+                                address = warp.reuse_base + (
+                                    (c // reuse_spatial)
+                                    % reuse_lines) * 128
+                            else:             # SHARED_WS
+                                c = warp.shared_counter + 1
+                                warp.shared_counter = c
+                                address = _SHARED_BASE + (
+                                    (c * 7 + warp.global_warp_id * 13)
+                                    % shared_lines) * 128
+                            yield now
+                            if fk == 1:
+                                hier_stats.loads += 1
+                                done = access(sm_id, address, now, False)
+                                warp.ready_at[meta[1]] = done
+                                if done > warp.peak_ready:
+                                    warp.peak_ready = done
+                            else:
+                                hier_stats.stores += 1
+                                access(sm_id, address, now, True)
+                        elif fk == 3:     # BAR
+                            if cta.arrive_at_barrier(warp, now):
+                                wake_schedulers()
+                            elif warp.blocked_until == FOREVER:
+                                on_long_block(warp, now)
+                        elif fk == 4:     # EXIT
+                            yield now
+                            finish_warp(warp, now)
+                            for launched in active_ctas:
+                                if launched.warps[0].wmeta is None:
+                                    install(launched)
+                        # fk == 5: BRA / STS — no timing effect
+                        issued += 1
+                        continue
+                    warp.blocked_until = rdy
+                    warp.chk_pos = pos
+                    warp.chk_ready = rdy
+                    if rdy - now >= thresh:
+                        on_long_block(warp, now)
+                    # Blocked greedy warp: fall through to the ready scan.
+            # ---- oldest-first scan of the ready bucket ----
+            if sched._dirty:
+                sched._rebuild(now)
+                ready = sched._ready
+                blocked = sched._blocked
+            else:
+                ready = sched._ready
+                blocked = sched._blocked
+                if blocked and blocked[0][0] <= now:
+                    e = heappop(blocked)
+                    first = (e[1], e[2])
+                    if blocked and blocked[0][0] <= now:
+                        ready.append(first)
+                        while blocked and blocked[0][0] <= now:
+                            e = heappop(blocked)
+                            ready.append((e[1], e[2]))
+                        ready.sort()
+                    elif ready:
+                        insort(ready, first)
+                    else:
+                        ready.append(first)
+            i = 0
+            n = len(ready)
+            while i < n:
+                entry = ready[i]
+                warp = entry[1]
+                if warp is current:
+                    i += 1
+                    continue
+                b = warp.blocked_until
+                if b > now:
+                    heappush(blocked, (b, entry[0], warp))
+                    del ready[i]
+                    n -= 1
+                    continue
+                if warp.state is not _RUNNABLE:
+                    i += 1
+                    continue
+                pos = warp.pos
+                meta = warp.wmeta[pos]
+                srcs = meta[0]
+                rdy = 0
+                if srcs and warp.peak_ready > now:
+                    if warp.chk_pos == pos:
+                        rdy = warp.chk_ready
+                    else:
+                        ra = warp.ready_at
+                        nsrc = meta[6]
+                        if nsrc == 1:
+                            rdy = ra[srcs[0]]
+                        elif nsrc == 2:
+                            rdy = ra[srcs[0]]
+                            t = ra[srcs[1]]
+                            if t > rdy:
+                                rdy = t
+                        else:
+                            for reg in srcs:
+                                t = ra[reg]
+                                if t > rdy:
+                                    rdy = t
+                if rdy > now:
+                    warp.blocked_until = rdy
+                    warp.chk_pos = pos
+                    warp.chk_ready = rdy
+                    if rdy - now >= thresh:
+                        on_long_block(warp, now)
+                    heappush(blocked, (rdy, entry[0], warp))
+                    del ready[i]
+                    n -= 1
+                    continue
+                cta = warp.cta
+                if cta.first_issue_cycle is None:
+                    cta.first_issue_cycle = now
+                warp.pos = pos + 1
+                fk = meta[8]
+                if fk == 0:       # ALU / SFU / LDS
+                    t = now + meta[9]
+                    warp.ready_at[meta[1]] = t
+                    if t > warp.peak_ready:
+                        warp.peak_ready = t
+                elif fk <= 2:     # LDG / STG
+                    pat = meta[7]
+                    if pat == 0:      # STREAM
+                        c = warp.stream_counter + 1
+                        warp.stream_counter = c
+                        address = warp.stream_base + c * 128
+                    elif pat == 1:    # REUSE
+                        c = warp.reuse_counter
+                        warp.reuse_counter = c + 1
+                        address = warp.reuse_base + (
+                            (c // reuse_spatial)
+                            % reuse_lines) * 128
+                    else:             # SHARED_WS
+                        c = warp.shared_counter + 1
+                        warp.shared_counter = c
+                        address = _SHARED_BASE + (
+                            (c * 7 + warp.global_warp_id * 13)
+                            % shared_lines) * 128
+                    yield now
+                    if fk == 1:
+                        hier_stats.loads += 1
+                        done = access(sm_id, address, now, False)
+                        warp.ready_at[meta[1]] = done
+                        if done > warp.peak_ready:
+                            warp.peak_ready = done
+                    else:
+                        hier_stats.stores += 1
+                        access(sm_id, address, now, True)
+                elif fk == 3:     # BAR
+                    if cta.arrive_at_barrier(warp, now):
+                        wake_schedulers()
+                    elif warp.blocked_until == FOREVER:
+                        on_long_block(warp, now)
+                elif fk == 4:     # EXIT
+                    yield now
+                    finish_warp(warp, now)
+                    for launched in active_ctas:
+                        if launched.warps[0].wmeta is None:
+                            install(launched)
+                # fk == 5: BRA / STS — no timing effect
+                sched._current = warp
+                issued += 1
+                break
+            else:
+                # No warp could issue: the telemetry-free _note_sleep fold.
+                earliest = blocked[0][0] if blocked else FOREVER
+                stay = False
+                for e in ready:
+                    b = e[1].blocked_until
+                    if b <= now:
+                        stay = True
+                        break
+                    if b < earliest:
+                        earliest = b
+                if not stay:
+                    sched._sleep_until = earliest
+
+        # ---- end of cycle: level-segment flush at dense boundaries ----
+        if sm._lvl_dirty:
+            dt = now - seg_start
+            if dt:
+                accumulate(dt, seg_active, 0, seg_warps)
+            seg_active = len(active_ctas)
+            seg_warps = sm._active_warps
+            seg_start = now
+            if seg_active > stats.max_resident_ctas:
+                stats.max_resident_ctas = seg_active
+            sm._lvl_dirty = False
+
+        if issued:
+            n_issue += 1
+            last_issue = now
+            now += 1
+            if now >= max_cycles:
+                return (bool(active_ctas), FOREVER, last_issue, n_issue,
+                        seg_start, seg_active, seg_warps)
+            continue
+        wake = FOREVER
+        for sched in schedulers:
+            s = sched._sleep_until
+            if s < wake:
+                wake = s
+        if wake <= now:
+            # A scheduler stayed awake (stale zero sleep after a wake or a
+            # ready warp that refused): the dense next-event clamp forces
+            # the global clock through every such cycle, so march +1.
+            now += 1
+            if now >= max_cycles:
+                # Could have acted at max_cycles; the dense clamp lands the
+                # final clock exactly there, never beyond.
+                return (bool(active_ctas), max_cycles, last_issue, n_issue,
+                        seg_start, seg_active, seg_warps)
+            continue
+        if not active_ctas:
+            return (False, FOREVER, last_issue, n_issue,
+                    seg_start, seg_active, seg_warps)
+        if wake >= max_cycles:
+            return (True, wake, last_issue, n_issue,
+                    seg_start, seg_active, seg_warps)
+        now = wake
+
+
+def run_vectorized(gpu, max_cycles):
+    """Drive one run on the decoupled runners (fused fallback if not
+    eligible); bit-identical to the dense oracle by construction."""
+    if not run_eligible(gpu):
+        return gpu._run_event(max_cycles)
+    gpu.engine_used = "vectorized"
+    sms = gpu.sms
+    for sm in sms:
+        sm._bind_fast_path()
+    tables = TraceTables(sms[0]._meta)
+
+    # Initial fill in SM order (exactly the dense prologue), then install
+    # the gathered trace tables on the freshly launched warps.
+    for sm in sms:
+        sm.policy.fill(0)
+    for sm in sms:
+        for cta in sm.active_ctas:
+            tables.install(cta)
+
+    results = [None] * len(sms)
+    heap = []
+    for sm in sms:
+        runner = _sm_runner(gpu, sm, tables, max_cycles)
+        try:
+            cycle = next(runner)
+        except StopIteration as stop:
+            results[sm.sm_id] = stop.value
+        else:
+            heap.append((cycle, sm.sm_id, runner))
+    heapify(heap)
+
+    # K-way merge on (cycle, sm_id).  Runner cycles are nondecreasing and
+    # each runner has exactly one outstanding yield, so serving the heap
+    # minimum reproduces the dense global order of shared operations.  The
+    # inner loop keeps serving the same runner while it remains the
+    # minimum (bursts of same-cycle accesses skip the heap round trip).
+    while heap:
+        cycle, sm_id, runner = heappop(heap)
+        while True:
+            try:
+                cycle = next(runner)
+            except StopIteration as stop:
+                results[sm_id] = stop.value
+                break
+            if heap:
+                head = heap[0]
+                if head[0] < cycle or (head[0] == cycle
+                                       and head[1] < sm_id):
+                    heappush(heap, (cycle, sm_id, runner))
+                    break
+
+    # ---- reconciliation: global clock, timeout, deadlock, idle/levels ----
+    last = -1
+    for summary in results:
+        if summary[2] > last:
+            last = summary[2]
+    busy = [summary for summary in results if summary[0]]
+    if not busy:
+        now_final = last + 1
+        timed_out = False
+    elif last + 1 >= max_cycles:
+        now_final = last + 1
+        timed_out = True
+    else:
+        wake = min(summary[1] for summary in busy)
+        if wake >= FOREVER:
+            gpu._raise_deadlock(last + 1)
+        now_final = wake
+        timed_out = True
+
+    for sm, summary in zip(sms, results):
+        (was_busy, __, last_i, n_issue,
+         seg_start, seg_active, seg_warps) = summary
+        dt = now_final - seg_start
+        if dt and (seg_active or seg_warps):
+            sm.stats.accumulate(dt, seg_active, 0, seg_warps)
+        if was_busy:
+            sm.stats.idle_cycles += now_final - n_issue
+        elif last_i >= 0:
+            sm.stats.idle_cycles += last_i - (n_issue - 1)
+    return gpu._finish_run(now_final, timed_out)

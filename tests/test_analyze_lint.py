@@ -80,6 +80,81 @@ class TestUnseededRandom:
         assert findings == []
 
 
+class TestNumpyRandom:
+    def test_global_draw_through_numpy_alias(self):
+        findings = lint("""
+            import numpy as np
+            x = np.random.rand(4)
+        """)
+        assert tags(findings) == ["unseeded-random"]
+
+    def test_global_draw_through_numpy_random_alias(self):
+        findings = lint("""
+            import numpy.random as npr
+            x = npr.randint(0, 7)
+        """)
+        assert tags(findings) == ["unseeded-random"]
+
+    def test_from_numpy_import_random(self):
+        findings = lint("""
+            from numpy import random
+            random.seed(0)
+        """)
+        # Even seeding the legacy global RNG is process-global state.
+        assert tags(findings) == ["unseeded-random"]
+
+    def test_from_import_of_global_draw(self):
+        findings = lint("from numpy.random import rand\n")
+        assert tags(findings) == ["unseeded-random"]
+
+    def test_seeded_generator_is_sanctioned(self):
+        findings = lint("""
+            import numpy as np
+            rng = np.random.default_rng(42)
+            x = rng.integers(0, 7)
+        """)
+        assert findings == []
+
+    def test_explicit_bit_generator_is_sanctioned(self):
+        findings = lint("""
+            import numpy as np
+            rng = np.random.Generator(np.random.PCG64(7))
+        """)
+        assert findings == []
+
+    def test_zero_arg_default_rng_is_flagged(self):
+        findings = lint("""
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+        assert tags(findings) == ["unseeded-random"]
+
+    def test_zero_arg_imported_constructor_is_flagged(self):
+        findings = lint("""
+            from numpy.random import default_rng as rng_maker
+            rng = rng_maker()
+        """)
+        assert tags(findings) == ["unseeded-random"]
+
+    def test_seeded_imported_constructor_is_sanctioned(self):
+        findings = lint("""
+            from numpy.random import default_rng
+            rng = default_rng(1234)
+        """)
+        assert findings == []
+
+    def test_stateless_ufuncs_produce_no_findings(self):
+        # The vectorized engine backend's numpy usage: pure array ops.
+        findings = lint("""
+            import numpy as np
+
+            def gather(table, trace):
+                arr = np.asarray(table, dtype=object)
+                return arr.take(trace).tolist()
+        """)
+        assert findings == []
+
+
 class TestWallClock:
     def test_time_time(self):
         findings = lint("""

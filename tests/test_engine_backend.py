@@ -1,0 +1,186 @@
+"""Engine backend selection, fallback routing and graceful degradation.
+
+The ``EngineBackend`` seam (``repro.sim.backend``) decides which
+observably-identical driver executes a run; these tests pin the selection
+contract itself:
+
+* ``REPRO_ENGINE`` / ``engine=`` parsing, precedence and loud failure on
+  typos (a silently-wrong backend would invalidate a benchmark),
+* ``auto`` resolution and graceful degradation when numpy is missing
+  (auto -> fused; an *explicit* vectorized raises
+  ``EngineUnavailableError``),
+* run-level vectorized eligibility: instrumented runs (sanitizer,
+  telemetry, tracers), non-GTO scheduling and non-inert policies must all
+  degrade to the fused/reference event engine rather than take the
+  decoupled runners — ``gpu.engine_used`` records what actually executed.
+
+Bit-identity of the backends themselves is pinned separately by
+tests/test_engine_differential.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SCALES, GPUConfig
+from repro.experiments.runner import POLICIES
+from repro.sim import backend
+from repro.sim.backend import (EngineUnavailableError, parse_engine,
+                               select_backend)
+from repro.sim.gpu import GPU
+from repro.sim.vectorized import policy_inert, run_eligible
+from repro.workloads.generator import build_workload
+from repro.workloads.suite import get_spec
+
+TINY = SCALES["tiny"]
+MICRO_CONFIG = GPUConfig(num_sms=2)
+
+
+def build_gpu(policy: str = "baseline", config: GPUConfig = MICRO_CONFIG,
+              **policy_kwargs) -> GPU:
+    instance = build_workload(get_spec("KM"), config, TINY)
+    return GPU(config, instance.kernel, POLICIES[policy](**policy_kwargs),
+               instance.trace_provider, instance.address_model,
+               liveness=instance.liveness)
+
+
+# ----------------------------------------------------------------------
+# parse_engine / select_backend
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("raw, expected", [
+    (None, "auto"),
+    ("", "auto"),
+    ("auto", "auto"),
+    ("fused", "fused"),
+    ("  Vectorized \n", "vectorized"),
+    ("REFERENCE", "reference"),
+])
+def test_parse_engine_normalizes(raw, expected):
+    assert parse_engine(raw) == expected
+
+
+@pytest.mark.parametrize("raw", ["fast", "dense", "vector", "fused,"])
+def test_parse_engine_rejects_unknown_names(raw):
+    with pytest.raises(ValueError, match="unknown engine"):
+        parse_engine(raw)
+
+
+def test_select_backend_explicit_argument_beats_env(monkeypatch):
+    monkeypatch.setenv(backend.ENGINE_ENV, "reference")
+    assert select_backend("fused") == "fused"
+    assert select_backend() == "reference"
+
+
+def test_select_backend_env_typo_fails_loudly(monkeypatch):
+    monkeypatch.setenv(backend.ENGINE_ENV, "vectorised")
+    with pytest.raises(ValueError, match="unknown engine"):
+        select_backend()
+
+
+def test_select_backend_auto_prefers_vectorized_with_numpy(monkeypatch):
+    monkeypatch.setattr(backend, "_NUMPY_AVAILABLE", True)
+    monkeypatch.delenv(backend.ENGINE_ENV, raising=False)
+    assert select_backend() == "vectorized"
+    assert select_backend("auto") == "vectorized"
+
+
+def test_select_backend_degrades_to_fused_without_numpy(monkeypatch):
+    monkeypatch.setattr(backend, "_NUMPY_AVAILABLE", False)
+    monkeypatch.delenv(backend.ENGINE_ENV, raising=False)
+    assert select_backend() == "fused"
+
+
+def test_explicit_vectorized_without_numpy_raises(monkeypatch):
+    monkeypatch.setattr(backend, "_NUMPY_AVAILABLE", False)
+    with pytest.raises(EngineUnavailableError, match="numpy"):
+        select_backend("vectorized")
+    monkeypatch.setenv(backend.ENGINE_ENV, "vectorized")
+    with pytest.raises(EngineUnavailableError, match="numpy"):
+        select_backend()
+
+
+def test_run_consults_engine_env(monkeypatch):
+    """``REPRO_ENGINE`` must reach a real ``GPU.run`` call end to end."""
+    monkeypatch.setenv(backend.ENGINE_ENV, "reference")
+    gpu = build_gpu()
+    gpu.run(max_cycles=TINY.max_cycles)
+    assert gpu.engine_used == "reference"
+    assert all(sm._fast_consts is None for sm in gpu.sms), (
+        "the reference backend must not bind the fused fast path")
+
+
+# ----------------------------------------------------------------------
+# Run-level vectorized eligibility / fallback routing
+# ----------------------------------------------------------------------
+def test_vectorized_falls_back_to_fused_with_sanitizer():
+    from repro.validate.sanitizer import attach_sanitizer
+    gpu = build_gpu()
+    attach_sanitizer(gpu)
+    assert not run_eligible(gpu)
+    gpu.run(max_cycles=TINY.max_cycles, engine="vectorized")
+    # Sanitizer wrappers also fail per-SM fast_step_eligible, so the
+    # event engine runs the reference step.
+    assert gpu.engine_used == "reference"
+
+
+def test_vectorized_falls_back_with_cta_tracer():
+    from repro.sim.tracing import attach_tracer
+    gpu = build_gpu()
+    attach_tracer(gpu, level="cta")
+    assert not run_eligible(gpu)
+    gpu.run(max_cycles=TINY.max_cycles, engine="vectorized")
+    # A CTA-level tracer only observes launch/retire, so the fused step
+    # stays eligible -- but the decoupled runners would scramble the
+    # global order of its records, hence the run-level fallback.
+    assert gpu.engine_used == "fused"
+
+
+def test_vectorized_falls_back_with_telemetry():
+    from repro.telemetry.session import attach_telemetry
+    gpu = build_gpu()
+    attach_telemetry(gpu)
+    assert not run_eligible(gpu)
+    gpu.run(max_cycles=TINY.max_cycles, engine="vectorized")
+    assert gpu.engine_used == "reference"
+
+
+def test_vectorized_falls_back_on_lrr_scheduling():
+    gpu = build_gpu(config=GPUConfig(num_sms=2, warp_scheduling="lrr"))
+    assert not run_eligible(gpu)
+    gpu.run(max_cycles=TINY.max_cycles, engine="vectorized")
+    # LRR schedulers fail fast_step_eligible (the fused step hard-codes
+    # GTO's greedy-then-oldest scan), so the reference step runs.
+    assert gpu.engine_used == "reference"
+
+
+@pytest.mark.parametrize("policy", sorted(p for p in POLICIES
+                                          if p != "baseline"))
+def test_vectorized_falls_back_on_non_inert_policies(policy):
+    """Every non-baseline policy overrides launch/finish/idle hooks the
+    closed-form idle accounting bypasses, so none may take the runners."""
+    gpu = build_gpu(policy)
+    assert not policy_inert(gpu.sms[0]._policy)
+    assert not run_eligible(gpu)
+    gpu.run(max_cycles=TINY.max_cycles, engine="vectorized")
+    # Hook-free policies still take the fused step; policies needing an
+    # issue hook (vt_regmutex) drop all the way to the reference step.
+    assert gpu.engine_used in ("fused", "reference")
+
+
+def test_instance_policy_override_defeats_inertness():
+    gpu = build_gpu()
+    policy = gpu.sms[0]._policy
+    assert policy_inert(policy)
+    policy.on_tick = lambda now: None
+    assert not policy_inert(policy)
+    assert not run_eligible(gpu)
+
+
+def test_instance_sm_override_defeats_run_eligibility():
+    """Mutation-style instance wrappers on bypassed SM methods (the dense
+    oracle would honor them; the runners would not) must disqualify."""
+    gpu = build_gpu()
+    assert run_eligible(gpu)
+    sm = gpu.sms[0]
+    sm.accumulate = lambda *a, **k: None
+    assert not run_eligible(gpu)

@@ -1,14 +1,21 @@
-"""Dense-vs-event engine differential tests.
+"""Three-way engine differential tests (dense × fused × vectorized).
 
-The event-driven engine (``GPU._run_event``) is a pure performance
-transformation: for every workload, policy and seed it must produce a
-``SimResult`` that is *byte-identical* (as sorted JSON) to the dense
-per-cycle oracle retained behind ``REPRO_DENSE_STEP=1``.  These tests pin
-that contract over the full golden corpus and over hypothesis-chosen
-(app, seed) micro-workloads for every registered policy, so any divergence
-introduced in the fused fast step, the wakeup computation, or the
-closed-form idle-span accounting fails loudly with a payload diff instead
+Every engine backend is a pure performance transformation: for every
+workload, policy and seed it must produce a ``SimResult`` that is
+*byte-identical* (as sorted JSON) to the dense per-cycle oracle retained
+behind ``REPRO_DENSE_STEP=1``.  These tests pin that contract over the
+full golden corpus and over hypothesis-chosen (app, seed) micro-workloads
+for every registered policy, for both the fused event engine and the
+decoupled vectorized backend, so any divergence introduced in the fused
+fast step, the wakeup computation, the closed-form idle-span accounting,
+or the vectorized merge driver fails loudly with a payload diff instead
 of silently drifting the science.
+
+The golden replays run *bare* (no tracer/sanitizer) for the engine
+comparison so the vectorized backend actually engages on the baseline
+case -- ``run_case`` attaches a CTA tracer, which conservatively routes a
+run back to the fused engine (tests/test_engine_backend.py covers that
+fallback routing itself).
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import SCALES, GPUConfig
+from repro.config import SCALES, GPUConfig, default_config
 from repro.experiments.runner import POLICIES
 from repro.sim.gpu import GPU
 from repro.validate.golden import CORPUS, run_case
@@ -31,9 +38,13 @@ from repro.workloads.suite import get_spec
 
 TINY = SCALES["tiny"]
 #: Two SMs keep the micro-workloads fast while still exercising the
-#: cross-SM parts of the engine (shared L2/DRAM, global cycle advance).
+#: cross-SM parts of the engines (shared L2/DRAM, global cycle advance,
+#: the vectorized merge driver's cross-runner ordering).
 MICRO_CONFIG = GPUConfig(num_sms=2)
 APPS = ("KM", "HS", "LB")
+
+#: The two production backends differentially pinned to the dense oracle.
+ENGINES = ("fused", "vectorized")
 
 
 @contextmanager
@@ -50,21 +61,40 @@ def result_bytes(result) -> str:
     return json.dumps(result.to_json(), sort_keys=True)
 
 
-def simulate_micro(policy: str, app: str, seed: int):
-    """One tiny 2-SM simulation with the workload spec reseeded."""
+def build_micro_gpu(policy: str, app: str, seed: int) -> GPU:
     spec = replace(get_spec(app), seed=seed)
     instance = build_workload(spec, MICRO_CONFIG, TINY)
-    gpu = GPU(MICRO_CONFIG, instance.kernel, POLICIES[policy](),
-              instance.trace_provider, instance.address_model,
-              liveness=instance.liveness)
-    return gpu.run(max_cycles=TINY.max_cycles)
+    return GPU(MICRO_CONFIG, instance.kernel, POLICIES[policy](),
+               instance.trace_provider, instance.address_model,
+               liveness=instance.liveness)
+
+
+def simulate_micro(policy: str, app: str, seed: int, engine=None):
+    """One tiny 2-SM simulation with the workload spec reseeded."""
+    gpu = build_micro_gpu(policy, app, seed)
+    return gpu.run(max_cycles=TINY.max_cycles, engine=engine)
+
+
+def simulate_case_bare(case, engine=None):
+    """Replay a golden case without tracer/sanitizer instrumentation."""
+    scale = SCALES[case.scale]
+    base = default_config(scale)
+    config = replace(base, **dict(case.config_overrides))
+    instance = build_workload(
+        get_spec(case.abbrev), base.with_num_sms(config.num_sms), scale)
+    factory = POLICIES[case.policy](**dict(case.policy_kwargs))
+    gpu = GPU(config, instance.kernel, factory, instance.trace_provider,
+              instance.address_model, liveness=instance.liveness)
+    result = gpu.run(max_cycles=scale.max_cycles, engine=engine)
+    return result, gpu
 
 
 # ----------------------------------------------------------------------
 # Oracle plumbing
 # ----------------------------------------------------------------------
 def test_env_switch_selects_dense_engine():
-    """``REPRO_DENSE_STEP=1`` must actually reach ``_run_dense``."""
+    """``REPRO_DENSE_STEP=1`` must actually reach ``_run_dense``, beating
+    any ``REPRO_ENGINE``/auto backend selection."""
     instance = build_workload(get_spec("KM"), MICRO_CONFIG, TINY)
     gpu = GPU(MICRO_CONFIG, instance.kernel, POLICIES["baseline"](),
               instance.trace_provider, instance.address_model,
@@ -73,8 +103,8 @@ def test_env_switch_selects_dense_engine():
     gpu._run_dense = lambda max_cycles: sentinel
     with dense_engine():
         assert gpu.run(max_cycles=10) is sentinel
-    gpu._run_event = lambda max_cycles: sentinel
-    assert gpu.run(max_cycles=10) is sentinel
+    gpu._run_event = lambda max_cycles, force_reference=False: sentinel
+    assert gpu.run(max_cycles=10, engine="fused") is sentinel
 
 
 def test_uninstrumented_run_binds_the_fast_path():
@@ -83,16 +113,28 @@ def test_uninstrumented_run_binds_the_fast_path():
     gpu = GPU(MICRO_CONFIG, instance.kernel, POLICIES["baseline"](),
               instance.trace_provider, instance.address_model,
               liveness=instance.liveness)
-    gpu.run(max_cycles=TINY.max_cycles)
+    gpu.run(max_cycles=TINY.max_cycles, engine="fused")
     assert all(sm._fast_consts is not None for sm in gpu.sms), (
         "fast_step_eligible() stopped admitting a plain uninstrumented run")
 
 
+def test_uninstrumented_baseline_run_takes_the_vectorized_path():
+    """The decoupled runners must actually engage for a plain baseline run
+    (guards run_eligible drift, mirroring the fast-path binding test)."""
+    gpu = build_micro_gpu("baseline", "KM", 0)
+    gpu.run(max_cycles=TINY.max_cycles, engine="vectorized")
+    assert gpu.engine_used == "vectorized", (
+        "run_eligible() stopped admitting a plain uninstrumented baseline "
+        f"run (engine_used={gpu.engine_used!r})")
+
+
 # ----------------------------------------------------------------------
-# Golden corpus, both engines
+# Golden corpus, all engines
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("case", CORPUS, ids=lambda c: c.name)
 def test_golden_case_bit_identical_across_engines(case):
+    """Instrumented replay (tracer attached, as goldens are recorded):
+    the event engine vs. the dense oracle."""
     with dense_engine():
         dense, _, _ = run_case(case, sanitize=False)
     event, _, _ = run_case(case, sanitize=False)
@@ -100,8 +142,19 @@ def test_golden_case_bit_identical_across_engines(case):
         f"event engine diverged from the dense oracle on {case.name}")
 
 
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("case", CORPUS, ids=lambda c: c.name)
+def test_golden_case_bare_three_way_differential(case, engine):
+    """Uninstrumented replay: every backend byte-identical to the oracle."""
+    with dense_engine():
+        dense, _ = simulate_case_bare(case)
+    current, _ = simulate_case_bare(case, engine=engine)
+    assert result_bytes(dense) == result_bytes(current), (
+        f"{engine} engine diverged from the dense oracle on {case.name}")
+
+
 # ----------------------------------------------------------------------
-# Random micro-workloads, every policy
+# Random micro-workloads, every policy, every engine
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("policy", sorted(POLICIES))
 @settings(max_examples=3, deadline=None, derandomize=True, database=None)
@@ -112,7 +165,8 @@ def test_random_micro_workloads_bit_identical(policy, data):
     app = data.draw(st.sampled_from(APPS), label="app")
     with dense_engine():
         dense = simulate_micro(policy, app, seed)
-    event = simulate_micro(policy, app, seed)
-    assert result_bytes(dense) == result_bytes(event), (
-        f"event engine diverged from the dense oracle "
-        f"({policy}, {app}, seed={seed})")
+    for engine in ENGINES:
+        current = simulate_micro(policy, app, seed, engine=engine)
+        assert result_bytes(dense) == result_bytes(current), (
+            f"{engine} engine diverged from the dense oracle "
+            f"({policy}, {app}, seed={seed})")

@@ -10,16 +10,24 @@ including the speedup against the recorded pre-optimization reference.
 
 A full run also sweeps a per-app x per-policy benchmark ``matrix`` (KM,
 HS and LB under every registered policy at the chosen scale) so BENCH
-captures throughput beyond the single headline workload.  ``--quick``
-skips the cProfile pass and the matrix for CI smoke use, and ``--check
-<committed BENCH>`` exits non-zero when the headline ``sim_cycles_per_s``
-regresses more than ``--check-slack`` (default 20%) below the committed
-value.
+captures throughput beyond the single headline workload, plus a
+``backends`` section timing the default benchmark under every engine
+backend (reference / fused / vectorized, see ``repro.sim.backend``) so
+regressions are caught per backend rather than only on the default.
+
+``--backend`` pins the engine for the headline run and the matrix
+(``auto`` defers to ``REPRO_ENGINE`` / auto resolution).  ``--quick``
+skips the cProfile pass, the matrix and the backend sweep for CI smoke
+use, and ``--check <committed BENCH>`` exits non-zero when
+``sim_cycles_per_s`` regresses more than ``--check-slack`` (default 20%)
+below the committed value — compared like-for-like against the committed
+``backends`` entry for the selected backend when one is recorded.
 
 Usage::
 
     PYTHONPATH=src python tools/profile_sim.py [--app KM] [--policy baseline]
         [--scale small] [--repeats 3] [--out BENCH_sim.json] [--top 15]
+        [--backend auto|reference|fused|vectorized]
         [--quick] [--check BENCH_sim.json]
 """
 
@@ -37,6 +45,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.config import SCALES, default_config  # noqa: E402
 from repro.experiments.parallel import RunRequest, simulate_request  # noqa: E402
+from repro.sim.backend import ENGINE_NAMES, numpy_available, select_backend  # noqa: E402
 from repro.workloads.generator import build_workload  # noqa: E402
 from repro.workloads.suite import get_spec  # noqa: E402
 
@@ -54,10 +63,10 @@ MATRIX_APPS = ("KM", "HS", "LB")
 
 
 def profile_run(app: str, policy: str, scale_name: str, repeats: int,
-                top: int, profile: bool = True) -> dict:
+                top: int, profile: bool = True, engine=None) -> dict:
     scale = SCALES[scale_name]
     config = default_config(scale)
-    request = RunRequest.make(app, policy)
+    request = RunRequest.make(app, policy, engine=engine)
 
     t0 = time.perf_counter()
     instance = build_workload(get_spec(app), config, scale)
@@ -94,6 +103,10 @@ def profile_run(app: str, policy: str, scale_name: str, repeats: int,
         "app": app,
         "policy": policy,
         "scale": scale_name,
+        # Resolved engine for the headline run (run-level eligibility can
+        # still degrade vectorized -> fused for instrumented runs; the
+        # headline benchmark is uninstrumented, so this is what executed).
+        "backend": select_backend(engine),
         "stages": {
             "workload_build_s": round(build_s, 4),
             "simulate_walls_s": [round(w, 4) for w in walls],
@@ -112,7 +125,40 @@ def profile_run(app: str, policy: str, scale_name: str, repeats: int,
     return report
 
 
-def bench_matrix(scale_name: str, repeats: int) -> dict:
+def bench_backends(app: str, policy: str, scale_name: str,
+                   repeats: int) -> dict:
+    """Best-of wall clock of the headline benchmark under every backend.
+
+    Skips ``vectorized`` (with a recorded reason) when numpy is missing so
+    the sweep still completes in a degraded environment.
+    """
+    scale = SCALES[scale_name]
+    config = default_config(scale)
+    instance = build_workload(get_spec(app), config, scale)
+    backends: dict = {}
+    for name in ("reference", "fused", "vectorized"):
+        if name == "vectorized" and not numpy_available():
+            backends[name] = {"skipped": "numpy not importable"}
+            continue
+        request = RunRequest.make(app, policy, engine=name)
+        result = None
+        best = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            result = simulate_request(scale, config, request,
+                                      instance=instance)
+            wall = time.perf_counter() - t0
+            if best is None or wall < best:
+                best = wall
+        backends[name] = {
+            "cycles": result.cycles,
+            "best_s": round(best, 4),
+            "sim_cycles_per_s": round(result.cycles / best),
+        }
+    return backends
+
+
+def bench_matrix(scale_name: str, repeats: int, engine=None) -> dict:
     """Best-of wall clock for every (matrix app, policy) pair."""
     from repro.experiments.runner import POLICIES
 
@@ -123,7 +169,7 @@ def bench_matrix(scale_name: str, repeats: int) -> dict:
         instance = build_workload(get_spec(app), config, scale)
         row: dict = {}
         for policy in sorted(POLICIES):
-            request = RunRequest.make(app, policy)
+            request = RunRequest.make(app, policy, engine=engine)
             result = None
             best = None
             for _ in range(max(1, repeats)):
@@ -156,11 +202,20 @@ def check_regression(report: dict, committed_path: Path,
               f"{[committed.get(k) for k in key]}, current run is "
               f"{[report[k] for k in key]}; incomparable")
         return 1
-    baseline = committed["sim_cycles_per_s"]
+    # Like-for-like: when the committed BENCH records a per-backend entry
+    # for the backend this run used, compare against that; the flat
+    # headline belongs to whatever backend recorded the committed file.
+    backend = report.get("backend")
+    committed_entry = committed.get("backends", {}).get(backend, {})
+    baseline = committed_entry.get("sim_cycles_per_s")
+    label = f"committed[{backend}]"
+    if baseline is None:
+        baseline = committed["sim_cycles_per_s"]
+        label = "committed headline"
     current = report["sim_cycles_per_s"]
     floor = baseline * (1.0 - slack)
     verdict = "OK" if current >= floor else "REGRESSION"
-    print(f"check: {current:,} cycles/s vs committed {baseline:,} "
+    print(f"check[{backend}]: {current:,} cycles/s vs {label} {baseline:,} "
           f"(floor {floor:,.0f}, slack {slack:.0%}): {verdict}")
     return 0 if current >= floor else 1
 
@@ -174,9 +229,12 @@ def main(argv=None) -> int:
     parser.add_argument("--top", type=int, default=15,
                         help="hot functions to record")
     parser.add_argument("--out", default="BENCH_sim.json")
+    parser.add_argument("--backend", default="auto", choices=ENGINE_NAMES,
+                        help="engine backend for the headline run and the "
+                             "matrix (auto defers to REPRO_ENGINE)")
     parser.add_argument("--quick", action="store_true",
-                        help="skip the cProfile pass and the app x policy "
-                             "matrix (CI smoke mode)")
+                        help="skip the cProfile pass, the app x policy "
+                             "matrix and the backend sweep (CI smoke mode)")
     parser.add_argument("--check", metavar="BENCH",
                         help="committed BENCH file to compare against; "
                              "exit 1 on a throughput regression")
@@ -185,17 +243,29 @@ def main(argv=None) -> int:
     parser.add_argument("--matrix-repeats", type=int, default=2)
     args = parser.parse_args(argv)
 
+    engine = None if args.backend == "auto" else args.backend
     report = profile_run(args.app.upper(), args.policy, args.scale,
-                         args.repeats, args.top, profile=not args.quick)
+                         args.repeats, args.top, profile=not args.quick,
+                         engine=engine)
     if not args.quick:
-        report["matrix"] = bench_matrix(args.scale, args.matrix_repeats)
+        report["backends"] = bench_backends(
+            report["app"], args.policy, args.scale, args.repeats)
+        report["matrix"] = bench_matrix(args.scale, args.matrix_repeats,
+                                        engine=engine)
     Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
 
     stages = report["stages"]
-    print(f"{report['app']} / {report['policy']} / {report['scale']}: "
+    print(f"{report['app']} / {report['policy']} / {report['scale']} "
+          f"[{report['backend']}]: "
           f"build {stages['workload_build_s']:.3f}s, "
           f"simulate best {stages['simulate_best_s']:.3f}s "
           f"({report['sim_cycles_per_s']:,} cycles/s)")
+    for name, cell in report.get("backends", {}).items():
+        if "skipped" in cell:
+            print(f"backend {name}: skipped ({cell['skipped']})")
+        else:
+            print(f"backend {name}: best {cell['best_s']:.4f}s "
+                  f"({cell['sim_cycles_per_s']:,} cycles/s)")
     if "speedup_vs_seed" in report:
         print(f"speedup vs pre-optimization reference "
               f"({SEED_REFERENCE['wall_s']}s): "
