@@ -36,6 +36,8 @@ CAMPAIGN = (
     ("fig05_register_usage", ("mean_usage",)),
     ("table03_stall_time", ("min_cycles", "max_cycles")),
     ("fig12_concurrent_ctas", ("finereg_cta_ratio",)),
+    ("fig12_concurrent_kernels", ("finereg_concurrent_cta_ratio",
+                                  "finereg_concurrent_speedup")),
     ("fig13_performance", ("finereg_speedup", "virtual_thread_speedup",
                            "reg_dram_speedup", "vt_regmutex_speedup")),
     ("fig14_rf_stalls", ("regmutex_stall_fraction",

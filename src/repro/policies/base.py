@@ -109,15 +109,84 @@ class RegisterFilePolicy:
     def register_space_for_launch(self) -> bool:
         return self.rf_used_entries + self._cta_regs <= self.rf_capacity_entries
 
+    # ------------------------------------------------------------------
+    # Concurrent-kernel support.  Single-kernel runs never call these
+    # (the arbiter is None), so the classic code paths are untouched.
+    # ------------------------------------------------------------------
+    def _launch_regs(self, launch) -> int:
+        """Register footprint of one CTA of ``launch`` under this policy."""
+        return launch.cta_regs
+
+    def register_space_for(self, regs: int) -> bool:
+        return self.rf_used_entries + regs <= self.rf_capacity_entries
+
+    def can_launch_for(self, launch) -> bool:
+        """Per-launch :meth:`can_launch` against the shared SM budgets."""
+        return (self.sm.scheduler_slots_free(launch)
+                and self.sm.shmem_free(launch.shmem_per_cta)
+                and self.register_space_for(self._launch_regs(launch)))
+
+    def _pop_ready_swap(self, tracker: PendingTracker, outgoing: CTASim,
+                        now: int) -> Optional[CTASim]:
+        """A ready pending CTA that may legally replace ``outgoing``."""
+        if self.sm.gpu.arbiter is None:
+            if not self.sm.swap_slots_free(outgoing):
+                return None
+            return tracker.pop_ready(now)
+        ready = tracker.ready_ctas(now)
+        for cand in sorted(ready, key=lambda c: c.cta_id):
+            if self.sm.swap_slots_free(outgoing, cand.launch):
+                return tracker.pop_ready(now, cand)
+        return None
+
+    def _pop_ready_fitting(self, tracker: PendingTracker, now: int
+                           ) -> Optional[CTASim]:
+        """A ready pending CTA whose footprint fits free scheduler slots."""
+        if self.sm.gpu.arbiter is None:
+            if not self.sm.scheduler_slots_free():
+                return None
+            return tracker.pop_ready(now)
+        ready = tracker.ready_ctas(now)
+        for cand in sorted(ready, key=lambda c: c.cta_id):
+            if self.sm.scheduler_slots_free(cand.launch):
+                return tracker.pop_ready(now, cand)
+        return None
+
+    def _new_cta_feasible(self) -> bool:
+        """Could a brand-new CTA of *some* launch start (given registers
+        and shared memory; scheduler slots are the caller's concern)?"""
+        arbiter = self.sm.gpu.arbiter
+        if arbiter is None:
+            return (self.sm.gpu.ctas_remaining > 0
+                    and self.register_space_for_launch()
+                    and self.sm.shmem_free(self.kernel.shmem_per_cta))
+        return arbiter.next_fitting(
+            lambda l: (self.register_space_for(self._launch_regs(l))
+                       and self.sm.shmem_free(l.shmem_per_cta))) is not None
+
     def fill(self, now: int) -> int:
         """Launch CTAs until a limit binds; returns how many started."""
         launched = 0
-        while self.can_launch():
-            cta = self.sm.launch_new_cta(now)
+        arbiter = self.sm.gpu.arbiter
+        if arbiter is None:
+            while self.can_launch():
+                cta = self.sm.launch_new_cta(now)
+                if cta is None:
+                    break
+                self.rf_used_entries += self._cta_regs
+                self.note_launched(cta, now)
+                launched += 1
+            return launched
+        while True:
+            launch = arbiter.next_fitting(self.can_launch_for)
+            if launch is None:
+                break
+            cta = self.sm.launch_new_cta(now, launch)
             if cta is None:
                 break
-            self.rf_used_entries += self._cta_regs
+            self.rf_used_entries += self._launch_regs(launch)
             self.note_launched(cta, now)
+            arbiter.note_dispatched(launch)
             launched += 1
         return launched
 
@@ -131,7 +200,7 @@ class RegisterFilePolicy:
         """Baseline: stalls are simply waited out."""
 
     def on_cta_finished(self, cta: CTASim, now: int) -> None:
-        self.rf_used_entries -= self._cta_regs
+        self.rf_used_entries -= self._launch_regs(cta.launch)
         self.fill(now)
 
     def on_tick(self, now: int) -> None:

@@ -63,13 +63,19 @@ class FineRegPolicy(RegisterFilePolicy):
         # costs cold-start traffic.  The hardware caps at 128 CTAs / 512
         # warps (V-F); the launch heuristic stops well before when the
         # pending pool is already deep relative to the active complement.
-        active_cap = min(
-            config.max_ctas_per_sm,
-            config.max_warps_per_sm // self.kernel.warps_per_cta,
-            config.max_threads_per_sm // self.kernel.geometry.threads_per_cta,
-            max(1, config.acrf_entries // self._cta_regs),
-        )
+        active_cap = max(
+            min(
+                config.max_ctas_per_sm,
+                config.max_warps_per_sm // launch.warps_per_cta,
+                config.max_threads_per_sm // launch.threads_per_cta,
+                max(1, config.acrf_entries // max(1, launch.cta_regs)),
+            )
+            for launch in sm.gpu.launches)
         self._resident_cap = min(config.max_resident_ctas, 3 * active_cap)
+        # Declared warps of launched-but-unretired CTAs.  With one kernel
+        # this is resident_ctas * warps_per_cta; with concurrent kernels
+        # the per-launch footprints differ, so it is tracked directly.
+        self._decl_warps = 0
         #: New-CTA launches pause while the DRAM backlog exceeds this.
         self.bus_backlog_threshold = config.dram_latency
 
@@ -85,16 +91,28 @@ class FineRegPolicy(RegisterFilePolicy):
     def register_space_for_launch(self) -> bool:
         return self.acrf.can_allocate(self._cta_regs)
 
+    def register_space_for(self, regs: int) -> bool:
+        return self.acrf.can_allocate(regs)
+
+    def can_launch_for(self, launch) -> bool:
+        return (self.sm.scheduler_slots_free(launch)
+                and self.sm.shmem_free(launch.shmem_per_cta)
+                and self.acrf.can_allocate(self._launch_regs(launch))
+                and self._residency_headroom_for(launch))
+
     def _residency_headroom(self) -> bool:
-        config = self.config
+        return self._residency_headroom_for(self.sm.gpu.launches[0])
+
+    def _residency_headroom_for(self, launch) -> bool:
         resident = self.sm.resident_ctas
-        warps = (resident + 1) * self.kernel.warps_per_cta
         return (resident < self._resident_cap
-                and warps <= config.max_resident_warps)
+                and self._decl_warps + launch.warps_per_cta
+                <= self.config.max_resident_warps)
 
     def note_launched(self, cta: CTASim, now: int) -> None:
-        self.acrf.allocate(cta.cta_id, self._cta_regs)
+        self.acrf.allocate(cta.cta_id, self._launch_regs(cta.launch))
         self.rf_used_entries = self.acrf.used
+        self._decl_warps += cta.launch.warps_per_cta
         self.monitor.launch(cta.cta_id)
 
     # ------------------------------------------------------------------
@@ -119,10 +137,17 @@ class FineRegPolicy(RegisterFilePolicy):
         # queueing delay without any latency left to hide.
         bus_ok = self.sm.gpu.hierarchy.dram.backlog(now) \
             < self.bus_backlog_threshold
-        can_host_new = (bus_ok
-                        and self.sm.gpu.ctas_remaining > 0
-                        and self._residency_headroom()
-                        and self.sm.shmem_free(self.kernel.shmem_per_cta))
+        arbiter = self.sm.gpu.arbiter
+        if arbiter is None:
+            can_host_new = (bus_ok
+                            and self.sm.gpu.ctas_remaining > 0
+                            and self._residency_headroom()
+                            and self.sm.shmem_free(self.kernel.shmem_per_cta))
+        else:
+            can_host_new = bus_ok and arbiter.next_fitting(
+                lambda l: (self._residency_headroom_for(l)
+                           and self.sm.shmem_free(l.shmem_per_cta))
+            ) is not None
         if candidate is None and not can_host_new:
             return False  # parking buys nothing; wake up in place
 
@@ -137,8 +162,15 @@ class FineRegPolicy(RegisterFilePolicy):
             self._set_rf_blocked(False, now, cta.cta_id)
             return True
 
-        if candidate is not None and \
-                self.rmu.can_spill(live_count, candidate.cta_id):
+        # Mixed-kernel swaps must also fit: the incoming CTA's scheduler
+        # footprint and ACRF allocation may exceed what the outgoing one
+        # frees (both trivially hold in a single-kernel run).
+        fits_swap = candidate is not None and (
+            arbiter is None
+            or (self.sm.swap_slots_free(cta, candidate.launch)
+                and self.acrf.free + self._launch_regs(cta.launch)
+                >= self._launch_regs(candidate.launch)))
+        if fits_swap and self.rmu.can_spill(live_count, candidate.cta_id):
             # PCRF full, but the swap-out credit covers us (paper V-E):
             # restore the candidate's chain out while the stalled CTA's
             # live set streams in through the 128-byte transfer buffer.
@@ -167,7 +199,7 @@ class FineRegPolicy(RegisterFilePolicy):
                       misses: int) -> None:
         """First half of a switch-out: free the ACRF and start the transit."""
         freed = self.acrf.release(cta.cta_id)
-        assert freed == self._cta_regs
+        assert freed == self._launch_regs(cta.launch)
         self.rf_used_entries = self.acrf.used
         if misses:
             # Cold bit vectors are fetched from the reserved off-chip area.
@@ -192,7 +224,7 @@ class FineRegPolicy(RegisterFilePolicy):
     def _restore(self, cta: CTASim, now: int) -> None:
         restored = self.rmu.pending_live_count(cta.cta_id)
         cost = self.rmu.restore(cta.cta_id)
-        self.acrf.allocate(cta.cta_id, self._cta_regs)
+        self.acrf.allocate(cta.cta_id, self._launch_regs(cta.launch))
         self.rf_used_entries = self.acrf.used
         latency = max(cost.cycles, CONTEXT_SWITCH_LATENCY)
         self.sm.activate_cta(cta, now, latency)
@@ -238,6 +270,7 @@ class FineRegPolicy(RegisterFilePolicy):
     def on_cta_finished(self, cta: CTASim, now: int) -> None:
         self.acrf.release(cta.cta_id)
         self.rf_used_entries = self.acrf.used
+        self._decl_warps -= cta.launch.warps_per_cta
         self.monitor.retire(cta.cta_id)
         self._restore_ready(now)
         self.fill(now)
@@ -247,16 +280,38 @@ class FineRegPolicy(RegisterFilePolicy):
             self._restore_ready(now)
 
     def _restore_ready(self, now: int) -> None:
-        while (self.sm.scheduler_slots_free()
-               and self.acrf.can_allocate(self._cta_regs)):
-            candidate = self._select_ready(now)
+        if self.sm.gpu.arbiter is None:
+            while (self.sm.scheduler_slots_free()
+                   and self.acrf.can_allocate(self._cta_regs)):
+                candidate = self._select_ready(now)
+                if candidate is None:
+                    break
+                self._restore(candidate, now)
+                self._set_rf_blocked(False, now, candidate.cta_id)
+            if (self.pending.has_ready(now) and self.sm.scheduler_slots_free()
+                    and not self.acrf.can_allocate(self._cta_regs)):
+                # A ready CTA is waiting on ACRF space (adaptive signal).
+                self.blocked_restores += 1
+            return
+        # Concurrent kernels: fitness is per-candidate, so the monitor's
+        # pick is overridden by the first (lowest-id) CTA that fits.
+        while True:
+            candidate = None
+            for cand in sorted(self.pending.ready_ctas(now),
+                               key=lambda c: c.cta_id):
+                if (self.sm.scheduler_slots_free(cand.launch)
+                        and self.acrf.can_allocate(
+                            self._launch_regs(cand.launch))):
+                    candidate = self.pending.pop_ready(now, cand)
+                    break
             if candidate is None:
                 break
             self._restore(candidate, now)
             self._set_rf_blocked(False, now, candidate.cta_id)
-        if (self.pending.has_ready(now) and self.sm.scheduler_slots_free()
-                and not self.acrf.can_allocate(self._cta_regs)):
-            # A ready CTA is waiting on ACRF space (adaptive-split signal).
+        if any(self.sm.scheduler_slots_free(c.launch)
+               and not self.acrf.can_allocate(self._launch_regs(c.launch))
+               for c in self.pending.ready_ctas(now)):
+            # A ready CTA is waiting on ACRF space (adaptive signal).
             self.blocked_restores += 1
 
     def next_event(self, now: int) -> int:

@@ -55,6 +55,13 @@ class AdaptiveFineRegPolicy(FineRegPolicy):
             self._epoch_acrf_blocked += 1
         return ok
 
+    def can_launch_for(self, launch) -> bool:
+        ok = super().can_launch_for(launch)
+        if not ok and self.sm.scheduler_slots_free(launch) \
+                and not self.acrf.can_allocate(self._launch_regs(launch)):
+            self._epoch_acrf_blocked += 1
+        return ok
+
     def _try_switch_out(self, cta: CTASim, now: int) -> bool:
         before = self.failed_spills
         acted = super()._try_switch_out(cta, now)

@@ -35,6 +35,9 @@ class RegDRAMPolicy(VirtualThreadPolicy):
         self.dram_pending_limit = dram_pending_limit
         self.dram_pending = PendingTracker()
         self._dram_count = 0
+        # Register entries of DRAM-parked CTAs (equals _dram_count *
+        # _cta_regs single-kernel; tracked directly for mixed footprints).
+        self._dram_regs = 0
         self.context_spills = 0
         self.context_restores = 0
 
@@ -46,22 +49,19 @@ class RegDRAMPolicy(VirtualThreadPolicy):
             # swap must keep the active region within the Table-I limits:
             # a partially-retired CTA frees fewer slots than a full
             # incoming one needs.
-            swap_fits = self.sm.swap_slots_free(cta)
-            candidate = self.pending.pop_ready(now) if swap_fits else None
+            candidate = self._pop_ready_swap(self.pending, cta, now)
             if candidate is not None:
                 self._park(cta, now)
                 self.sm.activate_cta(candidate, now, self.switch_latency)
                 acted = True
                 continue
-            if self._grid_remaining() and self.register_space_for_launch() \
-                    and self.sm.shmem_free(self.kernel.shmem_per_cta):
+            if self._new_cta_feasible():
                 self._park(cta, now)
                 self.fill(now)
                 acted = True
                 continue
             # RF is full: consider the DRAM path.
-            dram_candidate = (self.dram_pending.pop_ready(now)
-                              if swap_fits else None)
+            dram_candidate = self._pop_dram_swap(cta, now)
             if dram_candidate is not None:
                 self._swap_via_dram(cta, dram_candidate, now)
                 acted = True
@@ -78,28 +78,32 @@ class RegDRAMPolicy(VirtualThreadPolicy):
     # ------------------------------------------------------------------
     def _spill_to_dram(self, cta: CTASim, now: int) -> None:
         """Write the CTA's full register context out to DRAM."""
-        nbytes = self.kernel.register_bytes_per_cta
+        nbytes = cta.launch.kernel.register_bytes_per_cta
         done = self.sm.gpu.hierarchy.bulk_transfer(now, nbytes,
                                                    "context_spill")
         self.sm.deactivate_cta(cta, now, done - now)
         self.dram_pending.add(cta, max(done, cta.earliest_resume(now)))
         self._dram_count += 1
-        self.rf_used_entries -= self._cta_regs
+        regs = self._launch_regs(cta.launch)
+        self._dram_regs += regs
+        self.rf_used_entries -= regs
         self.context_spills += 1
 
     def _restore_from_dram(self, cta: CTASim, now: int) -> int:
         """Read a parked CTA's register context back; returns ready cycle."""
-        nbytes = self.kernel.register_bytes_per_cta
+        nbytes = cta.launch.kernel.register_bytes_per_cta
         done = self.sm.gpu.hierarchy.bulk_transfer(now, nbytes,
                                                    "context_restore")
         self._dram_count -= 1
-        self.rf_used_entries += self._cta_regs
+        regs = self._launch_regs(cta.launch)
+        self._dram_regs -= regs
+        self.rf_used_entries += regs
         self.context_restores += 1
         return done
 
     def _swap_via_dram(self, stalled: CTASim, incoming: CTASim,
                        now: int) -> None:
-        spill_bytes = self.kernel.register_bytes_per_cta
+        spill_bytes = stalled.launch.kernel.register_bytes_per_cta
         spill_done = self.sm.gpu.hierarchy.bulk_transfer(
             now, spill_bytes, "context_spill")
         self.sm.deactivate_cta(stalled, now, spill_done - now)
@@ -108,30 +112,66 @@ class RegDRAMPolicy(VirtualThreadPolicy):
         self.context_spills += 1
         restore_done = self._restore_from_dram(incoming, now)
         self._dram_count += 1  # net zero with the spill above
-        self.rf_used_entries -= self._cta_regs  # net zero with restore
+        regs = self._launch_regs(stalled.launch)
+        self._dram_regs += regs
+        self.rf_used_entries -= regs  # net zero with restore (single-kernel)
         self.sm.activate_cta(incoming, now, restore_done - now)
+
+    def _pop_dram_swap(self, outgoing: CTASim, now: int) -> Optional[CTASim]:
+        """A ready DRAM-parked CTA that may replace ``outgoing``.
+
+        Unlike an on-chip swap (register delta zero by construction), a
+        DRAM swap exchanges the two footprints in the RF, so with mixed
+        kernels the incoming allocation must fit what the outgoing one
+        frees plus the current headroom.
+        """
+        if self.sm.gpu.arbiter is None:
+            if not self.sm.swap_slots_free(outgoing):
+                return None
+            return self.dram_pending.pop_ready(now)
+        headroom = self.rf_capacity_entries - self.rf_used_entries \
+            + self._launch_regs(outgoing.launch)
+        ready = self.dram_pending.ready_ctas(now)
+        for cand in sorted(ready, key=lambda c: c.cta_id):
+            if self.sm.swap_slots_free(outgoing, cand.launch) \
+                    and self._launch_regs(cand.launch) <= headroom:
+                return self.dram_pending.pop_ready(now, cand)
+        return None
+
+    def _pop_dram_fitting(self, now: int) -> Optional[CTASim]:
+        """A ready DRAM-parked CTA whose slots AND registers both fit."""
+        if self.sm.gpu.arbiter is None:
+            if not (self.sm.scheduler_slots_free()
+                    and self.register_space_for_launch()):
+                return None
+            return self.dram_pending.pop_ready(now)
+        ready = self.dram_pending.ready_ctas(now)
+        for cand in sorted(ready, key=lambda c: c.cta_id):
+            if self.sm.scheduler_slots_free(cand.launch) \
+                    and self.register_space_for(
+                        self._launch_regs(cand.launch)):
+                return self.dram_pending.pop_ready(now, cand)
+        return None
 
     # ------------------------------------------------------------------
     def on_cta_finished(self, cta: CTASim, now: int) -> None:
-        self.rf_used_entries -= self._cta_regs
-        if self.sm.scheduler_slots_free():
-            candidate = self.pending.pop_ready(now)
-            if candidate is not None:
-                self.sm.activate_cta(candidate, now, self.switch_latency)
-            elif self.register_space_for_launch():
-                dram_candidate = self.dram_pending.pop_ready(now)
-                if dram_candidate is not None:
-                    done = self._restore_from_dram(dram_candidate, now)
-                    self.sm.activate_cta(dram_candidate, now, done - now)
+        self.rf_used_entries -= self._launch_regs(cta.launch)
+        candidate = self._pop_ready_fitting(self.pending, now)
+        if candidate is not None:
+            self.sm.activate_cta(candidate, now, self.switch_latency)
+        else:
+            dram_candidate = self._pop_dram_fitting(now)
+            if dram_candidate is not None:
+                done = self._restore_from_dram(dram_candidate, now)
+                self.sm.activate_cta(dram_candidate, now, done - now)
         self.fill(now)
 
     def on_tick(self, now: int) -> None:
         super().on_tick(now)
         if not self.dram_pending.has_ready(now):
             return
-        while (self.sm.scheduler_slots_free()
-               and self.register_space_for_launch()):
-            candidate = self.dram_pending.pop_ready(now)
+        while True:
+            candidate = self._pop_dram_fitting(now)
             if candidate is None:
                 break
             done = self._restore_from_dram(candidate, now)

@@ -58,8 +58,13 @@ class RegMutexPolicy(VirtualThreadPolicy):
         # Each warp statically owns only ``brs_ratio`` of its architectural
         # registers; the rest must be leased from the SRP on demand.  This
         # is RegMutex's capacity gain: CTAs/SM grows by (1-srp)/brs.
-        self.brs_regs = max(1, math.ceil(
-            self.kernel.regs_per_thread * brs_ratio))
+        # Per-launch BRS sizes: each resident kernel's warps own a BRS cut
+        # from its own architectural register count.
+        launches = sm.gpu.launches
+        self._brs_by_index = tuple(
+            max(1, math.ceil(l.regs_per_thread * brs_ratio))
+            for l in launches)
+        self.brs_regs = self._brs_by_index[0]
         self._cta_regs = self.kernel.warps_per_cta * self.brs_regs
         self.rf_capacity_entries = self.brs_capacity
         self.srp_free = self.srp_capacity
@@ -68,12 +73,21 @@ class RegMutexPolicy(VirtualThreadPolicy):
         self.srp_acquires = 0
         self.srp_denials = 0
         # Per-static-instruction SRP demand: live registers whose index
-        # falls above the warp's BRS (they physically live in the SRP).
+        # falls above the owning warp's BRS (they physically live in the
+        # SRP).  Indexed by the SM's concatenated static-index space.
         liveness: LivenessTable = sm.gpu.liveness
-        self._extra_demand = tuple(
-            bin(liveness.live_at_index(i).bits >> self.brs_regs).count("1")
-            for i in range(liveness.num_instructions)
-        )
+        demand = []
+        for launch in launches:
+            brs = self._brs_by_index[launch.index]
+            base = launch.index_base
+            demand.extend(
+                bin(liveness.live_at_index(base + i).bits >> brs).count("1")
+                for i in range(launch.num_instructions))
+        self._extra_demand = tuple(demand)
+
+    def _launch_regs(self, launch) -> int:
+        """BRS footprint of one CTA of ``launch`` (the SRP is leased)."""
+        return launch.warps_per_cta * self._brs_by_index[launch.index]
 
     # ------------------------------------------------------------------
     # Per-instruction SRP leasing

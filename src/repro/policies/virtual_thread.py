@@ -42,16 +42,14 @@ class VirtualThreadPolicy(RegisterFilePolicy):
         for cta in self.stalled_active_ctas(now):
             # A partially-retired CTA frees fewer warp slots than a full
             # incoming one needs; only swap when the result stays legal.
-            candidate = (self.pending.pop_ready(now)
-                         if self.sm.swap_slots_free(cta) else None)
+            candidate = self._pop_ready_swap(self.pending, cta, now)
             if candidate is not None:
                 # Swap: stalled goes pending, ready pending becomes active.
                 self._park(cta, now)
                 self.sm.activate_cta(candidate, now, self.switch_latency)
                 acted = True
                 continue
-            if self._grid_remaining() and self.register_space_for_launch() \
-                    and self.sm.shmem_free(self.kernel.shmem_per_cta):
+            if self._new_cta_feasible():
                 # Park the stalled CTA and bring a brand-new one in.
                 self._park(cta, now)
                 self.fill(now)
@@ -61,18 +59,17 @@ class VirtualThreadPolicy(RegisterFilePolicy):
         return acted
 
     def on_cta_finished(self, cta: CTASim, now: int) -> None:
-        self.rf_used_entries -= self._cta_regs
-        if self.sm.scheduler_slots_free():
-            candidate = self.pending.pop_ready(now)
-            if candidate is not None:
-                self.sm.activate_cta(candidate, now, self.switch_latency)
+        self.rf_used_entries -= self._launch_regs(cta.launch)
+        candidate = self._pop_ready_fitting(self.pending, now)
+        if candidate is not None:
+            self.sm.activate_cta(candidate, now, self.switch_latency)
         self.fill(now)
 
     def on_tick(self, now: int) -> None:
         if not self.pending.has_ready(now):
             return
-        while self.sm.scheduler_slots_free():
-            candidate = self.pending.pop_ready(now)
+        while True:
+            candidate = self._pop_ready_fitting(self.pending, now)
             if candidate is None:
                 break
             self.sm.activate_cta(candidate, now, self.switch_latency)

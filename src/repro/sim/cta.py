@@ -24,13 +24,16 @@ class CTASim:
     __slots__ = (
         "cta_id", "warps", "state", "transit_until", "transit_target",
         "barrier_arrived", "first_issue_cycle", "stall_recorded",
-        "launch_cycle", "pending_since", "shmem_bytes",
+        "launch_cycle", "pending_since", "shmem_bytes", "launch",
     )
 
     def __init__(self, cta_id: int, warps: List[WarpSim],
                  shmem_bytes: int = 0) -> None:
         self.cta_id = cta_id
         self.warps = warps
+        # The KernelLaunch this CTA belongs to (set by the SM at launch;
+        # concurrent runs use it for per-kernel footprints/attribution).
+        self.launch = None
         self.state = CTAState.ACTIVE
         self.transit_until = 0
         self.transit_target: Optional[CTAState] = None

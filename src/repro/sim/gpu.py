@@ -31,8 +31,11 @@ from repro.core.liveness import LivenessAnalysis, LivenessTable
 from repro.isa.kernel import Kernel
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.sim.backend import select_backend
+from repro.sim.launch import (DispatchArbiter, GridView, KernelLaunch,
+                              LaunchSpec, build_launches, combined_liveness,
+                              shared_address_model)
 from repro.sim.sm import StreamingMultiprocessor
-from repro.sim.stats import SimResult
+from repro.sim.stats import KernelStats, SimResult
 from repro.sim.warp import FOREVER
 
 #: A policy factory builds one policy instance for a given SM.
@@ -40,19 +43,55 @@ PolicyFactory = Callable[[StreamingMultiprocessor], "object"]
 
 
 class GPU:
-    """A simulated GPU executing one kernel launch."""
+    """A simulated GPU executing one or more co-resident kernel launches.
 
-    def __init__(self, config: GPUConfig, kernel: Kernel,
-                 policy_factory: PolicyFactory,
-                 trace_provider, address_model,
+    The classic single-kernel construction is unchanged.  Concurrent runs
+    pass ``launches`` (a sequence of :class:`~repro.sim.launch.LaunchSpec`)
+    — usually via :meth:`GPU.concurrent` — and CTA dispatch then goes
+    through a :class:`~repro.sim.launch.DispatchArbiter` with Table-I
+    limits enforced as per-SM *shared* budgets across the resident grids.
+    """
+
+    def __init__(self, config: GPUConfig, kernel: Optional[Kernel] = None,
+                 policy_factory: Optional[PolicyFactory] = None,
+                 trace_provider=None, address_model=None,
                  liveness: Optional[LivenessTable] = None,
-                 sample_usage: bool = False) -> None:
+                 sample_usage: bool = False, *,
+                 launches=None, arbitration: str = "priority") -> None:
+        if policy_factory is None:
+            raise TypeError("policy_factory is required")
         self.config = config
-        self.kernel = kernel
-        self.trace_provider = trace_provider
-        self.address_model = address_model
-        self.liveness = liveness if liveness is not None else \
-            LivenessAnalysis(kernel.cfg).run(kernel.regs_per_thread)
+        if launches is not None:
+            specs = list(launches)
+            built = build_launches(specs)
+            self.launches = built
+            self.kernel = built[0].kernel
+            self.trace_provider = built[0].trace_provider
+            self.address_model = (address_model if address_model is not None
+                                  else shared_address_model(specs))
+            self.liveness = combined_liveness(built)
+            if len(built) > 1:
+                self.arbiter = DispatchArbiter(built, arbitration)
+                self._grid = GridView(built)
+            else:
+                self.arbiter = None
+                self._grid = built[0].grid
+        else:
+            if kernel is None or trace_provider is None \
+                    or address_model is None:
+                raise TypeError("kernel, trace_provider and address_model "
+                                "are required without launches")
+            self.kernel = kernel
+            self.trace_provider = trace_provider
+            self.address_model = address_model
+            self.liveness = liveness if liveness is not None else \
+                LivenessAnalysis(kernel.cfg).run(kernel.regs_per_thread)
+            self._grid = deque(range(kernel.geometry.grid_ctas))
+            # The single launch's queue IS the GPU grid deque, so the
+            # single-kernel dispatch path is byte-for-byte unchanged.
+            self.launches = [KernelLaunch(0, kernel, trace_provider,
+                                          self.liveness, grid=self._grid)]
+            self.arbiter = None
         self.hierarchy = MemoryHierarchy(config)
         self.tracer = None  # set by sim.tracing.attach_tracer
         self.warp_tracer = None  # set by attach_tracer(level="warp")
@@ -61,16 +100,25 @@ class GPU:
         # Backend that actually drove the last run() ("dense", "reference",
         # "fused" or "vectorized"); None before the first run.
         self.engine_used = None
-        if hasattr(address_model, "warm_l2"):
-            address_model.warm_l2(self.hierarchy.l2)
-        self._grid = deque(range(kernel.geometry.grid_ctas))
+        if hasattr(self.address_model, "warm_l2"):
+            self.address_model.warm_l2(self.hierarchy.l2)
         self.completed_ctas = 0
         self.sms: List[StreamingMultiprocessor] = []
         for sm_id in range(config.num_sms):
-            sm = StreamingMultiprocessor(sm_id, config, kernel, self,
+            sm = StreamingMultiprocessor(sm_id, config, self.kernel, self,
                                          sample_usage=sample_usage)
             sm.policy = policy_factory(sm)
             self.sms.append(sm)
+
+    @classmethod
+    def concurrent(cls, config: GPUConfig, specs,
+                   policy_factory: PolicyFactory, *,
+                   arbitration: str = "priority",
+                   sample_usage: bool = False) -> "GPU":
+        """Build a GPU with several co-resident grids (one per spec)."""
+        return cls(config, policy_factory=policy_factory,
+                   sample_usage=sample_usage,
+                   launches=specs, arbitration=arbitration)
 
     # ------------------------------------------------------------------
     # Grid dispatch
@@ -83,6 +131,12 @@ class GPU:
     @property
     def ctas_remaining(self) -> int:
         return len(self._grid)
+
+    def launch_for_cta(self, cta_id: int) -> KernelLaunch:
+        for launch in self.launches:
+            if launch.owns_cta(cta_id):
+                return launch
+        raise ValueError(f"CTA {cta_id} outside every launch's grid")
 
     # ------------------------------------------------------------------
     def run(self, max_cycles: int = 10_000_000,
@@ -226,8 +280,12 @@ class GPU:
                         issued = 1
                         wake[index] = 0
                         continue
-                    busy = (sm.active_ctas or sm.pending_ctas
-                            or sm.transit_ctas)
+                    # bool(), not the first truthy list: on_idle below may
+                    # swap the last active CTA out, emptying the very list
+                    # a bare `or` chain would have bound -- which silently
+                    # falsified the idle-cooldown wake reduction.
+                    busy = bool(sm.active_ctas or sm.pending_ctas
+                                or sm.transit_ctas)
                     if busy and sm._needs_idle:
                         sm._policy.on_idle(now)
                     w = sm._sched_sleep
@@ -297,7 +355,10 @@ class GPU:
                     issued += sm_issued
                     wake[index] = 0
                     continue
-                busy = sm.active_ctas or sm.pending_ctas or sm.transit_ctas
+                # bool() snapshot: on_idle may empty the bound list (see
+                # the fast loop above).
+                busy = bool(sm.active_ctas or sm.pending_ctas
+                            or sm.transit_ctas)
                 if busy and sm._needs_idle:
                     # Policies without an _act_on_idle override get no call:
                     # the base on_idle only arms its own cooldown, which
@@ -431,9 +492,38 @@ class GPU:
             bv_rate = bv_hits / (bv_hits + bv_misses)
         completed = sum(sm.stats.cta_launches for sm in self.sms) \
             - sum(sm.resident_ctas for sm in self.sms)
+        per_kernel = None
+        workload = self.kernel.name
+        if len(self.launches) > 1:
+            workload = "+".join(l.kernel.name for l in self.launches)
+            per_kernel = {}
+            for launch in self.launches:
+                totals = KernelStats()
+                resident = 0
+                for sm in self.sms:
+                    ks = sm._kstats[launch.index]
+                    totals.instructions += ks.instructions
+                    totals.cta_launches += ks.cta_launches
+                    totals.cta_switch_events += ks.cta_switch_events
+                    totals.stall_events += ks.stall_events
+                    totals.stall_cycles += ks.stall_cycles
+                    totals.active_cta_cycles += ks.active_cta_cycles
+                    totals.active_warp_cycles += ks.active_warp_cycles
+                    for cta in (sm.active_ctas + sm.pending_ctas
+                                + sm.transit_ctas):
+                        if cta.launch is launch:
+                            resident += 1
+                entry = totals.as_dict()
+                entry["completed_ctas"] = totals.cta_launches - resident
+                entry["grid_ctas"] = launch.grid_ctas
+                entry["avg_active_ctas_per_sm"] = \
+                    totals.active_cta_cycles / cycles / num_sms
+                entry["avg_active_warps_per_sm"] = \
+                    totals.active_warp_cycles / cycles / num_sms
+                per_kernel[launch.label] = entry
         return SimResult(
             policy=self.sms[0].policy.name,
-            workload=self.kernel.name,
+            workload=workload,
             cycles=cycles,
             instructions=instructions,
             num_sms=num_sms,
@@ -471,6 +561,7 @@ class GPU:
                 sm.stats.switch_out_overhead_cycles for sm in self.sms),
             switch_in_overhead_cycles=sum(
                 sm.stats.switch_in_overhead_cycles for sm in self.sms),
+            per_kernel=per_kernel,
         )
 
 
@@ -487,3 +578,4 @@ def run_kernel(config: GPUConfig, kernel: Kernel,
     if post_setup is not None:
         post_setup(gpu)
     return gpu.run(max_cycles=max_cycles, engine=engine)
+

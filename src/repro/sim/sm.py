@@ -20,7 +20,7 @@ from repro.isa.kernel import Kernel
 from repro.policies.base import RegisterFilePolicy
 from repro.sim.cta import CTASim, CTAState
 from repro.sim.scheduler import SCHEDULER_KINDS
-from repro.sim.stats import SMStats
+from repro.sim.stats import KernelStats, SMStats
 from repro.sim.tracing import EventKind
 from repro.sim.warp import FOREVER, WarpSim, WarpState
 from repro.workloads.traces import AddressModel
@@ -69,12 +69,36 @@ class StreamingMultiprocessor:
         self._active_warps = 0
         self._active_threads = 0
         self._incoming_ctas = 0
+        # Declared Table-I footprint of CTAs in transit toward ACTIVE.
+        # With one resident kernel these are always ``_incoming_ctas``
+        # times its per-CTA warp/thread counts; concurrent kernels make
+        # the per-launch footprints differ, so they are tracked directly.
+        self._incoming_warps = 0
+        self._incoming_threads = 0
         self._last_step_issued = 0
         self._next_sched = 0
         # SM-level sleep: min of the schedulers' sleep caches, valid while
         # nothing wakes them.  Skips the whole issue stage in one test.
         self._sched_sleep = 0
-        self._instrs = kernel.cfg.instructions
+        launches = gpu.launches
+        if len(launches) == 1:
+            self._instrs = kernel.cfg.instructions
+            self._kstats = None
+        else:
+            # Concatenated static-index space: launch i's instructions
+            # live at [index_base, index_base + num_instructions); traces
+            # are rebased by KernelLaunch.trace_for.
+            instrs = []
+            for launch in launches:
+                instrs.extend(launch.kernel.cfg.instructions)
+            self._instrs = tuple(instrs)
+            # Per-launch attribution (concurrent runs only, so the
+            # single-kernel hot path never touches these).
+            self._kstats = [KernelStats() for _ in launches]
+            self._k_active = [0] * len(launches)
+            self._k_warps = [0] * len(launches)
+            self._klvl_active = [0] * len(launches)
+            self._klvl_warps = [0] * len(launches)
         # Telemetry surfaces.  ``telemetry`` is a MetricsRegistry installed
         # by repro.telemetry; ``_wt`` caches the warp-level tracer so the
         # warp-event emission sites pay one attribute test when disabled.
@@ -206,42 +230,46 @@ class StreamingMultiprocessor:
         return (len(self.active_ctas) + len(self.pending_ctas)
                 + len(self.transit_ctas))
 
-    def scheduler_slots_free(self) -> bool:
-        """Can one more CTA become active under the Table-I limits?
+    def scheduler_slots_free(self, launch=None) -> bool:
+        """Can one more CTA of ``launch`` become active under the Table-I
+        limits?  The limits are *shared* budgets: active and incoming
+        footprints are summed across every resident kernel.
 
-        CTAs in transit toward ACTIVE already own their slots.
+        CTAs in transit toward ACTIVE already own their slots.  ``launch``
+        defaults to the (single-kernel) primary launch.
         """
-        kernel = self.kernel
+        if launch is None:
+            launch = self.gpu.launches[0]
         config = self.config
-        incoming = self._incoming_ctas
-        ctas = len(self.active_ctas) + incoming
-        warps = self._active_warps + incoming * kernel.warps_per_cta
-        threads = self._active_threads \
-            + incoming * kernel.geometry.threads_per_cta
+        ctas = len(self.active_ctas) + self._incoming_ctas
+        warps = self._active_warps + self._incoming_warps
+        threads = self._active_threads + self._incoming_threads
         return (ctas < config.max_ctas_per_sm
-                and warps + kernel.warps_per_cta <= config.max_warps_per_sm
-                and threads + kernel.geometry.threads_per_cta
+                and warps + launch.warps_per_cta <= config.max_warps_per_sm
+                and threads + launch.threads_per_cta
                 <= config.max_threads_per_sm)
 
-    def swap_slots_free(self, outgoing: CTASim) -> bool:
-        """Would one full incoming CTA fit after parking ``outgoing``?
+    def swap_slots_free(self, outgoing: CTASim, launch=None) -> bool:
+        """Would one full incoming CTA of ``launch`` fit after parking
+        ``outgoing``?
 
         A swap is not automatically slot-neutral: a partially-retired CTA
         frees fewer warp/thread slots than a full incoming CTA needs, so
-        swapping it out can overshoot the Table-I limits.
+        swapping it out can overshoot the Table-I limits — and under
+        concurrent kernels the two CTAs may belong to different launches
+        with different footprints.
         """
-        kernel = self.kernel
+        if launch is None:
+            launch = self.gpu.launches[0]
         config = self.config
-        incoming = self._incoming_ctas
         out_warps = outgoing.unfinished_warps()
-        ctas = len(self.active_ctas) - 1 + incoming
-        warps = self._active_warps - out_warps \
-            + incoming * kernel.warps_per_cta
+        ctas = len(self.active_ctas) - 1 + self._incoming_ctas
+        warps = self._active_warps - out_warps + self._incoming_warps
         threads = self._active_threads - 32 * out_warps \
-            + incoming * kernel.geometry.threads_per_cta
+            + self._incoming_threads
         return (ctas < config.max_ctas_per_sm
-                and warps + kernel.warps_per_cta <= config.max_warps_per_sm
-                and threads + kernel.geometry.threads_per_cta
+                and warps + launch.warps_per_cta <= config.max_warps_per_sm
+                and threads + launch.threads_per_cta
                 <= config.max_threads_per_sm)
 
     def shmem_free(self, nbytes: int) -> bool:
@@ -264,41 +292,55 @@ class StreamingMultiprocessor:
         branch's PDOM reconvergence block -- the same reconvergence model the
         static verifier checks.
         """
-        cfg = self.kernel.cfg
         forks: Set[int] = set()
         joins: Set[int] = set()
-        for block in cfg.blocks:
-            if block.edge_kind is not EdgeKind.BRANCH or not block.instructions:
-                continue
-            forks.add(cfg.first_index(block.block_id)
-                      + len(block.instructions) - 1)
-            reconv = cfg.reconvergence_block(block.block_id)
-            if reconv is not None:
-                joins.add(cfg.first_index(reconv))
+        for launch in self.gpu.launches:
+            cfg = launch.kernel.cfg
+            base = launch.index_base
+            for block in cfg.blocks:
+                if block.edge_kind is not EdgeKind.BRANCH \
+                        or not block.instructions:
+                    continue
+                forks.add(base + cfg.first_index(block.block_id)
+                          + len(block.instructions) - 1)
+                reconv = cfg.reconvergence_block(block.block_id)
+                if reconv is not None:
+                    joins.add(base + cfg.first_index(reconv))
         self._div_forks = forks
         self._div_joins = joins
 
     # ------------------------------------------------------------------
     # CTA lifecycle (mechanics; policies decide when)
     # ------------------------------------------------------------------
-    def launch_new_cta(self, now: int) -> Optional[CTASim]:
-        """Pull the next CTA off the grid and start it as active."""
-        cta_id = self.gpu.next_cta()
+    def launch_new_cta(self, now: int, launch=None) -> Optional[CTASim]:
+        """Pull the next CTA off a launch's grid and start it as active.
+
+        ``launch`` defaults to the primary launch (single-kernel runs);
+        concurrent fills pass the launch the dispatch arbiter picked.
+        """
+        if launch is None:
+            launch = self.gpu.launches[0]
+        cta_id = launch.pop_cta()
         if cta_id is None:
             return None
-        kernel = self.kernel
+        local = cta_id - launch.cta_base
+        wpc = launch.warps_per_cta
         warps = []
-        for warp_id in range(kernel.warps_per_cta):
-            trace = self.gpu.trace_provider.trace_for(cta_id, warp_id)
-            global_id = cta_id * kernel.warps_per_cta + warp_id
+        for warp_id in range(wpc):
+            trace = launch.trace_for(local, warp_id)
+            global_id = launch.warp_base + local * wpc + warp_id
             warps.append(WarpSim(warp_id, global_id, cta_id, trace,
                                  self._nregs))
-        cta = CTASim(cta_id, warps, shmem_bytes=kernel.shmem_per_cta)
+        cta = CTASim(cta_id, warps, shmem_bytes=launch.shmem_per_cta)
+        cta.launch = launch
         for warp in warps:
             warp.cta = cta
         cta.launch_cycle = now
         self.shmem_used += cta.shmem_bytes
         self.active_ctas.append(cta)
+        if self._kstats is not None:
+            self._kstats[launch.index].cta_launches += 1
+            self._k_active[launch.index] += 1
         self._attach_warps(cta)
         self.stats.cta_launches += 1
         if self.gpu.tracer is not None:
@@ -313,6 +355,9 @@ class StreamingMultiprocessor:
         self.transit_ctas.append(cta)
         self.stats.cta_switch_events += 1
         self.stats.switch_out_overhead_cycles += latency
+        if self._kstats is not None:
+            self._kstats[cta.launch.index].cta_switch_events += 1
+            self._k_active[cta.launch.index] -= 1
         tracer = self.gpu.tracer
         if tracer is not None:
             tracer.record(now, self.sm_id, EventKind.SWITCH_OUT, cta.cta_id,
@@ -324,9 +369,13 @@ class StreamingMultiprocessor:
         cta.begin_transit(now + latency, CTAState.ACTIVE)
         self.transit_ctas.append(cta)
         self._incoming_ctas += 1
+        self._incoming_warps += cta.launch.warps_per_cta
+        self._incoming_threads += cta.launch.threads_per_cta
         self._lvl_dirty = True
         self.stats.cta_switch_events += 1
         self.stats.switch_in_overhead_cycles += latency
+        if self._kstats is not None:
+            self._kstats[cta.launch.index].cta_switch_events += 1
         tracer = self.gpu.tracer
         if tracer is not None:
             tracer.record(now, self.sm_id, EventKind.SWITCH_IN, cta.cta_id,
@@ -351,6 +400,8 @@ class StreamingMultiprocessor:
         self._sched_sleep = 0
         self._active_warps += cta.unfinished_warps()
         self._active_threads += cta.unfinished_warps() * 32
+        if self._kstats is not None:
+            self._k_warps[cta.launch.index] += cta.unfinished_warps()
         self._lvl_dirty = True
 
     def _detach_warps(self, cta: CTASim) -> None:
@@ -358,6 +409,8 @@ class StreamingMultiprocessor:
             scheduler.remove_cta(cta.cta_id)
         self._active_warps -= cta.unfinished_warps()
         self._active_threads -= cta.unfinished_warps() * 32
+        if self._kstats is not None:
+            self._k_warps[cta.launch.index] -= cta.unfinished_warps()
         self._lvl_dirty = True
 
     # ------------------------------------------------------------------
@@ -747,6 +800,9 @@ class StreamingMultiprocessor:
                     prefix = warp.trace[:warp.pos]
                     packed = sum(map(packed_vec.__getitem__, prefix))
                     stats.instructions += len(prefix)
+                    if self._kstats is not None:
+                        self._kstats[cta.launch.index].instructions += \
+                            len(prefix)
                     stats.rf_reads += packed & 0xFFFFF
                     stats.rf_writes += (packed >> 20) & 0xFFFFF
                     stats.rf_bank_conflicts += (packed >> 40) & 0xFFFFF
@@ -759,6 +815,10 @@ class StreamingMultiprocessor:
                 self._lvl_dirty = True
                 if cta.state is CTAState.ACTIVE:
                     self._incoming_ctas -= 1
+                    self._incoming_warps -= cta.launch.warps_per_cta
+                    self._incoming_threads -= cta.launch.threads_per_cta
+                    if self._kstats is not None:
+                        self._k_active[cta.launch.index] += 1
                     self.active_ctas.append(cta)
                     self._attach_warps(cta)
                 else:
@@ -798,6 +858,8 @@ class StreamingMultiprocessor:
         warp.pos += 1
         stats = self.stats
         stats.instructions += 1
+        if self._kstats is not None:
+            self._kstats[cta.launch.index].instructions += 1
         stats.rf_reads += meta[6]
         dest = meta[1]
         if dest is not None:
@@ -903,9 +965,13 @@ class StreamingMultiprocessor:
             stats.rf_writes += (packed >> 20) & 0xFFFFF
             stats.rf_bank_conflicts += (packed >> 40) & 0xFFFFF
             stats.shmem_accesses += packed >> 60
+            if self._kstats is not None:
+                self._kstats[warp.cta.launch.index].instructions += len(tr)
         warp.finish()
         self._active_warps -= 1
         self._active_threads -= 32
+        if self._kstats is not None:
+            self._k_warps[warp.cta.launch.index] -= 1
         self._lvl_dirty = True
         for scheduler in self.schedulers:
             if warp in scheduler.warps:
@@ -919,6 +985,8 @@ class StreamingMultiprocessor:
             self._wake_schedulers()
         if cta.finished:
             self.active_ctas.remove(cta)
+            if self._kstats is not None:
+                self._k_active[cta.launch.index] -= 1
             self.retire_cta(cta, now)
 
     def _wake_schedulers(self) -> None:
@@ -936,6 +1004,10 @@ class StreamingMultiprocessor:
         if not cta.stall_recorded and cta.first_issue_cycle is not None:
             cta.stall_recorded = True
             self.stats.stall_latencies.append(now - cta.first_issue_cycle)
+            if self._kstats is not None:
+                ks = self._kstats[cta.launch.index]
+                ks.stall_events += 1
+                ks.stall_cycles += now - cta.first_issue_cycle
         if self._policy is not None:
             self._policy.on_cta_stalled(cta, now)
 
@@ -949,7 +1021,7 @@ class StreamingMultiprocessor:
         self._window_count += 1
         if self._window_count >= USAGE_WINDOW:
             allocated = sum(
-                cta.unfinished_warps() * self.kernel.regs_per_thread
+                cta.unfinished_warps() * cta.launch.regs_per_thread
                 for cta in self.active_ctas
             )
             if allocated:
@@ -967,6 +1039,8 @@ class StreamingMultiprocessor:
             "active_warps": self._active_warps,
             "active_threads": self._active_threads,
             "incoming_ctas": self._incoming_ctas,
+            "incoming_warps": self._incoming_warps,
+            "incoming_threads": self._incoming_threads,
             "shmem_used": self.shmem_used,
             "sched_sleep": self._sched_sleep,
             "scheduler_warps": [len(s.warps) for s in self.schedulers],
@@ -1057,6 +1131,18 @@ class StreamingMultiprocessor:
             self._lvl_active = active
             self._lvl_pending = pending
             self._lvl_warps = self._active_warps
+            if self._kstats is not None:
+                # Per-kernel level integrals flush on the same spans with
+                # the same buffered snapshots, so they sum exactly to the
+                # whole-SM integrals.
+                if buffered:
+                    for i, ks in enumerate(self._kstats):
+                        ks.active_cta_cycles += \
+                            buffered * self._klvl_active[i]
+                        ks.active_warp_cycles += \
+                            buffered * self._klvl_warps[i]
+                self._klvl_active = self._k_active[:]
+                self._klvl_warps = self._k_warps[:]
             self._lvl_dt = dt
             self._lvl_dirty = False
             resident = active + pending
@@ -1082,4 +1168,8 @@ class StreamingMultiprocessor:
         if buffered:
             self.stats.accumulate(buffered, self._lvl_active,
                                   self._lvl_pending, self._lvl_warps)
+            if self._kstats is not None:
+                for i, ks in enumerate(self._kstats):
+                    ks.active_cta_cycles += buffered * self._klvl_active[i]
+                    ks.active_warp_cycles += buffered * self._klvl_warps[i]
             self._lvl_dt = 0

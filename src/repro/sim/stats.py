@@ -13,7 +13,31 @@ from typing import Dict, List, Optional, Tuple
 #: Bump whenever the :class:`SimResult` field set changes; serialized
 #: payloads carry it so stale cache entries are rejected, not misparsed.
 #: v2: added switch_out_overhead_cycles / switch_in_overhead_cycles.
-RESULT_SCHEMA_VERSION = 2
+#: v3: added per_kernel (concurrent-kernel attribution; None single-kernel).
+RESULT_SCHEMA_VERSION = 3
+
+
+@dataclass
+class KernelStats:
+    """Mutable per-kernel (per-launch) counters for concurrent runs.
+
+    One instance per :class:`~repro.sim.launch.KernelLaunch` per SM; the GPU
+    sums them across SMs into ``SimResult.per_kernel``.  Single-kernel runs
+    never allocate these (the whole-SM :class:`SMStats` already are the
+    per-kernel view), keeping the hot path untouched.
+    """
+
+    instructions: int = 0
+    cta_launches: int = 0
+    cta_switch_events: int = 0
+    stall_events: int = 0
+    stall_cycles: int = 0
+    # Time-weighted integrals (same buffered-span flushing as SMStats).
+    active_cta_cycles: float = 0.0
+    active_warp_cycles: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return asdict(self)
 
 
 @dataclass
@@ -103,6 +127,10 @@ class SimResult:
     # constructions valid.
     switch_out_overhead_cycles: int = 0
     switch_in_overhead_cycles: int = 0
+    # Concurrent-kernel attribution (schema v3): label -> summed KernelStats
+    # fields plus ``completed_ctas``/``grid_ctas``.  None for single-kernel
+    # runs, so their payloads differ from v2 only by the schema tag.
+    per_kernel: Optional[Dict[str, Dict[str, float]]] = None
 
     @property
     def ipc(self) -> float:

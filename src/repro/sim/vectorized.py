@@ -92,6 +92,8 @@ _INERT_POLICY_ATTRS = (
     "on_cta_stalled", "on_cta_finished", "on_tick", "on_idle",
     "_act_on_idle", "classify_idle", "next_event", "wake_time",
     "on_issue", "extras",
+    "can_launch_for", "_launch_regs", "register_space_for",
+    "_pop_ready_swap", "_pop_ready_fitting", "_new_cta_feasible",
 )
 
 #: SM methods the runners bypass (vs. call dynamically): an instance-level
@@ -125,6 +127,11 @@ def run_eligible(gpu) -> bool:
     """
     if (gpu.sanitizer is not None or gpu.telemetry is not None
             or gpu.tracer is not None or gpu.warp_tracer is not None):
+        return False
+    if len(gpu.launches) > 1:
+        # Concurrent kernels: the decoupled runners assume one grid with
+        # uniform CTA footprints; route to the (arbiter-aware) event
+        # engine, which keeps engine_used == "fused".
         return False
     for sm in gpu.sms:
         if not sm.fast_step_eligible():

@@ -69,7 +69,34 @@ class TelemetrySession:
                         if self.registry is not None else None),
             "timeline": (self.timeline.as_payload()
                          if self.timeline is not None else None),
+            "kernels": self._kernel_summary(),
         }
+
+    def _kernel_summary(self) -> Optional[Dict]:
+        """Per-launch attribution for concurrent runs (None single-kernel).
+
+        Summed over all SMs straight from the live ``_kstats`` so the
+        payload is available even when the caller discards the SimResult.
+        """
+        gpu = self.gpu
+        if len(gpu.launches) <= 1:
+            return None
+        out: Dict[str, Dict] = {}
+        for launch in gpu.launches:
+            totals = {"instructions": 0, "cta_launches": 0,
+                      "cta_switch_events": 0, "stall_events": 0,
+                      "stall_cycles": 0, "active_cta_cycles": 0.0,
+                      "active_warp_cycles": 0.0}
+            for sm in gpu.sms:
+                stats = sm._kstats[launch.index]
+                for key in totals:
+                    totals[key] += getattr(stats, key)
+            totals["stream"] = launch.stream
+            totals["priority"] = launch.priority
+            totals["kernel"] = launch.kernel.name
+            totals["grid_ctas"] = launch.grid_ctas
+            out[launch.label] = totals
+        return out
 
 
 def attach_telemetry(gpu, config: Optional[TelemetryConfig] = None

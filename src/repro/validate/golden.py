@@ -23,10 +23,12 @@ from repro.sim.gpu import GPU
 from repro.sim.stats import SimResult
 from repro.sim.tracing import attach_tracer
 from repro.validate.sanitizer import Sanitizer, attach_sanitizer
+from repro.workloads.apps import AppPool, StreamSpec, build_app
 from repro.workloads.generator import build_workload
 from repro.workloads.suite import get_spec
 
-GOLDEN_SCHEMA_VERSION = 1
+#: v2: concurrent-kernel cases (``launches``/``arbitration`` keys).
+GOLDEN_SCHEMA_VERSION = 2
 
 #: Diff lines shown per case before truncating.
 MAX_DIFF_LINES = 12
@@ -40,6 +42,8 @@ _PAYLOAD_SHAPE: Dict[str, type] = {
     "scale": str,
     "config_overrides": dict,
     "policy_kwargs": dict,
+    "launches": list,
+    "arbitration": str,
     "result": dict,
     "events": list,
     "dropped_events": int,
@@ -73,6 +77,13 @@ def check_golden_payload(payload: object) -> List[str]:
     if payload["schema"] != GOLDEN_SCHEMA_VERSION:
         problems.append(f"schema version {payload['schema']} != "
                         f"{GOLDEN_SCHEMA_VERSION} (re-record the corpus)")
+    for index, entry in enumerate(payload["launches"]):
+        if (not isinstance(entry, list) or len(entry) != 3
+                or not isinstance(entry[0], str)
+                or not isinstance(entry[1], (int, float))
+                or not isinstance(entry[2], int)):
+            problems.append(f"launches[{index}] must be "
+                            f"[abbrev, weight, priority]")
     try:
         SimResult.from_json(payload["result"])
     except (TypeError, ValueError) as exc:
@@ -94,7 +105,13 @@ def check_golden_payload(payload: object) -> List[str]:
 
 @dataclass(frozen=True)
 class GoldenCase:
-    """One pinned simulation of the corpus."""
+    """One pinned simulation of the corpus.
+
+    ``launches`` turns the case concurrent: a tuple of
+    ``(abbrev, coverage_weight, priority)`` stream descriptors run as
+    co-resident grids under ``arbitration`` (``abbrev`` then only names
+    the combination).  Empty = the classic single-kernel case.
+    """
 
     name: str
     abbrev: str
@@ -102,15 +119,20 @@ class GoldenCase:
     scale: str = "tiny"
     config_overrides: Tuple[Tuple[str, object], ...] = ()
     policy_kwargs: Tuple[Tuple[str, object], ...] = ()
+    launches: Tuple[Tuple[str, float, int], ...] = ()
+    arbitration: str = "priority"
 
     @property
     def filename(self) -> str:
         return f"{self.name}.json"
 
 
-#: Six (config, workload, policy) triples spanning the policy space:
-#: baseline, both FineReg variants (incl. adaptive repartitioning), the
-#: related-work configurations, and one scheduler ablation (LRR).
+#: Six single-kernel (config, workload, policy) triples spanning the
+#: policy space -- baseline, both FineReg variants (incl. adaptive
+#: repartitioning), the related-work configurations, and one scheduler
+#: ablation (LRR) -- plus three concurrent-kernel cases: a two-stream
+#: FineReg run, a priority-skewed pair, and a budget-saturated baseline
+#: pair under round-robin arbitration.
 CORPUS: Tuple[GoldenCase, ...] = (
     GoldenCase("km-baseline-tiny", "KM", "baseline"),
     GoldenCase("km-finereg-tiny", "KM", "finereg"),
@@ -119,6 +141,13 @@ CORPUS: Tuple[GoldenCase, ...] = (
     GoldenCase("hs-regdram-tiny", "HS", "reg_dram"),
     GoldenCase("km-finereg-lrr-tiny", "KM", "finereg",
                config_overrides=(("warp_scheduling", "lrr"),)),
+    GoldenCase("stkm-finereg-concurrent-tiny", "ST+KM", "finereg",
+               launches=(("ST", 1.0, 0), ("KM", 1.0, 0))),
+    GoldenCase("stkm-finereg-skewed-tiny", "ST+KM", "finereg",
+               launches=(("ST", 1.0, 0), ("KM", 1.0, 2))),
+    GoldenCase("hslb-baseline-concurrent-tiny", "HS+LB", "baseline",
+               launches=(("HS", 1.0, 0), ("LB", 1.0, 0)),
+               arbitration="round_robin"),
 )
 
 
@@ -140,11 +169,19 @@ def run_case(case: GoldenCase, sanitize: bool = True
     scale = SCALES[case.scale]
     base = default_config(scale)
     config = replace(base, **dict(case.config_overrides))
-    instance = build_workload(
-        get_spec(case.abbrev), base.with_num_sms(config.num_sms), scale)
     factory = POLICIES[case.policy](**dict(case.policy_kwargs))
-    gpu = GPU(config, instance.kernel, factory, instance.trace_provider,
-              instance.address_model, liveness=instance.liveness)
+    if case.launches:
+        pool = AppPool(case.name, tuple(
+            StreamSpec(abbrev, weight=weight, priority=priority)
+            for abbrev, weight, priority in case.launches))
+        specs = build_app(pool, base.with_num_sms(config.num_sms), scale)
+        gpu = GPU.concurrent(config, specs, factory,
+                             arbitration=case.arbitration)
+    else:
+        instance = build_workload(
+            get_spec(case.abbrev), base.with_num_sms(config.num_sms), scale)
+        gpu = GPU(config, instance.kernel, factory, instance.trace_provider,
+                  instance.address_model, liveness=instance.liveness)
     attach_tracer(gpu)
     sanitizer = attach_sanitizer(gpu) if sanitize else None
     result = gpu.run(max_cycles=scale.max_cycles)
@@ -162,6 +199,8 @@ def case_payload(case: GoldenCase, result: SimResult, gpu: GPU) -> Dict:
         "scale": case.scale,
         "config_overrides": dict(case.config_overrides),
         "policy_kwargs": dict(case.policy_kwargs),
+        "launches": [list(entry) for entry in case.launches],
+        "arbitration": case.arbitration,
         "result": result.to_json(),
         "events": tracer.as_dicts(),
         "dropped_events": tracer.dropped,

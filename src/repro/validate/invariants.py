@@ -72,6 +72,8 @@ def check_sm(sm, now: int) -> List[Violation]:
                         f"CTA {cta.cta_id} in pending list has state "
                         f"{cta.state.value}"))
     incoming = 0
+    incoming_warps = 0
+    incoming_threads = 0
     for cta in sm.transit_ctas:
         if cta.state is not CTAState.TRANSIT:
             out.append(("cta-state",
@@ -79,16 +81,33 @@ def check_sm(sm, now: int) -> List[Violation]:
                         f"{cta.state.value}"))
         elif cta.transit_target is CTAState.ACTIVE:
             incoming += 1
+            if cta.launch is not None:
+                incoming_warps += cta.launch.warps_per_cta
+                incoming_threads += cta.launch.threads_per_cta
+            else:
+                incoming_warps += kernel.warps_per_cta
+                incoming_threads += kernel.geometry.threads_per_cta
     if sm._incoming_ctas != incoming:
         out.append(("transit",
                     f"incoming-CTA counter {sm._incoming_ctas} != "
                     f"{incoming} transits targeting ACTIVE"))
+    if sm._incoming_warps != incoming_warps:
+        out.append(("transit",
+                    f"incoming-warp counter {sm._incoming_warps} != "
+                    f"{incoming_warps} declared by transits targeting "
+                    f"ACTIVE"))
+    if sm._incoming_threads != incoming_threads:
+        out.append(("transit",
+                    f"incoming-thread counter {sm._incoming_threads} != "
+                    f"{incoming_threads} declared by transits targeting "
+                    f"ACTIVE"))
 
     # Table-I active-region limits; in-flight switch-ins own their slots.
+    # The warp/thread budgets are shared across every co-resident kernel,
+    # so the declared footprints are summed per launch, not per kernel.
     ctas_eff = len(sm.active_ctas) + incoming
-    warps_eff = sm._active_warps + incoming * kernel.warps_per_cta
-    threads_eff = sm._active_threads \
-        + incoming * kernel.geometry.threads_per_cta
+    warps_eff = sm._active_warps + incoming_warps
+    threads_eff = sm._active_threads + incoming_threads
     if ctas_eff > config.max_ctas_per_sm:
         out.append(("cta-slots",
                     f"{ctas_eff} active(+incoming) CTAs exceed the "
@@ -204,17 +223,27 @@ def check_policy(policy, sm, now: int) -> List[Violation]:
         out.append(("register-conservation",
                     f"rf_used_entries {policy.rf_used_entries} outside "
                     f"[0, {policy.rf_capacity_entries}]"))
+    # Expected RF usage is the per-CTA declared footprint summed over the
+    # resident set (mixed footprints under concurrent kernels; the sum
+    # degenerates to resident * _cta_regs in a single-kernel run).
+    resident = sm.active_ctas + sm.pending_ctas + sm.transit_ctas
+
+    def declared(cta):
+        if cta.launch is not None:
+            return policy._launch_regs(cta.launch)
+        return policy._cta_regs
+
     if hasattr(policy, "acrf"):                 # FineReg family
         out += check_finereg(policy, sm)
     elif hasattr(policy, "dram_pending"):       # Reg+DRAM
-        expected = policy._cta_regs * (sm.resident_ctas - policy._dram_count)
+        expected = sum(declared(c) for c in resident) - policy._dram_regs
         if policy.rf_used_entries != expected:
             out.append(("register-conservation",
                         f"rf_used_entries {policy.rf_used_entries} != "
-                        f"{expected} ({sm.resident_ctas} resident - "
-                        f"{policy._dram_count} DRAM-parked CTAs)"))
+                        f"{expected} ({sm.resident_ctas} resident CTAs - "
+                        f"{policy._dram_count} DRAM-parked)"))
     else:                                       # baseline / VT / RegMutex
-        expected = policy._cta_regs * sm.resident_ctas
+        expected = sum(declared(c) for c in resident)
         if policy.rf_used_entries != expected:
             out.append(("register-conservation",
                         f"rf_used_entries {policy.rf_used_entries} != "
@@ -251,11 +280,17 @@ def check_finereg(policy, sm) -> List[Violation]:
         out.append(("register-conservation",
                     f"ACRF holds CTAs {sorted(allocations)} but the SM's "
                     f"active(+incoming) set is {sorted(expected_acrf)}"))
+    by_id = {c.cta_id: c for c in
+             sm.active_ctas + sm.pending_ctas + sm.transit_ctas}
     for cta_id, entries in allocations.items():
-        if entries != policy._cta_regs:
+        cta = by_id.get(cta_id)
+        static = (policy._launch_regs(cta.launch)
+                  if cta is not None and cta.launch is not None
+                  else policy._cta_regs)
+        if entries != static:
             out.append(("register-conservation",
                         f"ACRF allocation for CTA {cta_id} is {entries} "
-                        f"entries, not the static {policy._cta_regs}"))
+                        f"entries, not the static {static}"))
     if acrf.used > acrf.capacity:
         out.append(("register-conservation",
                     f"ACRF used {acrf.used} exceeds capacity "

@@ -37,6 +37,7 @@ class Mutation:
     description: str
     apply: Callable[[GPU], None]
     abbrev: str = "KM"
+    concurrent: bool = False   # corrupt a two-kernel run (st+km pool)
 
 
 # ----------------------------------------------------------------------
@@ -110,6 +111,18 @@ def _double_retire(gpu: GPU) -> None:
         sm.retire_cta = retire_twice
 
 
+def _budget_overshoot(gpu: GPU) -> None:
+    """Per-SM shared budgets stop binding: every slot check passes."""
+    for sm in gpu.sms:
+        sm.scheduler_slots_free = lambda launch=None: True
+
+
+def _double_dispatch(gpu: GPU) -> None:
+    """The first CTA id of launch 0 is dispatched twice."""
+    launch = gpu.launches[0]
+    launch.grid.appendleft(launch.grid[0])
+
+
 def _stat_rollback(gpu: GPU) -> None:
     for sm in gpu.sms:
         def rolled_step(now, _sm=sm, _inner=sm.step):
@@ -142,6 +155,12 @@ MUTATIONS: Tuple[Mutation, ...] = (
     Mutation("stat_rollback", "monotonic-stats", "baseline",
              "the instruction counter rolls back 5 per step",
              _stat_rollback),
+    Mutation("budget_overshoot", "cta-slots", "baseline",
+             "scheduler slot checks always pass under concurrent fill",
+             _budget_overshoot, concurrent=True),
+    Mutation("double_dispatch", "lifecycle", "baseline",
+             "one CTA id is dispatched twice from a concurrent grid",
+             _double_dispatch, concurrent=True),
 )
 
 
@@ -162,10 +181,16 @@ def run_mutation(mutation: Mutation, scale_name: str = "tiny"
 
     scale = SCALES[scale_name]
     config = default_config(scale)
-    instance = build_workload(get_spec(mutation.abbrev), config, scale)
     factory = POLICIES[mutation.policy]()
-    gpu = GPU(config, instance.kernel, factory, instance.trace_provider,
-              instance.address_model, liveness=instance.liveness)
+    if mutation.concurrent:
+        from repro.workloads.apps import APP_POOLS, build_app
+
+        specs = build_app(APP_POOLS["st+km"], config, scale)
+        gpu = GPU.concurrent(config, specs, factory)
+    else:
+        instance = build_workload(get_spec(mutation.abbrev), config, scale)
+        gpu = GPU(config, instance.kernel, factory, instance.trace_provider,
+                  instance.address_model, liveness=instance.liveness)
     mutation.apply(gpu)
     attach_sanitizer(gpu)  # after the mutation: its wrappers sit outermost
     try:

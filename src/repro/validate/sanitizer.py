@@ -131,11 +131,25 @@ class Sanitizer:
             pairs.append(("completion",
                           f"run ended with CTAs {unretired[:10]} "
                           f"({len(unretired)} total) never retired"))
-        grid = self.gpu.kernel.geometry.grid_ctas
+        grid = sum(launch.grid_ctas for launch in self.gpu.launches)
         if not timed_out and self._launched != grid:
             pairs.append(("completion",
-                          f"{self._launched} CTAs launched but the grid "
-                          f"holds {grid}"))
+                          f"{self._launched} CTAs launched but the grids "
+                          f"hold {grid}"))
+        if not timed_out and len(self.gpu.launches) > 1:
+            # Per-launch completion: every co-resident grid drains fully,
+            # with each CTA id launched under the kernel that owns it.
+            per_launch = {launch.index: 0 for launch in self.gpu.launches}
+            for cta_id in self._cta_state:
+                launch = self.gpu.launch_for_cta(cta_id)
+                per_launch[launch.index] += 1
+            for launch in self.gpu.launches:
+                seen = per_launch[launch.index]
+                if seen != launch.grid_ctas:
+                    pairs.append(("completion",
+                                  f"launch {launch.label} saw {seen} CTA "
+                                  f"launches but its grid holds "
+                                  f"{launch.grid_ctas}"))
         stat_launches = sum(sm.stats.cta_launches for sm in self.gpu.sms)
         if stat_launches != self._launched:
             pairs.append(("completion",

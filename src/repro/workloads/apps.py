@@ -1,0 +1,118 @@
+"""Multi-kernel applications: streams drawn from weighted kernel pools.
+
+Concurrent-kernel experiments model an *application* as a set of streams,
+each launching one kernel from a pool with a per-kernel coverage weight —
+the fraction of the app's work that kernel represents, the way multi-kernel
+suites report per-kernel coverage.  :func:`build_app` turns a pool into
+co-resident :class:`~repro.sim.launch.LaunchSpec` objects whose grids are
+scaled by coverage and which share one address model, so the grids contend
+for the same memory hierarchy exactly like a single-kernel run would.
+
+The canned pools in :data:`APP_POOLS` pair Table-II kernels with opposed
+resource appetites (register-hungry LB against scheduler-bound KM, the
+barrier-synchronized HS against both) — the contention FineReg's
+fine-grained reclamation is built for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import GPUConfig, Scale
+from repro.isa.kernel import LaunchGeometry
+from repro.sim.launch import LaunchSpec
+from repro.workloads.generator import WorkloadInstance, build_workload
+from repro.workloads.suite import get_spec
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One stream of an application: a pool kernel plus launch attributes.
+
+    ``weight`` is the kernel's coverage within the app; grid sizes scale
+    with the weight normalized over the pool (mean weight = the kernel's
+    standalone grid).  ``priority`` feeds the dispatch arbiter: higher
+    values launch first under ``priority`` arbitration.
+    """
+
+    abbrev: str
+    weight: float = 1.0
+    priority: int = 0
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"{self.abbrev}: coverage weight must be > 0")
+
+
+@dataclass(frozen=True)
+class AppPool:
+    """A named multi-kernel application (kernel pool + coverage weights)."""
+
+    name: str
+    streams: Tuple[StreamSpec, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.streams) < 1:
+            raise ValueError(f"{self.name}: an app needs at least one stream")
+
+    def coverage(self) -> Tuple[float, ...]:
+        """Weights normalized to mean 1.0 (sum = number of streams)."""
+        total = sum(stream.weight for stream in self.streams)
+        n = len(self.streams)
+        return tuple(stream.weight * n / total for stream in self.streams)
+
+
+#: Canned contended pairings over the Table-II kernels.
+APP_POOLS: Dict[str, AppPool] = {
+    "hs+lb": AppPool("hs+lb", (StreamSpec("HS"), StreamSpec("LB"))),
+    "st+km": AppPool("st+km", (StreamSpec("ST"), StreamSpec("KM"))),
+    "lb+km": AppPool("lb+km", (StreamSpec("LB"), StreamSpec("KM"))),
+    "hs+st": AppPool("hs+st", (StreamSpec("HS"), StreamSpec("ST"))),
+}
+
+
+def build_app(pool: AppPool, config: GPUConfig, scale: Scale,
+              verify: bool = True) -> List[LaunchSpec]:
+    """Materialize an app pool into co-launchable specs.
+
+    Each stream's kernel is generated standalone (same CFG, traces and
+    liveness as its single-kernel runs), then its grid is rescaled by the
+    stream's normalized coverage.  All launches share the first stream's
+    address model — :func:`~repro.sim.launch.shared_address_model` enforces
+    that the models are interchangeable, and here they are identical.
+    """
+    instances: List[WorkloadInstance] = []
+    for stream in pool.streams:
+        instances.append(build_workload(
+            get_spec(stream.abbrev), config, scale, verify=verify))
+    shared_model = instances[0].address_model
+    specs: List[LaunchSpec] = []
+    for index, (stream, instance, cover) in enumerate(
+            zip(pool.streams, instances, pool.coverage())):
+        kernel = instance.kernel
+        grid = max(1, round(kernel.geometry.grid_ctas * cover))
+        if grid != kernel.geometry.grid_ctas:
+            kernel = replace(kernel, geometry=LaunchGeometry(
+                threads_per_cta=kernel.geometry.threads_per_cta,
+                grid_ctas=grid))
+        specs.append(LaunchSpec(
+            kernel=kernel,
+            trace_provider=instance.trace_provider,
+            address_model=shared_model,
+            liveness=instance.liveness,
+            stream=index,
+            priority=stream.priority,
+            label=stream.label,
+        ))
+    return specs
+
+
+def get_app(name: str) -> AppPool:
+    """Look up a canned pool by name (KeyError lists the alternatives)."""
+    try:
+        return APP_POOLS[name]
+    except KeyError:
+        known = ", ".join(sorted(APP_POOLS))
+        raise KeyError(f"unknown app pool {name!r}; known pools: {known}")

@@ -32,7 +32,10 @@ from hypothesis import strategies as st
 from repro.config import SCALES, GPUConfig, default_config
 from repro.experiments.runner import POLICIES
 from repro.sim.gpu import GPU
+from repro.sim.tracing import attach_tracer
 from repro.validate.golden import CORPUS, run_case
+from repro.validate.sanitizer import attach_sanitizer
+from repro.workloads.apps import APP_POOLS, AppPool, StreamSpec, build_app
 from repro.workloads.generator import build_workload
 from repro.workloads.suite import get_spec
 
@@ -80,13 +83,29 @@ def simulate_case_bare(case, engine=None):
     scale = SCALES[case.scale]
     base = default_config(scale)
     config = replace(base, **dict(case.config_overrides))
-    instance = build_workload(
-        get_spec(case.abbrev), base.with_num_sms(config.num_sms), scale)
     factory = POLICIES[case.policy](**dict(case.policy_kwargs))
-    gpu = GPU(config, instance.kernel, factory, instance.trace_provider,
-              instance.address_model, liveness=instance.liveness)
+    if case.launches:
+        pool = AppPool(case.name, tuple(
+            StreamSpec(abbrev, weight=weight, priority=priority)
+            for abbrev, weight, priority in case.launches))
+        specs = build_app(pool, base.with_num_sms(config.num_sms), scale)
+        gpu = GPU.concurrent(config, specs, factory,
+                             arbitration=case.arbitration)
+    else:
+        instance = build_workload(
+            get_spec(case.abbrev), base.with_num_sms(config.num_sms), scale)
+        gpu = GPU(config, instance.kernel, factory, instance.trace_provider,
+                  instance.address_model, liveness=instance.liveness)
     result = gpu.run(max_cycles=scale.max_cycles, engine=engine)
     return result, gpu
+
+
+def build_concurrent_gpu(pool_name: str, policy: str,
+                         arbitration: str = "priority") -> GPU:
+    """A tiny 2-SM two-kernel run from one of the canned app pools."""
+    specs = build_app(APP_POOLS[pool_name], MICRO_CONFIG, TINY)
+    return GPU.concurrent(MICRO_CONFIG, specs, POLICIES[policy](),
+                          arbitration=arbitration)
 
 
 # ----------------------------------------------------------------------
@@ -151,6 +170,75 @@ def test_golden_case_bare_three_way_differential(case, engine):
     current, _ = simulate_case_bare(case, engine=engine)
     assert result_bytes(dense) == result_bytes(current), (
         f"{engine} engine diverged from the dense oracle on {case.name}")
+
+
+# ----------------------------------------------------------------------
+# Concurrent kernels: arbiter-aware runs stay on the differential wall
+# ----------------------------------------------------------------------
+def test_run_eligible_rejects_concurrent_runs():
+    """Multi-launch GPUs must be conservatively routed away from the
+    decoupled vectorized runners (which model one grid per SM)."""
+    from repro.sim.vectorized import run_eligible
+
+    single = build_micro_gpu("baseline", "KM", 0)
+    assert run_eligible(single)
+    concurrent = build_concurrent_gpu("st+km", "baseline")
+    assert not run_eligible(concurrent)
+
+
+@pytest.mark.parametrize("policy", ("baseline", "finereg"))
+def test_concurrent_vectorized_request_falls_back_to_fused(policy):
+    """An explicit ``engine="vectorized"`` request on a concurrent run must
+    land on the arbiter-aware event engine -- and still be byte-identical
+    to the dense oracle."""
+    with dense_engine():
+        dense = build_concurrent_gpu("st+km", policy).run(
+            max_cycles=TINY.max_cycles)
+    gpu = build_concurrent_gpu("st+km", policy)
+    current = gpu.run(max_cycles=TINY.max_cycles, engine="vectorized")
+    assert gpu.engine_used == "fused", (
+        f"concurrent run must fall back to the fused event engine, "
+        f"got {gpu.engine_used!r}")
+    assert result_bytes(dense) == result_bytes(current)
+
+
+@pytest.mark.parametrize("instrument", ("bare", "sanitized", "traced",
+                                        "traced+sanitized"))
+def test_concurrent_identity_survives_instrumentation(instrument):
+    """Dense-vs-fused byte identity for a concurrent run must hold with the
+    sanitizer and/or tracer attached (acceptance: sanitizer on/off,
+    traced/untraced)."""
+    def run_one(engine=None):
+        gpu = build_concurrent_gpu("hs+lb", "finereg",
+                                   arbitration="round_robin")
+        if "traced" in instrument:
+            attach_tracer(gpu)
+        if "sanitized" in instrument:
+            attach_sanitizer(gpu)
+        return gpu.run(max_cycles=TINY.max_cycles, engine=engine)
+
+    with dense_engine():
+        dense = run_one()
+    assert result_bytes(dense) == result_bytes(run_one(engine="fused"))
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+@settings(max_examples=2, deadline=None, derandomize=True, database=None)
+@given(data=st.data())
+def test_random_concurrent_runs_bit_identical(policy, data):
+    """Hypothesis-chosen (pool, arbitration) concurrent runs, every policy:
+    the fused event engine must match the dense oracle byte for byte."""
+    pool = data.draw(st.sampled_from(sorted(APP_POOLS)), label="pool")
+    arbitration = data.draw(st.sampled_from(("priority", "round_robin")),
+                            label="arbitration")
+    with dense_engine():
+        dense = build_concurrent_gpu(pool, policy, arbitration).run(
+            max_cycles=TINY.max_cycles)
+    current = build_concurrent_gpu(pool, policy, arbitration).run(
+        max_cycles=TINY.max_cycles)
+    assert result_bytes(dense) == result_bytes(current), (
+        f"fused engine diverged from the dense oracle "
+        f"({policy}, {pool}, {arbitration})")
 
 
 # ----------------------------------------------------------------------
