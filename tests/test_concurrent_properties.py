@@ -1,0 +1,113 @@
+"""Property tests for the concurrent-kernel dispatch arbiter.
+
+Hypothesis builds random application pools (kernel mix, coverage weights,
+stream priorities) and drives them through every registered policy under
+both arbitration modes, asserting the three invariants the shared-budget
+design rests on:
+
+* **Budgets never exceeded** — the cycle-level sanitizer (which checks the
+  Table-I CTA/warp/thread/register/shmem budgets against the *sum* of all
+  resident kernels' footprints) stays silent for the whole run.
+* **CTAs retire exactly once** — every CTA id of every grid appears in the
+  trace with exactly one retirement, and the completion counter equals the
+  sum of the grids.
+* **Attribution partitions the totals** — per-kernel instruction counts
+  and occupancy integrals sum to the whole-GPU result fields.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TINY, default_config
+from repro.experiments.runner import POLICIES
+from repro.sim.gpu import GPU
+from repro.sim.tracing import EventKind, attach_tracer
+from repro.validate.sanitizer import attach_sanitizer
+from repro.workloads.apps import AppPool, StreamSpec, build_app
+
+CONFIG = default_config(TINY)
+KERNELS = ("KM", "HS", "LB", "ST")
+WEIGHTS = (0.5, 1.0, 2.0)
+
+
+@st.composite
+def app_pools(draw) -> AppPool:
+    """A random 2-3 stream pool over the Table-II kernels."""
+    count = draw(st.integers(min_value=2, max_value=3), label="streams")
+    abbrevs = draw(st.permutations(KERNELS), label="kernels")[:count]
+    streams = tuple(
+        StreamSpec(abbrev,
+                   weight=draw(st.sampled_from(WEIGHTS),
+                               label=f"weight[{abbrev}]"),
+                   priority=draw(st.integers(min_value=0, max_value=2),
+                                 label=f"priority[{abbrev}]"))
+        for abbrev in abbrevs)
+    return AppPool("random", streams)
+
+
+arbitrations = st.sampled_from(("priority", "round_robin"))
+
+
+def build_gpu(pool: AppPool, policy: str, arbitration: str) -> GPU:
+    specs = build_app(pool, CONFIG, TINY)
+    return GPU.concurrent(CONFIG, specs, POLICIES[policy](),
+                          arbitration=arbitration)
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+@settings(max_examples=2, deadline=None, derandomize=True, database=None)
+@given(pool=app_pools(), arbitration=arbitrations)
+def test_shared_budgets_never_exceeded(policy, pool, arbitration):
+    """The sanitizer's per-cycle budget checks (cta-slots, warp slots,
+    registers, shmem — summed across resident kernels) must hold for the
+    whole run: a SanitizerError here is a budget overshoot."""
+    gpu = build_gpu(pool, policy, arbitration)
+    attach_sanitizer(gpu)
+    result = gpu.run(max_cycles=TINY.max_cycles)
+    assert not result.timed_out
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+@settings(max_examples=2, deadline=None, derandomize=True, database=None)
+@given(pool=app_pools(), arbitration=arbitrations)
+def test_every_cta_retires_exactly_once(policy, pool, arbitration):
+    gpu = build_gpu(pool, policy, arbitration)
+    tracer = attach_tracer(gpu)
+    result = gpu.run(max_cycles=TINY.max_cycles)
+    assert tracer.dropped == 0, "trace window overflowed; raise capacity"
+    retired = [e.cta_id for e in tracer.events
+               if e.kind is EventKind.RETIRE]
+    grid_ids = {cta for launch in gpu.launches
+                for cta in range(launch.cta_base,
+                                 launch.cta_base + launch.grid_ctas)}
+    assert sorted(retired) == sorted(grid_ids), (
+        "every dispatched CTA must retire exactly once")
+    assert result.completed_ctas == len(grid_ids)
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+@settings(max_examples=2, deadline=None, derandomize=True, database=None)
+@given(pool=app_pools(), arbitration=arbitrations)
+def test_attribution_partitions_whole_gpu_totals(policy, pool, arbitration):
+    gpu = build_gpu(pool, policy, arbitration)
+    result = gpu.run(max_cycles=TINY.max_cycles)
+    per_kernel = result.per_kernel
+    assert per_kernel is not None
+    assert len(per_kernel) == len(gpu.launches)
+    assert sum(e["instructions"] for e in per_kernel.values()) \
+        == result.instructions
+    assert sum(e["completed_ctas"] for e in per_kernel.values()) \
+        == result.completed_ctas
+    assert sum(e["cta_switch_events"] for e in per_kernel.values()) \
+        == result.cta_switch_events
+    assert math.isclose(
+        sum(e["avg_active_ctas_per_sm"] for e in per_kernel.values()),
+        result.avg_active_ctas_per_sm, rel_tol=1e-9, abs_tol=1e-12)
+    assert math.isclose(
+        sum(e["avg_active_warps_per_sm"] for e in per_kernel.values()) * 32,
+        result.avg_active_threads_per_sm, rel_tol=1e-9, abs_tol=1e-12)

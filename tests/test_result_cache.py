@@ -120,6 +120,31 @@ class TestSimResultRoundTrip:
         assert back.window_usage_bounds == (0.25, 0.5, 0.75)
         assert isinstance(back.window_usage_bounds, tuple)
 
+    def test_per_kernel_attribution_round_trips(self):
+        per_kernel = {
+            "s0:st": {"instructions": 900, "cta_launches": 12,
+                      "cta_switch_events": 3, "stall_events": 5,
+                      "stall_cycles": 40, "active_cta_cycles": 2100.0,
+                      "active_warp_cycles": 8400.0, "completed_ctas": 12,
+                      "grid_ctas": 12, "avg_active_ctas_per_sm": 1.05,
+                      "avg_active_warps_per_sm": 4.2},
+            "s1:km": {"instructions": 800, "cta_launches": 12,
+                      "cta_switch_events": 1, "stall_events": 2,
+                      "stall_cycles": 10, "active_cta_cycles": 1900.0,
+                      "active_warp_cycles": 7600.0, "completed_ctas": 12,
+                      "grid_ctas": 12, "avg_active_ctas_per_sm": 0.95,
+                      "avg_active_warps_per_sm": 3.8},
+        }
+        result = make_result(workload="st+km", per_kernel=per_kernel)
+        back = SimResult.from_json(json.loads(json.dumps(result.to_json())))
+        assert back.per_kernel == per_kernel
+        assert back == result
+
+    def test_per_kernel_defaults_to_none(self):
+        back = SimResult.from_json(
+            json.loads(json.dumps(make_result().to_json())))
+        assert back.per_kernel is None
+
 
 # ----------------------------------------------------------------------
 # Memo-key collision regression (PR-1 satellite)
@@ -244,6 +269,24 @@ class TestResultCache:
         assert cache.get(key) is None
         assert cache.misses == 1
         # The stale entry can be overwritten and served again.
+        cache.put(key, make_result())
+        assert cache.get(key) == make_result()
+
+    def test_v2_schema_entry_degrades_to_miss(self, tmp_path):
+        # This PR bumped RESULT_SCHEMA_VERSION to 3 (SimResult grew the
+        # per_kernel concurrent attribution).  A v2 payload — no
+        # per_kernel field, old tag — must be a clean miss, never a
+        # SimResult silently missing the attribution.
+        cache = ResultCache(root=tmp_path, enabled=True)
+        key = "cf" + "0" * 62
+        cache.put(key, make_result())
+        path = cache._path(key)
+        payload = json.loads(path.read_text())
+        payload["result"]["_schema"] = 2
+        payload["result"].pop("per_kernel", None)
+        path.write_text(json.dumps(payload))
+        assert cache.get(key) is None
+        assert cache.misses == 1
         cache.put(key, make_result())
         assert cache.get(key) == make_result()
 

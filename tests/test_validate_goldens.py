@@ -31,6 +31,19 @@ def test_corpus_spans_the_policy_space():
     assert len({case.name for case in CORPUS}) == len(CORPUS)
 
 
+def test_corpus_pins_concurrent_kernels():
+    """At least three concurrent cases, spanning both arbitration modes
+    and a priority skew (the shared-budget surface of this PR)."""
+    concurrent = [case for case in CORPUS if case.launches]
+    assert len(concurrent) >= 3
+    assert {case.arbitration for case in concurrent} \
+        == {"priority", "round_robin"}
+    assert any(len({prio for __, __, prio in case.launches}) > 1
+               for case in concurrent), "no priority-skewed golden"
+    for case in concurrent:
+        assert len(case.launches) >= 2
+
+
 def test_golden_files_are_checked_in():
     directory = default_goldens_dir()
     for case in CORPUS:
@@ -198,3 +211,28 @@ class TestSchemaValidation:
         assert not report.ok
         assert "fails schema validation" in report.error
         assert "missing required key 'result'" in report.error
+
+    def test_missing_launches_key_is_named(self):
+        payload = self.golden()
+        del payload["launches"]
+        problems = check_golden_payload(payload)
+        assert any("missing required key 'launches'" in p for p in problems)
+
+    def test_malformed_launch_entry_is_located(self):
+        payload = self.golden()
+        for bad in ([1.0, "ST", 0],        # wrong field order/types
+                    ["ST", 1.0],            # wrong arity
+                    "ST",                   # not a list at all
+                    ["ST", 1.0, 0.5]):      # float priority
+            payload["launches"] = [["ST", 1.0, 0], bad]
+            problems = check_golden_payload(payload)
+            assert any("launches[1]" in p and
+                       "[abbrev, weight, priority]" in p
+                       for p in problems), bad
+
+    def test_mistyped_arbitration_is_named(self):
+        payload = self.golden()
+        payload["arbitration"] = 7
+        problems = check_golden_payload(payload)
+        assert any("'arbitration' must be str" in p and "got int" in p
+                   for p in problems)

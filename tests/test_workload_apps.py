@@ -1,0 +1,122 @@
+"""Unit tests for the multi-kernel application layer (repro.workloads.apps).
+
+Pins the coverage-weight normalization, grid rescaling, stream/priority
+plumbing into LaunchSpecs, address-model sharing, and the canned pool
+registry the concurrent experiments draw from.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TINY, default_config
+from repro.workloads.apps import (
+    APP_POOLS,
+    AppPool,
+    StreamSpec,
+    build_app,
+    get_app,
+)
+from repro.workloads.generator import build_workload
+from repro.workloads.suite import get_spec
+
+CONFIG = default_config(TINY)
+
+
+class TestStreamSpec:
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            StreamSpec("KM", weight=0.0)
+        with pytest.raises(ValueError, match="weight"):
+            StreamSpec("KM", weight=-1.0)
+
+    def test_defaults(self):
+        spec = StreamSpec("KM")
+        assert spec.weight == 1.0
+        assert spec.priority == 0
+        assert spec.label is None
+
+
+class TestAppPool:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError, match="at least one stream"):
+            AppPool("empty", ())
+
+    def test_coverage_normalizes_to_mean_one(self):
+        pool = AppPool("p", (StreamSpec("KM", weight=1.0),
+                             StreamSpec("LB", weight=3.0)))
+        cover = pool.coverage()
+        assert sum(cover) == pytest.approx(len(pool.streams))
+        assert cover == (pytest.approx(0.5), pytest.approx(1.5))
+
+    def test_equal_weights_cover_one_each(self):
+        pool = AppPool("p", (StreamSpec("KM"), StreamSpec("LB"),
+                             StreamSpec("HS")))
+        assert pool.coverage() == (1.0, 1.0, 1.0)
+
+
+class TestCannedPools:
+    def test_registry_well_formed(self):
+        assert APP_POOLS, "no canned pools registered"
+        for name, pool in APP_POOLS.items():
+            assert pool.name == name
+            assert len(pool.streams) >= 2, (
+                f"{name}: concurrent pools need at least two streams")
+
+    def test_get_app_returns_registered_pool(self):
+        for name in APP_POOLS:
+            assert get_app(name) is APP_POOLS[name]
+
+    def test_get_app_unknown_lists_alternatives(self):
+        with pytest.raises(KeyError) as exc:
+            get_app("nonsense")
+        message = str(exc.value)
+        for name in APP_POOLS:
+            assert name in message
+
+
+class TestBuildApp:
+    def test_one_spec_per_stream_with_stream_ids(self):
+        pool = APP_POOLS["st+km"]
+        specs = build_app(pool, CONFIG, TINY)
+        assert len(specs) == len(pool.streams)
+        assert [s.stream for s in specs] == list(range(len(specs)))
+
+    def test_equal_weights_keep_standalone_grids(self):
+        specs = build_app(APP_POOLS["st+km"], CONFIG, TINY)
+        for stream, spec in zip(APP_POOLS["st+km"].streams, specs):
+            standalone = build_workload(get_spec(stream.abbrev),
+                                        CONFIG, TINY)
+            assert spec.kernel.geometry.grid_ctas \
+                == standalone.kernel.geometry.grid_ctas
+
+    def test_weights_rescale_grids(self):
+        km = build_workload(get_spec("KM"), CONFIG, TINY)
+        lb = build_workload(get_spec("LB"), CONFIG, TINY)
+        pool = AppPool("skew", (StreamSpec("KM", weight=3.0),
+                                StreamSpec("LB", weight=1.0)))
+        heavy, light = build_app(pool, CONFIG, TINY)
+        assert heavy.kernel.geometry.grid_ctas == max(
+            1, round(km.kernel.geometry.grid_ctas * 1.5))
+        assert light.kernel.geometry.grid_ctas == max(
+            1, round(lb.kernel.geometry.grid_ctas * 0.5))
+
+    def test_tiny_weight_clamps_grid_to_one(self):
+        pool = AppPool("starved", (StreamSpec("KM", weight=1000.0),
+                                   StreamSpec("LB", weight=0.001)))
+        __, starved = build_app(pool, CONFIG, TINY)
+        assert starved.kernel.geometry.grid_ctas == 1
+
+    def test_streams_share_one_address_model(self):
+        specs = build_app(APP_POOLS["hs+lb"], CONFIG, TINY)
+        first = specs[0].address_model
+        assert all(s.address_model is first for s in specs)
+
+    def test_priority_and_label_plumbed_through(self):
+        pool = AppPool("prio", (StreamSpec("KM", priority=2, label="hot"),
+                                StreamSpec("LB")))
+        hot, cold = build_app(pool, CONFIG, TINY)
+        assert hot.priority == 2
+        assert hot.label == "hot"
+        assert cold.priority == 0
+        assert cold.label is None
