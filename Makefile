@@ -3,8 +3,8 @@
 PYTHON ?= python
 SCALE ?= small
 
-.PHONY: install test bench bench-fast report calibrate analyze typecheck \
-	trace clean
+.PHONY: install test bench bench-fast report calibrate analyze \
+	analyze-effects typecheck trace clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || \
@@ -29,16 +29,24 @@ bench-out:
 report:
 	$(PYTHON) -m repro.experiments.run_all --scale $(SCALE) --out results
 
-# Static kernel verifier + determinism lint + verifier self-test (docs/ANALYZE.md).
+# Static kernel verifier + determinism lint + effects audit + self-tests
+# (docs/ANALYZE.md).
 analyze:
-	PYTHONPATH=src $(PYTHON) -m repro analyze --suite --lint --self-test
+	PYTHONPATH=src $(PYTHON) -m repro analyze --suite --lint --effects \
+		--self-test
 
-# mypy strict-equivalent on repro.core / repro.isa / repro.analyze
-# (config: pyproject.toml).  Skips gracefully when mypy is not installed,
-# so offline checkouts can still run the rest of the targets.
+# Engine-equivalence effects audit alone, strict (warnings fail too).
+analyze-effects:
+	PYTHONPATH=src $(PYTHON) -m repro analyze --effects --strict
+
+# mypy strict-equivalent on repro.core / repro.isa / repro.analyze plus the
+# engine seam (repro.sim.backend / repro.sim.launch); config: pyproject.toml.
+# Skips gracefully when mypy is not installed, so offline checkouts can
+# still run the rest of the targets.
 typecheck:
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
-		$(PYTHON) -m mypy src/repro/core src/repro/isa src/repro/analyze; \
+		$(PYTHON) -m mypy src/repro/core src/repro/isa src/repro/analyze \
+			src/repro/sim/backend.py src/repro/sim/launch.py; \
 	else \
 		echo "typecheck: mypy not installed, skipping (pip install mypy)"; \
 	fi

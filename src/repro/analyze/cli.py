@@ -1,12 +1,16 @@
 """Implementation of ``python -m repro analyze``.
 
-Modes (combinable; with no mode flags the suite *and* the lint run):
+Modes (combinable; with no mode flags the suite, the lint *and* the
+effects audit run):
 
 * positional apps / ``--suite`` — static kernel verifier over Table-II
   workloads
 * ``--figure NAME|all`` — verify the distinct kernels of a campaign plan
-* ``--lint`` — determinism lint over ``src/repro`` (or ``--lint-path``)
-* ``--self-test`` — the six-broken-kernels verifier self-test
+* ``--lint`` — determinism lint over ``src/repro`` + ``tools/`` (or
+  ``--lint-path``)
+* ``--effects`` — engine-equivalence effects audit of the fast-path gates
+* ``--self-test`` — the broken-kernel verifier self-test plus the
+  seeded-fault effects-audit self-test
 
 Exit status is 0 only when no error-severity finding was produced (and,
 under ``--strict``, no warning either), which is what the CI gate keys on.
@@ -20,7 +24,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.config import SCALES, default_config
 from repro.validate.findings import FindingReport
-from repro.analyze.lint import lint_paths
+from repro.analyze.effects import audit_effects
+from repro.analyze.effects_selftest import run_effects_self_test
+from repro.analyze.lint import default_lint_paths, lint_paths
 from repro.analyze.selftest import run_self_test
 from repro.analyze.verifier import AnalysisReport, verify_requests, verify_suite
 
@@ -56,13 +62,14 @@ def _figure_requests(figure: str, scale_name: str) -> List[object]:
 
 def run_analyze(apps: Sequence[str] = (), suite: bool = False,
                 figure: Optional[str] = None, lint: bool = False,
-                self_test: bool = False,
+                effects: bool = False, self_test: bool = False,
                 lint_roots: Optional[Sequence[str]] = None,
                 scale_name: str = "tiny", strict: bool = False,
                 as_json: bool = False) -> int:
     run_kernels = suite or bool(apps) or figure is not None
-    if not (run_kernels or lint or self_test):
-        run_kernels = lint = True      # bare `repro analyze` checks everything
+    if not (run_kernels or lint or effects or self_test):
+        # bare `repro analyze` checks everything
+        run_kernels = lint = effects = True
         suite = not apps
 
     combined = FindingReport()
@@ -92,7 +99,7 @@ def run_analyze(apps: Sequence[str] = (), suite: bool = False,
         roots = [Path(p) for p in lint_roots] if lint_roots else None
         lint_report = lint_paths(roots)
         if not as_json:
-            where = ", ".join(str(p) for p in (roots or ["src/repro"]))
+            where = ", ".join(str(p) for p in (roots or default_lint_paths()))
             print(f"determinism lint over {where}: "
                   f"{len(lint_report.errors)} error(s), "
                   f"{len(lint_report.warnings)} warning(s)")
@@ -101,6 +108,21 @@ def run_analyze(apps: Sequence[str] = (), suite: bool = False,
         combined.extend(lint_report.findings)
         sections.append({"kind": "lint",
                          "findings": lint_report.to_dicts()})
+
+    if effects:
+        effects_report = audit_effects()
+        if not as_json:
+            infos = (len(effects_report) - len(effects_report.errors)
+                     - len(effects_report.warnings))
+            print(f"engine-equivalence effects audit: "
+                  f"{len(effects_report.errors)} error(s), "
+                  f"{len(effects_report.warnings)} warning(s), "
+                  f"{infos} advisory")
+            for finding in effects_report:
+                print(f"  {finding.format()}")
+        combined.extend(effects_report.findings)
+        sections.append({"kind": "effects",
+                         "findings": effects_report.to_dicts()})
 
     if self_test:
         self_reports = run_self_test()
@@ -120,6 +142,25 @@ def run_analyze(apps: Sequence[str] = (), suite: bool = False,
             {"name": r.case.name, "tag": r.case.tag,
              "detected": r.detected, "tags": list(r.tags)}
             for r in self_reports]})
+
+        fault_reports = run_effects_self_test()
+        missed_faults = [r for r in fault_reports if not r.detected]
+        if not as_json:
+            print(f"effects-audit self-test: {len(fault_reports)} "
+                  f"seeded faults")
+            for report in fault_reports:
+                status = "DETECTED" if report.detected else "MISSED  "
+                print(f"  {status} {report.case.name} "
+                      f"[{report.case.tag}] -- {report.case.description}")
+                if not report.detected:
+                    detail = report.error or \
+                        f"reported tags: {', '.join(report.tags) or 'none'}"
+                    print(f"           {detail}")
+        ok = ok and not missed_faults
+        sections.append({"kind": "effects-self-test", "cases": [
+            {"name": r.case.name, "tag": r.case.tag,
+             "detected": r.detected, "tags": list(r.tags)}
+            for r in fault_reports]})
 
     ok = ok and not combined.has_errors
     if strict:

@@ -390,6 +390,22 @@ def default_lint_root() -> Path:
     return Path(__file__).resolve().parents[1]
 
 
+def default_lint_paths() -> List[Path]:
+    """Roots the repo-wide gate scans: ``src/repro`` plus ``tools/``.
+
+    ``tools/`` only joins when this checkout looks like the repo (the
+    scripts live outside the package, so an installed copy has none);
+    wall-clock use in the profiling scripts carries audited
+    ``# lint: allow[...]`` tags.
+    """
+    roots = [default_lint_root()]
+    repo_root = default_lint_root().parents[1]
+    tools = repo_root / "tools"
+    if tools.is_dir() and (repo_root / "pyproject.toml").exists():
+        roots.append(tools)
+    return roots
+
+
 def iter_python_files(roots: Iterable[Path]) -> List[Path]:
     files: List[Path] = []
     for root in roots:
@@ -401,8 +417,12 @@ def iter_python_files(roots: Iterable[Path]) -> List[Path]:
 
 
 def lint_paths(paths: Optional[Sequence[Path]] = None) -> FindingReport:
-    """Lint every python file under the given roots (default: src/repro)."""
-    roots = [default_lint_root()] if not paths else list(paths)
+    """Lint every python file under the given roots.
+
+    Defaults to :func:`default_lint_paths` — ``src/repro`` plus this
+    checkout's ``tools/`` scripts.
+    """
+    roots = default_lint_paths() if not paths else list(paths)
     report = FindingReport()
     for file_path in iter_python_files(roots):
         report.extend(lint_file(file_path))

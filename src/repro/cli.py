@@ -128,12 +128,17 @@ def build_parser() -> argparse.ArgumentParser:
                          default=None,
                          help="verify the kernels of a campaign plan")
     ana_cmd.add_argument("--lint", action="store_true",
-                         help="determinism lint over src/repro")
+                         help="determinism lint over src/repro + tools/")
     ana_cmd.add_argument("--lint-path", action="append", default=None,
                          metavar="PATH",
-                         help="lint these files/dirs instead of src/repro")
+                         help="lint these files/dirs instead of the default "
+                              "roots")
+    ana_cmd.add_argument("--effects", action="store_true",
+                         help="engine-equivalence effects audit of the "
+                              "fast-path gates (docs/ANALYZE.md)")
     ana_cmd.add_argument("--self-test", action="store_true",
-                         help="run the broken-kernel verifier self-test")
+                         help="run the broken-kernel and seeded-fault "
+                              "self-tests")
     ana_cmd.add_argument("--scale", default="tiny", choices=sorted(SCALES))
     ana_cmd.add_argument("--strict", action="store_true",
                          help="warnings fail the gate too")
@@ -300,7 +305,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analyze.cli import run_analyze
     return run_analyze(
         apps=args.apps, suite=args.suite, figure=args.figure,
-        lint=args.lint, self_test=args.self_test,
+        lint=args.lint, effects=args.effects, self_test=args.self_test,
         lint_roots=args.lint_path, scale_name=args.scale,
         strict=args.strict, as_json=args.json)
 

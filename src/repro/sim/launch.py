@@ -17,8 +17,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.bitvector import LiveBitVector
 from repro.core.liveness import LivenessAnalysis, LivenessTable
 from repro.isa.kernel import Kernel
 
@@ -44,7 +45,7 @@ class LaunchSpec:
     label: Optional[str] = None
 
     @classmethod
-    def from_workload(cls, instance, stream: int = 0, priority: int = 0,
+    def from_workload(cls, instance: Any, stream: int = 0, priority: int = 0,
                       label: Optional[str] = None) -> "LaunchSpec":
         """Build a spec from a :class:`~repro.workloads.generator.WorkloadInstance`."""
         return cls(kernel=instance.kernel,
@@ -63,12 +64,12 @@ class KernelLaunch:
                  "warps_per_cta", "threads_per_cta", "regs_per_thread",
                  "shmem_per_cta", "num_instructions", "_trace_memo")
 
-    def __init__(self, index: int, kernel: Kernel, trace_provider,
+    def __init__(self, index: int, kernel: Kernel, trace_provider: Any,
                  liveness: Optional[LivenessTable] = None, *,
                  stream: int = 0, priority: int = 0,
                  label: Optional[str] = None,
                  cta_base: int = 0, warp_base: int = 0, index_base: int = 0,
-                 grid: Optional[deque] = None) -> None:
+                 grid: Optional[Deque[int]] = None) -> None:
         self.index = index
         self.stream = stream
         self.priority = priority
@@ -117,7 +118,8 @@ class KernelLaunch:
         unchanged — identity the vectorized backend's trace tables rely
         on — so single-kernel behaviour is untouched.
         """
-        trace = self.trace_provider.trace_for(local_cta, warp_id)
+        trace: Sequence[int] = self.trace_provider.trace_for(
+            local_cta, warp_id)
         base = self.index_base
         if not base:
             return trace
@@ -238,7 +240,7 @@ def combined_liveness(launches: Sequence[KernelLaunch]) -> LivenessTable:
     """One liveness table over the concatenated static-index space."""
     if len(launches) == 1:
         return launches[0].liveness
-    vectors: list = []
+    vectors: List[LiveBitVector] = []
     num_registers = 0
     for launch in launches:
         table = launch.liveness
@@ -249,7 +251,7 @@ def combined_liveness(launches: Sequence[KernelLaunch]) -> LivenessTable:
                          num_registers=num_registers)
 
 
-def shared_address_model(specs: Sequence[LaunchSpec]):
+def shared_address_model(specs: Sequence[LaunchSpec]) -> object:
     """Validate that all launches can share one address model.
 
     Concurrent launches execute against a single memory hierarchy, so

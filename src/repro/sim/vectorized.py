@@ -86,7 +86,10 @@ _SHARED_BASE = AddressModel.SHARED_BASE
 #: implementation could park or activate CTAs (transit machinery the
 #: runners do not model); bookkeeping hooks (classify_idle / next_event /
 #: wake_time / on_tick / on_idle) because the closed-form accounting
-#: replaces their call sites outright.
+#: replaces their call sites outright.  The list is machine-checked: the
+#: effect auditor (``repro.analyze.effects``, ``make analyze-effects``)
+#: derives the engine-reachable base-policy surface from the source and
+#: fails CI if a reachable hook is missing here or an entry goes stale.
 _INERT_POLICY_ATTRS = (
     "fill", "can_launch", "register_space_for_launch", "note_launched",
     "on_cta_stalled", "on_cta_finished", "on_tick", "on_idle",
@@ -94,6 +97,7 @@ _INERT_POLICY_ATTRS = (
     "on_issue", "extras",
     "can_launch_for", "_launch_regs", "register_space_for",
     "_pop_ready_swap", "_pop_ready_fitting", "_new_cta_feasible",
+    "stalled_active_ctas",
 )
 
 #: SM methods the runners bypass (vs. call dynamically): an instance-level
@@ -103,17 +107,29 @@ _BYPASSED_SM_ATTRS = ("accumulate", "next_event", "next_event_fast",
                       "_step_fast")
 
 
+def instance_overrides(obj, names):
+    """Names from ``names`` shadowed in ``obj``'s instance dict.
+
+    An instance-level attribute shadows the class-level method the engine
+    would otherwise resolve, so any hit disqualifies the fast path.  Shared
+    by ``policy_inert`` / ``run_eligible`` and imported by the effect
+    auditor (``repro.analyze.effects``) so the bypass scan has one
+    implementation.
+    """
+    instance_dict = getattr(obj, "__dict__", None)
+    if not instance_dict:
+        return ()
+    return tuple(name for name in names if name in instance_dict)
+
+
 def policy_inert(policy) -> bool:
     """True when ``policy`` is observably the base no-op policy."""
     cls = type(policy)
     for name in _INERT_POLICY_ATTRS:
         if getattr(cls, name) is not getattr(RegisterFilePolicy, name):
             return False
-    instance_dict = getattr(policy, "__dict__", None)
-    if instance_dict:
-        for name in _INERT_POLICY_ATTRS:
-            if name in instance_dict:
-                return False
+    if instance_overrides(policy, _INERT_POLICY_ATTRS):
+        return False
     return not policy.needs_issue_hook and not policy._blocked_on_rf
 
 
@@ -136,10 +152,8 @@ def run_eligible(gpu) -> bool:
     for sm in gpu.sms:
         if not sm.fast_step_eligible():
             return False
-        instance_dict = sm.__dict__
-        for name in _BYPASSED_SM_ATTRS:
-            if name in instance_dict:
-                return False
+        if instance_overrides(sm, _BYPASSED_SM_ATTRS):
+            return False
         if not policy_inert(sm._policy):
             return False
     return True

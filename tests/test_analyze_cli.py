@@ -54,7 +54,7 @@ class TestJsonOutput:
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is True
         kinds = {section["kind"] for section in payload["sections"]}
-        assert kinds == {"self-test"}
+        assert kinds == {"self-test", "effects-self-test"}
 
     def test_json_reports_failures(self, tmp_path, capsys):
         probe = tmp_path / "probe.py"
