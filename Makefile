@@ -4,7 +4,7 @@ PYTHON ?= python
 SCALE ?= small
 
 .PHONY: install test bench bench-fast report calibrate analyze \
-	analyze-effects typecheck trace clean
+	analyze-effects typecheck trace obs-report clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || \
@@ -60,6 +60,13 @@ trace:
 		--scale tiny \
 		--perfetto results/trace-$(APP)-$(POLICY).json \
 		--timeline results/timeline-$(APP)-$(POLICY).json
+
+# Observed campaign: JSONL event log + live progress, then the log
+# summary ("Orchestration observability" in docs/TELEMETRY.md).
+obs-report:
+	REPRO_OBS=1 PYTHONPATH=src $(PYTHON) -m repro.experiments.run_all \
+		--scale $(SCALE) --out results --progress
+	PYTHONPATH=src $(PYTHON) -m repro obs summarize results/obs.jsonl
 
 calibrate:
 	$(PYTHON) tools/calibrate.py $(SCALE)

@@ -24,6 +24,14 @@ lint statically flags the code patterns that silently break that purity:
 * ``module-state`` (warning) — a module-level mutable container that some
   function in the same module mutates.  Such state leaks across
   simulations within one ``experiments.parallel`` worker process.
+* ``wall-clock-allowance`` (error) — a *suppressed* wall-clock read in a
+  file outside the sanctioned clock modules
+  (:data:`_CLOCK_EXEMPT_SUFFIXES`).  Host-time reads are confined to
+  ``repro.obs.clock``, ``repro.telemetry.selfprof`` and the ``tools/``
+  benchmark scripts; everything else must route through those modules so
+  the audit surface stays one file per tier.  This fires on the
+  suppression itself, so sprinkling ``# lint: allow[wall-clock]`` in new
+  code fails the gate rather than silently widening the exemption.
 
 Suppression: append ``# lint: allow[<tag>]`` (or a bare ``# lint: allow``)
 to the offending line.  Suppressions are deliberate, reviewable markers —
@@ -62,6 +70,17 @@ _CLOCK_CALLS = {
 }
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*allow(?:\[([a-z0-9_,\- ]+)\])?")
+
+#: Files whose audited ``# lint: allow[wall-clock]`` tags are sanctioned:
+#: the one clock module per tier (simulator telemetry, campaign
+#: observability) plus the host-benchmark scripts.  A suppressed
+#: wall-clock read anywhere else raises ``wall-clock-allowance``.
+_CLOCK_EXEMPT_SUFFIXES: Tuple[str, ...] = (
+    "repro/telemetry/selfprof.py",
+    "repro/obs/clock.py",
+    "tools/profile_sim.py",
+    "tools/calibrate.py",
+)
 
 _MUTATING_METHODS = {"add", "append", "extend", "update", "pop", "popitem",
                      "clear", "remove", "discard", "insert", "setdefault",
@@ -102,6 +121,9 @@ class _ModuleLinter(ast.NodeVisitor):
         self.path = path
         self.findings: List[Finding] = []
         self._suppress = _suppressions(source)
+        posix = Path(path).as_posix()
+        self._clock_exempt = any(posix.endswith(suffix)
+                                 for suffix in _CLOCK_EXEMPT_SUFFIXES)
         # Aliases under which hazard modules are imported in this file.
         self._random_aliases: Set[str] = set()
         self._clock_aliases: Dict[str, str] = {}   # local name -> module
@@ -124,6 +146,16 @@ class _ModuleLinter(ast.NodeVisitor):
         line = getattr(node, "lineno", 0)
         allowed = self._suppress.get(line, ...)
         if allowed is None or (allowed is not ... and tag in allowed):
+            if tag == "wall-clock" and not self._clock_exempt:
+                self.findings.append(Finding(
+                    tag="wall-clock-allowance", severity=Severity.ERROR,
+                    message=(
+                        "suppressed wall-clock read outside the sanctioned "
+                        "clock modules; route host timing through "
+                        "repro.obs.clock (campaign tier) or "
+                        "repro.telemetry.selfprof (simulator telemetry) "
+                        "instead of widening the exemption"),
+                    source="determinism-lint", path=self.path, line=line))
             return
         self.findings.append(Finding(
             tag=tag, severity=severity, message=message,

@@ -110,8 +110,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     cache_cmd = sub.add_parser(
         "cache", help="inspect or clear the persistent result cache")
-    cache_cmd.add_argument("action", choices=("info", "clear"))
+    cache_cmd.add_argument("action", choices=("info", "stats", "clear"))
+    cache_cmd.add_argument("--log", default=None, metavar="OBS_LOG",
+                           help="campaign obs log to source hit/miss "
+                                "counters from (stats only)")
+    cache_cmd.add_argument("--json", action="store_true",
+                           help="machine-readable stats on stdout")
     cache_cmd.set_defaults(func=cmd_cache)
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="inspect campaign observability logs + perf trajectory")
+    obs_cmd.add_argument("action", choices=("summarize", "tail", "perfetto",
+                                            "perf-trajectory"))
+    obs_cmd.add_argument("log", nargs="?", default=None,
+                         help="campaign JSONL event log "
+                              "(run_all --obs-log / REPRO_OBS=1)")
+    obs_cmd.add_argument("--out", default=None, metavar="PATH",
+                         help="output path for the perfetto export")
+    obs_cmd.add_argument("-n", "--last", type=int, default=20,
+                         help="events to show for tail (default 20)")
+    obs_cmd.add_argument("--history", default=None, metavar="PATH",
+                         help="BENCH history file for perf-trajectory "
+                              "(default BENCH_history.jsonl)")
+    obs_cmd.add_argument("--threshold", type=float, default=0.20,
+                         help="fractional throughput drop flagged as a "
+                              "regression (default 0.20)")
+    obs_cmd.add_argument("--strict", action="store_true",
+                         help="exit non-zero on regressions or "
+                              "reconciliation problems")
+    obs_cmd.add_argument("--json", action="store_true",
+                         help="machine-readable output on stdout")
+    obs_cmd.set_defaults(func=cmd_obs)
 
     ovh_cmd = sub.add_parser("overhead", help="FineReg SRAM budget (V-F)")
     ovh_cmd.set_defaults(func=cmd_overhead)
@@ -270,6 +300,36 @@ def cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.root}")
         return 0
+    if args.action == "stats":
+        import json as _json
+        stats = cache.stats()
+        if args.log:
+            # A fresh CLI process has no live counters; a campaign obs log
+            # carries the real lookup traffic.
+            from repro.obs.events import events_of, load_log
+            lookups = events_of(load_log(args.log), "cache_lookup")
+            stats["hits"] = sum(1 for e in lookups if e["hit"])
+            stats["misses"] = len(lookups) - stats["hits"]
+            stats["counters_from"] = args.log
+        if args.json:
+            print(_json.dumps(stats, indent=1, sort_keys=True))
+            return 0
+        rows = [
+            ["directory", stats["root"]],
+            ["state", "enabled" if stats["enabled"]
+             else "disabled (REPRO_CACHE=off)"],
+            ["entries", stats["entries"]],
+            ["size (KB)", f"{stats['total_bytes'] / 1024:.1f}"],
+        ]
+        for version, count in stats["schema_versions"].items():
+            rows.append([f"schema v{version}", count])
+        rows.append(["hits", stats["hits"]])
+        rows.append(["misses", stats["misses"]])
+        if "counters_from" in stats:
+            rows.append(["counters from", stats["counters_from"]])
+        print(format_table(["field", "value"], rows,
+                           title="Persistent result cache — stats"))
+        return 0
     entries = cache.entries()
     total = sum(path.stat().st_size for path in entries)
     state = "enabled" if cache_enabled() else "disabled (REPRO_CACHE=off)"
@@ -282,6 +342,15 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print(format_table(["field", "value"], rows,
                        title="Persistent result cache"))
     return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    # Lazy import: the observability readers are only needed here.
+    from repro.obs.cli import run_obs
+    return run_obs(args.action, log=args.log, out=args.out,
+                   last=args.last, history=args.history,
+                   threshold=args.threshold, strict=args.strict,
+                   as_json=args.json)
 
 
 def cmd_overhead(args: argparse.Namespace) -> int:

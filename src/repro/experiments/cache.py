@@ -98,6 +98,10 @@ class ResultCache:
         self.enabled = cache_enabled() if enabled is None else enabled
         self.hits = 0
         self.misses = 0
+        #: Optional :class:`repro.obs.session.ObsSession`.  When set, reads
+        #: and writes are timed and logged by the session; the off path
+        #: costs exactly this one ``is not None`` test.
+        self.obs = None
 
     @classmethod
     def from_env(cls) -> "ResultCache":
@@ -110,6 +114,12 @@ class ResultCache:
     def get(self, key: str) -> Optional[SimResult]:
         if not self.enabled:
             return None
+        if self.obs is not None:
+            return self.obs.timed_cache_get(self, key)
+        return self._get(key)
+
+    def _get(self, key: str) -> Optional[SimResult]:
+        """The untimed lookup; observability wraps this, never alters it."""
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
@@ -123,15 +133,23 @@ class ResultCache:
     def put(self, key: str, result: SimResult) -> None:
         if not self.enabled:
             return
+        if self.obs is not None:
+            self.obs.timed_cache_put(self, key, result)
+            return
+        self._put(key, result)
+
+    def _put(self, key: str, result: SimResult) -> int:
+        """The untimed store; returns the bytes written (0 on failure)."""
         path = self._path(key)
+        blob = json.dumps({"key": key, "result": result.to_json()})
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            tmp.write_text(json.dumps({"key": key,
-                                       "result": result.to_json()}))
+            tmp.write_text(blob)
             os.replace(tmp, path)  # atomic: concurrent writers race safely
         except OSError:
-            pass
+            return 0
+        return len(blob.encode("utf-8"))
 
     # ------------------------------------------------------------------
     def entries(self):
@@ -149,6 +167,35 @@ class ResultCache:
             except OSError:
                 pass
         return removed
+
+    def stats(self) -> Dict:
+        """Inventory for ``repro cache stats``: counts, bytes, schemas.
+
+        Walks every entry, so this is a CLI/diagnostic call, not a hot
+        path.  Unreadable entries are counted under ``"unreadable"``
+        rather than raised -- consistent with get()'s miss-on-damage.
+        """
+        entries = self.entries()
+        total = 0
+        schemas: Dict[str, int] = {}
+        for path in entries:
+            version = "unreadable"
+            try:
+                total += path.stat().st_size
+                payload = json.loads(path.read_text())
+                version = str(payload["result"].get("_schema", "?"))
+            except (OSError, ValueError, KeyError, TypeError):
+                pass
+            schemas[version] = schemas.get(version, 0) + 1
+        return {
+            "root": str(self.root),
+            "enabled": self.enabled,
+            "entries": len(entries),
+            "total_bytes": total,
+            "schema_versions": {k: schemas[k] for k in sorted(schemas)},
+            "hits": self.hits,
+            "misses": self.misses,
+        }
 
     def __len__(self) -> int:
         return len(self.entries())

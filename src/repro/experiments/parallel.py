@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -94,17 +95,26 @@ def _workload_for(abbrev: str, reference: GPUConfig,
 
 def simulate_request(scale: Scale, base_config: GPUConfig,
                      request: RunRequest,
-                     instance: Optional[WorkloadInstance] = None
-                     ) -> SimResult:
-    """Execute one request from scratch (mirrors ``ExperimentRunner.run``)."""
+                     instance: Optional[WorkloadInstance] = None,
+                     obs=None) -> SimResult:
+    """Execute one request from scratch (mirrors ``ExperimentRunner.run``).
+
+    ``obs`` is an optional span source (:class:`repro.obs.session.ObsSession`
+    in-process, :class:`~repro.obs.session.WorkerObs` in a pool worker)
+    whose ``phase(name)`` times the workload-build / engine-run / serialize
+    stages.  Observation-only: the returned SimResult is byte-identical
+    with or without it, and the off path costs one ``is not None`` test.
+    """
     # Imported lazily: runner.py imports this module for RunRequest.
     from repro.experiments.runner import POLICIES
     from repro.policies.unified_memory import apply_unified_memory
 
+    phase = obs.phase if obs is not None else (lambda name: nullcontext())
     config = request.config if request.config is not None else base_config
     if instance is None:
         reference = base_config.with_num_sms(config.num_sms)
-        instance = _workload_for(request.abbrev, reference, scale)
+        with phase("workload-build"):
+            instance = _workload_for(request.abbrev, reference, scale)
     factory = POLICIES[request.policy](**request.kwargs)
     gpu = GPU(
         config,
@@ -125,11 +135,15 @@ def simulate_request(scale: Scale, base_config: GPUConfig,
         from repro.telemetry.session import attach_telemetry
         tracer = attach_tracer(gpu, level="warp")
         session = attach_telemetry(gpu)
-        result = gpu.run(max_cycles=scale.max_cycles, engine=request.engine)
-        write_run_telemetry(scale, base_config, request, session, result,
-                            tracer=tracer)
+        with phase("engine-run"):
+            result = gpu.run(max_cycles=scale.max_cycles,
+                             engine=request.engine)
+        with phase("serialize"):
+            write_run_telemetry(scale, base_config, request, session,
+                                result, tracer=tracer)
         return result
-    return gpu.run(max_cycles=scale.max_cycles, engine=request.engine)
+    with phase("engine-run"):
+        return gpu.run(max_cycles=scale.max_cycles, engine=request.engine)
 
 
 #: Directory for per-run telemetry artifacts (override via env).
@@ -188,21 +202,51 @@ def _simulate_payload(payload: Payload) -> SimResult:
     return simulate_request(scale, base_config, request)
 
 
+def _simulate_indexed_payload(item: Tuple[int, Payload]):
+    """Observed worker entry: returns (index, result, worker obs report).
+
+    The index lets the parent reassemble ``imap_unordered`` arrivals into
+    input order, so the returned result list is identical to ``pool.map``'s.
+    """
+    from repro.obs.session import WorkerObs
+
+    index, (scale, base_config, request) = item
+    worker_obs = WorkerObs()
+    result = simulate_request(scale, base_config, request, obs=worker_obs)
+    return index, result, worker_obs.report()
+
+
 def default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
 
 
 def run_requests(payloads: Sequence[Payload],
-                 jobs: Optional[int] = None) -> List[SimResult]:
+                 jobs: Optional[int] = None,
+                 obs=None) -> List[SimResult]:
     """Simulate every payload, in order, over a process pool.
 
     Falls back to in-process execution for trivial batches (or ``jobs<=1``)
     where pool startup would dominate.
+
+    With an :class:`~repro.obs.session.ObsSession` attached, each payload
+    gets a ``request`` span, workers ship their phase spans back alongside
+    the result, and the parent polls arrivals with a timeout so heartbeat
+    gaps (stalled workers) surface while the pool is quiet.  Results are
+    reassembled by index, so ordering — and every SimResult byte — is
+    identical to the unobserved path.
     """
     jobs = default_jobs() if jobs is None else max(1, jobs)
     jobs = min(jobs, len(payloads)) or 1
     if jobs <= 1 or len(payloads) <= 1:
-        return [_simulate_payload(p) for p in payloads]
+        if obs is None:
+            return [_simulate_payload(p) for p in payloads]
+        results: List[SimResult] = []
+        for index, payload in enumerate(payloads):
+            scale, base_config, request = payload
+            with obs.run_scope(request, index=index):
+                results.append(simulate_request(scale, base_config,
+                                                request, obs=obs))
+        return results
     try:
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-fork platforms
@@ -210,4 +254,24 @@ def run_requests(payloads: Sequence[Payload],
     with ctx.Pool(processes=jobs) as pool:
         # chunksize=1: run times vary wildly across policies/apps, so fine
         # dispatch keeps the pool balanced.
-        return pool.map(_simulate_payload, payloads, chunksize=1)
+        if obs is None:
+            return pool.map(_simulate_payload, payloads, chunksize=1)
+        obs.pool_begin(jobs, len(payloads))
+        spans = [obs.open_request(request)
+                 for __, __, request in payloads]
+        slots: List[Optional[SimResult]] = [None] * len(payloads)
+        arrivals = pool.imap_unordered(_simulate_indexed_payload,
+                                       list(enumerate(payloads)),
+                                       chunksize=1)
+        remaining = len(payloads)
+        while remaining:
+            try:
+                index, result, report = arrivals.next(timeout=obs.tick_s)
+            except multiprocessing.TimeoutError:
+                obs.idle_tick()
+                continue
+            slots[index] = result
+            obs.pool_run_complete(index, payloads[index][2], spans[index],
+                                  report)
+            remaining -= 1
+        return slots  # type: ignore[return-value]

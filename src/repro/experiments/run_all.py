@@ -19,12 +19,16 @@ from __future__ import annotations
 import argparse
 import importlib
 import json
-import time
+import os
+from contextlib import nullcontext
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.config import SCALES
 from repro.experiments.runner import ExperimentRunner
+from repro.obs import OBS_LOG_ENV, ObsSession, obs_enabled
+from repro.obs import clock
+from repro.obs.spans import phase_rows
 from repro.telemetry.rollup import render_rollup, rollup_results
 from repro.telemetry.selfprof import SelfProfiler
 
@@ -90,26 +94,35 @@ def run_campaign(runner: ExperimentRunner,
     """
     if profiler is None:
         profiler = SelfProfiler()
+    obs = getattr(runner, "obs", None)
+
+    def obs_phase(name: str):
+        return obs.phase(name) if obs is not None else nullcontext()
+
     if jobs is None or jobs > 1:
-        with profiler.phase("plan+prefetch") as timer:
+        with profiler.phase("plan+prefetch") as timer, \
+                obs_phase("plan+prefetch"):
             runner.run_many(campaign_plan(runner, modules), jobs=jobs)
             timer.sim_cycles = sum(
                 r.cycles for __, r in runner.memoized_results())
     results = []
-    with profiler.phase("render"):
+    with profiler.phase("render"), obs_phase("render"):
         for name, __ in CAMPAIGN:
             if modules is not None and name not in modules:
                 continue
             module = importlib.import_module(f"repro.experiments.{name}")
-            started = time.time()  # lint: allow[wall-clock] (report timing only)
-            result = module.run(runner)
-            result.summary["_elapsed_s"] = time.time() - started  # lint: allow[wall-clock]
+            started = clock.monotonic()
+            with obs_phase(f"render:{name}"):
+                result = module.run(runner)
+            result.summary["_elapsed_s"] = clock.monotonic() - started
             results.append(result)
     return results
 
 
 def write_report(results, path: Path, scale_name: str,
-                 rollup_text: Optional[str] = None) -> None:
+                 rollup_text: Optional[str] = None,
+                 phase_breakdown: Optional[
+                     Sequence[Tuple[str, str, float]]] = None) -> None:
     lines = [
         "# FineReg reproduction — full evaluation campaign",
         "",
@@ -134,6 +147,18 @@ def write_report(results, path: Path, scale_name: str,
         lines.append(rollup_text)
         lines.append("```")
         lines.append("")
+    if phase_breakdown:
+        lines.append("## Campaign phase breakdown")
+        lines.append("")
+        lines.append("Wall-clock spans of the orchestration tier "
+                     "(docs/TELEMETRY.md, \"Orchestration observability\"); "
+                     "child phases sum to at most their parent.")
+        lines.append("")
+        lines.append("```")
+        for within, name, dur_s in phase_breakdown:
+            lines.append(f"{within:>14} / {name:<24} {dur_s:10.3f}s")
+        lines.append("```")
+        lines.append("")
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text("\n".join(lines))
 
@@ -147,24 +172,55 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for the campaign pool "
                              "(default: all CPUs; 1 = serial)")
+    parser.add_argument("--progress", action="store_true",
+                        help="live completed/total + ETA on stderr "
+                             "(stall warnings land in the obs log)")
+    parser.add_argument("--obs-log", default=None, metavar="PATH",
+                        help="write the campaign JSONL event log here "
+                             "(default with REPRO_OBS=1: <out>/obs.jsonl; "
+                             "inspect with `repro obs`)")
     args = parser.parse_args(argv)
 
     runner = ExperimentRunner(scale=SCALES[args.scale])
     modules = args.only.split(",") if args.only else None
     profiler = SelfProfiler()
+
+    # The observability session always runs in-memory (spans feed the
+    # REPORT.md breakdown); the JSONL log is written only when asked for.
+    log_path = args.obs_log
+    if log_path is None and obs_enabled():
+        log_path = os.environ.get(OBS_LOG_ENV) \
+            or str(Path(args.out) / "obs.jsonl")
+    session = ObsSession(log_path=log_path, progress=args.progress)
+    runner.attach_obs(session)
+    from repro.experiments.parallel import default_jobs
+    planned = len(set(campaign_plan(runner, modules)))
+    session.campaign_begin(
+        total=planned,
+        jobs=args.jobs if args.jobs is not None else default_jobs(),
+        label=f"run_all:{args.scale}")
+
     results = run_campaign(runner, modules, jobs=args.jobs,
                            profiler=profiler)
     rollup = rollup_results(runner.memoized_results())
     report = Path(args.out) / "REPORT.md"
-    with profiler.phase("report"):
+    with profiler.phase("report"), session.phase("report"):
         write_report(results, report, args.scale,
-                     rollup_text=render_rollup(rollup))
+                     rollup_text=render_rollup(rollup),
+                     phase_breakdown=phase_rows(session.recorder.spans))
+    session.campaign_end()
+    session.close()
     bench = Path(args.out) / "BENCH_campaign.json"
     payload = profiler.as_payload()
     payload["rollup"] = rollup
+    payload["obs"] = session.summary()
     bench.write_text(json.dumps(payload, indent=2, sort_keys=True))
     print(f"wrote {report} ({len(results)} experiments)")
     print(f"wrote {bench} (self-profile, {profiler.total_wall_s:.1f}s)")
+    if log_path:
+        rate = session.metrics.hit_rate()
+        rate_text = f"{rate:.1%}" if rate is not None else "n/a"
+        print(f"wrote {log_path} (obs log; cache hit rate {rate_text})")
     for result in results:
         keys = [k for k in result.summary if not k.startswith("_")][:3]
         brief = ", ".join(f"{k}={result.summary[k]:.3g}" for k in keys)

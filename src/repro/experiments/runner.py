@@ -18,6 +18,7 @@ this class.
 from __future__ import annotations
 
 import dataclasses
+from contextlib import nullcontext
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.config import GPUConfig, SMALL, Scale, default_config
@@ -59,13 +60,29 @@ class ExperimentRunner:
 
     def __init__(self, scale: Scale = SMALL,
                  config: Optional[GPUConfig] = None,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 obs=None) -> None:
         self.scale = scale
         self.base_config = config if config is not None \
             else default_config(scale)
         self.cache = cache if cache is not None else ResultCache.from_env()
         self._results: Dict[Tuple, SimResult] = {}
         self._workloads: Dict[Tuple, WorkloadInstance] = {}
+        #: Optional :class:`repro.obs.session.ObsSession`: spans around the
+        #: scheduling/pool/store phases, timed cache traffic, and per-run
+        #: events.  ``None`` (the default) costs one ``is not None`` test.
+        self.obs = None
+        if obs is not None:
+            self.attach_obs(obs)
+
+    def attach_obs(self, obs) -> None:
+        """Wire an observability session into this runner and its cache."""
+        self.obs = obs
+        self.cache.obs = obs
+
+    def _obs_phase(self, name: str):
+        return self.obs.phase(name) if self.obs is not None \
+            else nullcontext()
 
     # ------------------------------------------------------------------
     def workload(self, abbrev: str,
@@ -119,11 +136,16 @@ class ExperimentRunner:
         disk_key = self._persistent_key(request, config)
         result = None if request.telemetry else self.cache.get(disk_key)
         if result is None:
-            # In-process runs share workload instances with direct
-            # ``workload()`` callers via the runner's own memo.
-            instance = self.workload(request.abbrev, config)
-            result = simulate_request(self.scale, self.base_config, request,
-                                      instance=instance)
+            scope = self.obs.run_scope(request) if self.obs is not None \
+                else nullcontext()
+            with scope:
+                # In-process runs share workload instances with direct
+                # ``workload()`` callers via the runner's own memo.
+                with self._obs_phase("workload-build"):
+                    instance = self.workload(request.abbrev, config)
+                result = simulate_request(self.scale, self.base_config,
+                                          request, instance=instance,
+                                          obs=self.obs)
             self.cache.put(disk_key, result)
         self._results[key] = result
         return result
@@ -139,32 +161,36 @@ class ExperimentRunner:
         requests = list(requests)
         pending: List[Tuple[Tuple, RunRequest]] = []
         claimed = set()
-        for request in requests:
-            if request.policy not in POLICIES:
-                known = ", ".join(sorted(POLICIES))
-                raise KeyError(
-                    f"unknown policy {request.policy!r}; known: {known}")
-            config = request.config if request.config is not None \
-                else self.base_config
-            key = self._memo_key(request, config)
-            if key in self._results or key in claimed:
-                continue
-            result = None if request.telemetry else \
-                self.cache.get(self._persistent_key(request, config))
-            if result is not None:
-                self._results[key] = result
-                continue
-            claimed.add(key)
-            pending.append((key, request.with_config(config)))
+        with self._obs_phase("cache-lookup"):
+            for request in requests:
+                if request.policy not in POLICIES:
+                    known = ", ".join(sorted(POLICIES))
+                    raise KeyError(
+                        f"unknown policy {request.policy!r}; known: {known}")
+                config = request.config if request.config is not None \
+                    else self.base_config
+                key = self._memo_key(request, config)
+                if key in self._results or key in claimed:
+                    continue
+                result = None if request.telemetry else \
+                    self.cache.get(self._persistent_key(request, config))
+                if result is not None:
+                    self._results[key] = result
+                    continue
+                claimed.add(key)
+                pending.append((key, request.with_config(config)))
 
         if pending:
             payloads = [(self.scale, self.base_config, request)
                         for __, request in pending]
-            results = run_requests(payloads, jobs=jobs)
-            for (key, request), result in zip(pending, results):
-                self._results[key] = result
-                self.cache.put(
-                    self._persistent_key(request, request.config), result)
+            with self._obs_phase("pool-run"):
+                results = run_requests(payloads, jobs=jobs, obs=self.obs)
+            with self._obs_phase("store"):
+                for (key, request), result in zip(pending, results):
+                    self._results[key] = result
+                    self.cache.put(
+                        self._persistent_key(request, request.config),
+                        result)
         return [self._results[self._memo_key(
                     request,
                     request.config if request.config is not None

@@ -1,0 +1,29 @@
+"""Orchestration-tier host clock -- the obs layer's ONE wall-clock module.
+
+Every other `repro.obs` module measures time by calling :func:`monotonic`
+from here; none touches ``time`` directly.  Together with
+``telemetry/selfprof.py`` this is the complete set of modules allowed to
+read the host clock inside ``src/repro``: the determinism lint's
+wall-clock-allowance audit (see ``repro.analyze.lint``) fails any
+``# lint: allow[wall-clock]`` suppression elsewhere, and a test strips the
+tags below to prove they are load-bearing.
+
+Only the *simulator* must be deterministic; the campaign tier measures
+itself with these clocks without ever feeding a reading back into a
+simulation.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def monotonic() -> float:
+    """Monotonic seconds; on Linux (CLOCK_MONOTONIC) comparable across the
+    fork-spawned worker processes of one campaign."""
+    return time.monotonic()  # lint: allow[wall-clock] (campaign self-measurement)
+
+
+def wall_time() -> float:
+    """Unix epoch seconds, for log correlation with the outside world."""
+    return time.time()  # lint: allow[wall-clock] (log correlation only)

@@ -1,0 +1,95 @@
+"""Structured JSONL event log for campaign runs.
+
+One :class:`EventLog` per campaign: events accumulate in memory (for
+in-process consumers like the REPORT.md breakdown and tests) and, when a
+path is given, stream to disk one JSON object per line, flushed per event
+so ``repro obs tail`` can watch a live campaign.
+
+Timestamps come from the injected ``now`` callable (default: the audited
+:mod:`repro.obs.clock`); this module never reads the host clock itself.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.obs import clock
+from repro.obs.schema import OBS_SCHEMA_VERSION, check_obs_event, \
+    check_obs_log_text
+
+
+class ObsLogError(ValueError):
+    """A log file failed schema validation; ``problems`` names the lines."""
+
+    def __init__(self, path: str, problems: List[str]) -> None:
+        self.path = path
+        self.problems = problems
+        preview = "; ".join(problems[:3])
+        super().__init__(f"{path}: invalid obs log ({len(problems)} "
+                         f"problems: {preview} ...)")
+
+
+class EventLog:
+    """Append-only campaign event log (in-memory + optional JSONL file)."""
+
+    def __init__(self, path: Optional[str] = None,
+                 now: Optional[Callable[[], float]] = None) -> None:
+        self.path = Path(path) if path else None
+        self.events: List[Dict] = []
+        self._now = now if now is not None else clock.monotonic
+        self._fh = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "w", encoding="utf-8")
+
+    def emit(self, ev: str, **fields: object) -> Dict:
+        event: Dict[str, object] = {"v": OBS_SCHEMA_VERSION,
+                                    "t": round(self._now(), 6), "ev": ev}
+        event.update(fields)
+        self.events.append(event)
+        if self._fh is not None:
+            self._fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+            self._fh.flush()
+        return event
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+def load_log(path: str) -> List[Dict]:
+    """Parse and schema-validate a JSONL log; raises :class:`ObsLogError`.
+
+    Validation-first by design: every downstream consumer (summarize, the
+    Perfetto exporter, CI) goes through here, so a malformed log fails
+    with named lines instead of corrupting a report.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    problems = check_obs_log_text(text)
+    if problems:
+        raise ObsLogError(str(path), problems)
+    events: List[Dict] = []
+    for line in text.splitlines():
+        if line.strip():
+            events.append(json.loads(line))
+    return events
+
+
+def events_of(events: List[Dict], ev: str) -> List[Dict]:
+    """The sub-list of one event type, in log order."""
+    return [event for event in events if event.get("ev") == ev]
+
+
+# re-exported for convenience of log readers
+__all__ = ["EventLog", "ObsLogError", "load_log", "events_of",
+           "check_obs_event", "OBS_SCHEMA_VERSION"]

@@ -1,0 +1,100 @@
+"""Campaign metrics on the PR-4 :class:`~repro.telemetry.registry.MetricsRegistry`.
+
+The simulator publishes per-run metrics through the registry; the campaign
+tier reuses the exact same primitives one level up: cache hit/miss
+counters with lookup/store latency histograms, per-phase duration
+histograms, run-duration histograms, and worker-pool gauges (utilization,
+queue depth, stall count).  ``snapshot()`` is JSON-ready and deterministic
+in key order, like every registry snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.telemetry.registry import MetricsRegistry
+
+
+class CampaignMetrics:
+    """One registry per campaign, fed by the :class:`~repro.obs.session.ObsSession`."""
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+
+    # -- cache ----------------------------------------------------------
+    def cache_lookup(self, hit: bool, latency_s: float) -> None:
+        registry = self.registry
+        registry.inc("cache.lookups")
+        registry.inc("cache.hits" if hit else "cache.misses")
+        registry.observe("cache.lookup_s", latency_s)
+
+    def cache_store(self, nbytes: int, latency_s: float) -> None:
+        registry = self.registry
+        registry.inc("cache.stores")
+        registry.inc("cache.stored_bytes", nbytes)
+        registry.observe("cache.store_s", latency_s)
+
+    def hit_rate(self) -> Optional[float]:
+        lookups = self.registry.counters.get("cache.lookups", 0)
+        if not lookups:
+            return None
+        return self.registry.counters.get("cache.hits", 0) / lookups
+
+    # -- phases / runs --------------------------------------------------
+    def phase(self, name: str, dur_s: float) -> None:
+        self.registry.observe(f"phase.{name}_s", dur_s)
+
+    def run_complete(self, dur_s: float, pooled: bool) -> None:
+        registry = self.registry
+        registry.inc("runs.completed")
+        registry.inc("runs.pooled" if pooled else "runs.serial")
+        registry.observe("run.duration_s", dur_s)
+
+    # -- worker pool ----------------------------------------------------
+    def worker_gauges(self, jobs: int, workers_seen: int, busy_s: float,
+                      wall_s: float, stalls: int) -> None:
+        registry = self.registry
+        registry.gauge_set("workers.jobs", jobs)
+        registry.gauge_set("workers.seen", workers_seen)
+        registry.gauge_set("workers.stall_events", stalls)
+        if wall_s > 0 and jobs > 0:
+            registry.gauge_set("workers.utilization",
+                               round(busy_s / (jobs * wall_s), 6))
+
+    def queue_depth(self, remaining: int) -> None:
+        self.registry.gauge_set("queue.depth", remaining)
+
+    # ------------------------------------------------------------------
+    def reconcile(self) -> List[str]:
+        """Counter-level invariants (empty list = consistent).
+
+        The acceptance bar from the ISSUE: every cache request is either a
+        hit or a miss, and every lookup latency was observed.
+        """
+        counters = self.registry.counters
+        problems: List[str] = []
+        lookups = counters.get("cache.lookups", 0)
+        hits = counters.get("cache.hits", 0)
+        misses = counters.get("cache.misses", 0)
+        if hits + misses != lookups:
+            problems.append(f"cache hits ({hits}) + misses ({misses}) != "
+                            f"lookups ({lookups})")
+        observed = self.registry.histogram("cache.lookup_s").count
+        if observed != lookups:
+            problems.append(f"cache.lookup_s observed {observed} latencies "
+                            f"for {lookups} lookups")
+        runs = counters.get("runs.completed", 0)
+        split = counters.get("runs.pooled", 0) + counters.get("runs.serial",
+                                                             0)
+        if split != runs:
+            problems.append(f"runs pooled+serial ({split}) != completed "
+                            f"({runs})")
+        return problems
+
+    def snapshot(self) -> Dict:
+        payload = self.registry.snapshot()
+        rate = self.hit_rate()
+        payload["derived"] = {
+            "cache_hit_rate": round(rate, 6) if rate is not None else None,
+        }
+        return payload

@@ -1,0 +1,111 @@
+"""Live campaign progress (ETA from observed durations) + stall detection.
+
+Both classes are pure state machines over injected timestamps -- no clock
+reads here -- so tests drive them with synthetic times and the session
+drives them from :mod:`repro.obs.clock`.
+
+The ETA divides the remaining work by the observed mean per-run duration
+times the pool width: coarse, but it converges as completions arrive and
+needs no prior model of which (app, policy) runs are slow.
+
+Stall detection is heartbeat-based: every completion beats the finishing
+worker (and the pool pseudo-worker :data:`POOL`); a worker whose last beat
+is older than an adaptive threshold -- ``factor x`` the observed mean run
+duration, floored at ``min_threshold_s`` -- is flagged once per silence as
+a straggler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+#: Pseudo-worker id for pool-level liveness: beaten by *any* completion,
+#: so a campaign whose every worker hangs still raises a stall.
+POOL = -1
+
+
+class ProgressTracker:
+    """Completed/total with an ETA from observed per-run durations."""
+
+    def __init__(self, total: int, jobs: int = 1) -> None:
+        self.total = max(0, total)
+        self.jobs = max(1, jobs)
+        self.completed = 0
+        self._dur_sum = 0.0
+        self._dur_count = 0
+
+    def on_complete(self, dur_s: float) -> None:
+        self.completed += 1
+        self._dur_sum += max(0.0, dur_s)
+        self._dur_count += 1
+
+    @property
+    def mean_duration_s(self) -> Optional[float]:
+        if not self._dur_count:
+            return None
+        return self._dur_sum / self._dur_count
+
+    def eta_s(self) -> Optional[float]:
+        """Seconds of pool work left, or ``None`` before the first finish."""
+        mean = self.mean_duration_s
+        if mean is None:
+            return None
+        remaining = max(0, self.total - self.completed)
+        return remaining * mean / self.jobs
+
+    def render(self) -> str:
+        total = self.total if self.total else max(self.total, self.completed)
+        percent = (100.0 * self.completed / total) if total else 100.0
+        eta = self.eta_s()
+        eta_text = f"eta ~{eta:.1f}s" if eta is not None else "eta ?"
+        return (f"{self.completed}/{total} runs ({percent:.0f}%), "
+                f"{eta_text}")
+
+
+class StallDetector:
+    """Flags workers whose heartbeats go silent for too long."""
+
+    def __init__(self, min_threshold_s: float = 5.0,
+                 factor: float = 8.0) -> None:
+        self.min_threshold_s = min_threshold_s
+        self.factor = factor
+        self._last_beat: Dict[int, float] = {}
+        self._flagged: Set[int] = set()
+        self._dur_sum = 0.0
+        self._dur_count = 0
+
+    # ------------------------------------------------------------------
+    def beat(self, worker: int, now: float) -> None:
+        self._last_beat[worker] = now
+        self._flagged.discard(worker)
+
+    def forget(self, worker: int) -> None:
+        self._last_beat.pop(worker, None)
+        self._flagged.discard(worker)
+
+    def observe_duration(self, dur_s: float) -> None:
+        self._dur_sum += max(0.0, dur_s)
+        self._dur_count += 1
+
+    @property
+    def threshold_s(self) -> float:
+        if not self._dur_count:
+            return self.min_threshold_s
+        return max(self.min_threshold_s,
+                   self.factor * self._dur_sum / self._dur_count)
+
+    # ------------------------------------------------------------------
+    def stalled(self, now: float) -> List[Tuple[int, float]]:
+        """(worker, idle seconds) for newly stalled workers.
+
+        Each silence is reported once: a worker stays flagged until its
+        next beat, so a hung worker does not spam one stall per tick.
+        """
+        threshold = self.threshold_s
+        out: List[Tuple[int, float]] = []
+        for worker, last in sorted(self._last_beat.items()):
+            idle = now - last
+            if idle > threshold and worker not in self._flagged:
+                self._flagged.add(worker)
+                out.append((worker, idle))
+        return out

@@ -250,17 +250,32 @@ class TestModuleState:
 class TestSuppression:
     def test_tagged_allow(self):
         findings = lint("""
-            import time
-            t = time.time()  # lint: allow[wall-clock]
+            pending = set()
+            for item in pending:  # lint: allow[set-iteration]
+                print(item)
         """)
         assert findings == []
 
     def test_bare_allow(self):
         findings = lint("""
-            import time
-            t = time.time()  # lint: allow
+            _MEMO = {}  # lint: allow
+
+            def put(k, v):
+                _MEMO[k] = v
         """)
         assert findings == []
+
+    def test_wall_clock_allow_is_audited_by_path(self):
+        """A suppressed wall-clock read is only truly allowed inside the
+        sanctioned clock modules; elsewhere the suppression itself is the
+        finding (wall-clock-allowance, see tests/test_obs_spans.py)."""
+        code = textwrap.dedent("""
+            import time
+            t = time.time()  # lint: allow[wall-clock]
+        """)
+        assert lint_source(code, path="src/repro/obs/clock.py") == []
+        assert tags(lint_source(code, path="probe.py")) == \
+            ["wall-clock-allowance"]
 
     def test_wrong_tag_does_not_suppress(self):
         findings = lint("""

@@ -65,7 +65,7 @@ class TestRunManyDedup:
 
         real = parallel_mod.run_requests
 
-        def counting(payloads, jobs=None):
+        def counting(payloads, jobs=None, obs=None):
             calls.extend(payloads)
             return real(payloads, jobs=1)
 
@@ -82,7 +82,7 @@ class TestRunManyDedup:
         request = RunRequest.make("KM", "baseline")
         warm = runner.run_request(request)
 
-        def exploding(payloads, jobs=None):  # pragma: no cover - guard
+        def exploding(payloads, jobs=None, obs=None):  # pragma: no cover - guard
             raise AssertionError("pool dispatched for a memoized request")
 
         monkeypatch.setattr(

@@ -62,3 +62,44 @@ class TestCampaignExecution:
         payload = profiler.as_payload()
         payload["rollup"] = rollup
         assert json.loads(json.dumps(payload)) == payload
+
+
+class TestCampaignObservability:
+    def test_observed_campaign_reports_phase_breakdown(self, tmp_path):
+        """An obs-instrumented campaign produces reconciling spans and a
+        REPORT.md phase-breakdown section derived from them."""
+        from repro.config import TINY
+        from repro.experiments.runner import ExperimentRunner
+        from repro.obs.session import ObsSession
+        from repro.obs.spans import phase_rows, reconcile_spans
+
+        runner = ExperimentRunner(scale=TINY)
+        session = ObsSession()
+        runner.attach_obs(session)
+        session.campaign_begin(total=0, jobs=2, label="run_all:tiny")
+        results = run_campaign(runner, modules=["fig03_cta_overhead"])
+        session.campaign_end()
+
+        assert reconcile_spans(session.recorder.spans) == []
+        breakdown = phase_rows(session.recorder.spans)
+        names = {name for __, name, __ in breakdown}
+        assert {"plan+prefetch", "render", "render:fig03_cta_overhead"} \
+            <= names
+        # render:fig03 nests under render, which nests under the campaign.
+        parents = {name: within for within, name, __ in breakdown}
+        assert parents["render:fig03_cta_overhead"] == "render"
+        assert parents["render"] == "run_all:tiny"
+
+        report = tmp_path / "REPORT.md"
+        write_report(results, report, "tiny", phase_breakdown=breakdown)
+        text = report.read_text()
+        assert "## Campaign phase breakdown" in text
+        assert "render:fig03_cta_overhead" in text
+        session.close()
+
+    def test_report_omits_breakdown_without_observability(self, tmp_path,
+                                                          tiny_runner):
+        results = run_campaign(tiny_runner, modules=["fig03_cta_overhead"])
+        report = tmp_path / "REPORT.md"
+        write_report(results, report, "tiny")
+        assert "## Campaign phase breakdown" not in report.read_text()

@@ -241,6 +241,13 @@ def main(argv=None) -> int:
     parser.add_argument("--check-slack", type=float, default=0.20,
                         help="allowed fractional drop before --check fails")
     parser.add_argument("--matrix-repeats", type=int, default=2)
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        metavar="PATH",
+                        help="perf-trajectory history to append this run "
+                             "to (inspect with `repro obs "
+                             "perf-trajectory`)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip the history append (CI check-only runs)")
     args = parser.parse_args(argv)
 
     engine = None if args.backend == "auto" else args.backend
@@ -253,6 +260,13 @@ def main(argv=None) -> int:
         report["matrix"] = bench_matrix(args.scale, args.matrix_repeats,
                                         engine=engine)
     Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
+
+    if not args.no_history:
+        # One line per run: the perf-trajectory input for
+        # `repro obs perf-trajectory` (commit, backend, cycles/s).
+        from repro.obs.trajectory import append_history, entry_from_bench
+        append_history(args.history, entry_from_bench(report))
+        print(f"appended {args.history}")
 
     stages = report["stages"]
     print(f"{report['app']} / {report['policy']} / {report['scale']} "
