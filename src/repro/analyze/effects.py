@@ -59,6 +59,7 @@ from typing import (Dict, FrozenSet, Iterable, List, Mapping, Optional,
                     Sequence, Set, Tuple)
 
 from repro.analyze.lint import lint_source
+from repro.sim.compiled import _COMPILED_BYPASSED_SM_ATTRS
 from repro.sim.vectorized import (_BYPASSED_SM_ATTRS, _INERT_POLICY_ATTRS,
                                   instance_overrides)
 from repro.validate.findings import Finding, FindingReport, Severity
@@ -80,6 +81,7 @@ SIM_MODULE_FILES = {
     "sim.scheduler": "sim/scheduler.py",
     "sim.gpu": "sim/gpu.py",
     "sim.vectorized": "sim/vectorized.py",
+    "sim.compiled": "sim/compiled.py",
     "sim.launch": "sim/launch.py",
 }
 POLICY_MODULE_FILES = {
@@ -109,6 +111,9 @@ _NS_BY_LOCAL = {
 #: Attribute names that re-root a receiver chain into the policy namespace
 #: (``self._policy.on_tick`` / ``sm.policy.fill``).
 _POLICY_LINKS = ("policy", "_policy")
+#: ... and into the gpu namespace: the compiled driver's ``_Run`` holds
+#: the GPU as ``self.gpu`` (``gpu = self.gpu`` / ``self.gpu._finish_run``).
+_GPU_LINKS = ("gpu", "_gpu")
 
 #: Reference-only effects the fused step intentionally *folds* instead of
 #: re-reading, with the equivalence argument.  An entry that stops showing
@@ -165,6 +170,7 @@ class EffectsConfig:
     paths: Mapping[str, str]
     bypassed_sm_attrs: Tuple[str, ...] = _BYPASSED_SM_ATTRS
     inert_policy_attrs: Tuple[str, ...] = _INERT_POLICY_ATTRS
+    compiled_bypassed_sm_attrs: Tuple[str, ...] = _COMPILED_BYPASSED_SM_ATTRS
 
 
 def default_effects_config() -> EffectsConfig:
@@ -253,6 +259,17 @@ class _CodeIndex:
             module = self.modules.get("sim.vectorized")
             node = module.functions.get(name) if module else None
             return [node] if node is not None else []
+        if ns == "comp":
+            # The compiled driver: module functions plus the _Run lowering
+            # class, whose ``self.<method>`` calls stay in this namespace.
+            module = self.modules.get("sim.compiled")
+            if module is None:
+                return []
+            node = module.functions.get(name)
+            if node is not None:
+                return [node]
+            return [fn for info in module.classes.values()
+                    for fn in info.methods.get(name, [])]
         info = self.cls(ns)
         if info is None:
             return []
@@ -338,6 +355,8 @@ class _EffectVisitor(ast.NodeVisitor):
             attr = node.attr
             if attr in _POLICY_LINKS and ns in ("sm", "gpu"):
                 return ("policy", None)
+            if attr in _GPU_LINKS and ns == "comp":
+                return ("gpu", None)
             return (ns, attr if prefix is None else f"{prefix}.{attr}")
         if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
                 and node.func.id == "type" and len(node.args) == 1):
@@ -465,8 +484,9 @@ def _finding(tag: str, severity: Severity, message: str, path: str,
                    source="effects-audit", path=path, line=line)
 
 
-def _tuple_lineno(index: _CodeIndex, name: str) -> Optional[int]:
-    module = index.modules.get("sim.vectorized")
+def _tuple_lineno(index: _CodeIndex, name: str,
+                  module_key: str = "sim.vectorized") -> Optional[int]:
+    module = index.modules.get(module_key)
     if module is None:
         return None
     for node in module.tree.body:
@@ -565,6 +585,78 @@ def _audit_bypass(index: _CodeIndex) -> List[Finding]:
                 f"_BYPASSED_SM_ATTRS entry {name!r} is no longer derived "
                 f"as engine-only; the gate is wider than the runners "
                 f"require (narrowing candidate)", vec_path, line))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Audit (b'): compiled-core bypass completeness
+# ----------------------------------------------------------------------
+def _audit_compiled(index: _CodeIndex) -> List[Finding]:
+    """The C core behind ``run_compiled`` reimplements not only the SM
+    surface the vectorized runners already bypass but also the hooks the
+    runners still dispatched in Python (``_on_long_block``,
+    ``_wake_schedulers``).  Every SM method the Python engines reach that
+    the compiled driver never calls must appear in
+    ``_COMPILED_BYPASSED_SM_ATTRS`` so ``compiled_run_eligible``'s
+    instance-dict scan routes instrumented SMs back to a Python backend
+    instead of letting the C core silently ignore the override."""
+    findings: List[Finding] = []
+    config = index.config
+    comp = index.modules.get("sim.compiled")
+    if comp is None:
+        return findings  # compiled driver absent from the audited sources
+    line = _tuple_lineno(index, "_COMPILED_EXTRA_SM_ATTRS", "sim.compiled")
+    sm_methods = set(index.cls("sm").methods) if index.cls("sm") else set()
+
+    def sm_refs(effects: _EffectMap) -> Set[str]:
+        return {name for (ns, name) in effects
+                if ns == "sm" and "." not in name and name in sm_methods}
+
+    engine = _closure(index, [("gpu", "_run_event"), ("gpu", "_finish_run")],
+                      frozenset({"gpu"}))
+    runners = _closure(
+        index,
+        [("vec", "run_vectorized"), ("vec", "_sm_runner"),
+         ("vec", "run_eligible"), ("vec", "policy_inert")],
+        frozenset({"gpu", "vec"}),
+        skip=frozenset({("gpu", "_run_event"), ("gpu", "_run_dense")}))
+    seeds = [("comp", name)
+             for name in ("run_compiled", "compiled_run_eligible")]
+    seeds += [("comp", mname) for info in comp.classes.values()
+              for mname in sorted(info.methods)]
+    # compiled_run_eligible delegates to run_eligible/policy_inert by bare
+    # name (invisible to receiver resolution); seed them explicitly.
+    seeds += [("vec", "run_eligible"), ("vec", "policy_inert")]
+    compiled = _closure(
+        index, seeds, frozenset({"gpu", "vec", "comp"}),
+        skip=frozenset({("gpu", "_run_event"), ("gpu", "_run_dense"),
+                        ("vec", "run_vectorized"), ("vec", "_sm_runner"),
+                        ("comp", "_fallback")}))
+    bypassed = (sm_refs(engine) | sm_refs(runners)) - sm_refs(compiled)
+    covered = set(config.compiled_bypassed_sm_attrs) | _gate_mentions(
+        index, "sm", "fast_step_eligible")
+
+    for name in sorted(bypassed - covered):
+        findings.append(_finding(
+            "compiled-gate-missing", HIGH,
+            f"the Python engines dispatch SM.{name} dynamically but the "
+            f"compiled driver never calls it (the C core would silently "
+            f"ignore an instance-level wrapper) — add {name!r} to "
+            f"_COMPILED_BYPASSED_SM_ATTRS", comp.path, line))
+    for name in config.compiled_bypassed_sm_attrs:
+        if name not in sm_methods:
+            findings.append(_finding(
+                "compiled-gate-stale", MEDIUM,
+                f"_COMPILED_BYPASSED_SM_ATTRS entry {name!r} is not a "
+                f"StreamingMultiprocessor method; the instance-dict scan "
+                f"checks a name that cannot be shadowed", comp.path, line))
+        elif name not in bypassed:
+            findings.append(_finding(
+                "compiled-gate-candidate", LOW,
+                f"_COMPILED_BYPASSED_SM_ATTRS entry {name!r} is no longer "
+                f"derived as Python-engine-only; the gate is wider than "
+                f"the C core requires (narrowing candidate)", comp.path,
+                line))
     return findings
 
 
@@ -738,6 +830,7 @@ def audit_effects(config: Optional[EffectsConfig] = None) -> FindingReport:
     index = _CodeIndex(config)
     report = FindingReport()
     for finding in (_audit_fused(index) + _audit_bypass(index)
-                    + _audit_inert(index) + _audit_determinism(index)):
+                    + _audit_compiled(index) + _audit_inert(index)
+                    + _audit_determinism(index)):
         report.add(finding)
     return report

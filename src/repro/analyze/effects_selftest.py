@@ -52,7 +52,7 @@ def _inject(config: EffectsConfig, key: str, anchor: str,
 
 
 # ----------------------------------------------------------------------
-# The six injections
+# The seven injections
 # ----------------------------------------------------------------------
 def _phantom_issue_hook() -> EffectsConfig:
     """A new hook read in ``_try_issue`` that ``fast_step_eligible``
@@ -72,6 +72,16 @@ def _dropped_bypass_entry() -> EffectsConfig:
     config = default_effects_config()
     return replace(config, bypassed_sm_attrs=tuple(
         name for name in config.bypassed_sm_attrs if name != "accumulate"))
+
+
+def _dropped_compiled_entry() -> EffectsConfig:
+    """``_on_long_block`` removed from ``_COMPILED_BYPASSED_SM_ATTRS``:
+    an instance wrapper on ``SM._on_long_block`` would run under the
+    vectorized runner but be silently ignored by the C core."""
+    config = default_effects_config()
+    return replace(config, compiled_bypassed_sm_attrs=tuple(
+        name for name in config.compiled_bypassed_sm_attrs
+        if name != "_on_long_block"))
 
 
 def _dropped_inert_entry() -> EffectsConfig:
@@ -124,6 +134,10 @@ SEEDED_FAULTS: Tuple[SeededFault, ...] = (
                 Severity.ERROR,
                 "accumulate removed from _BYPASSED_SM_ATTRS",
                 _dropped_bypass_entry),
+    SeededFault("dropped_compiled_entry", "compiled-gate-missing",
+                Severity.ERROR,
+                "_on_long_block removed from _COMPILED_BYPASSED_SM_ATTRS",
+                _dropped_compiled_entry),
     SeededFault("dropped_inert_entry", "inert-gate-missing", Severity.ERROR,
                 "on_tick removed from _INERT_POLICY_ATTRS",
                 _dropped_inert_entry),

@@ -63,6 +63,40 @@ def entry_from_bench(bench: Dict, commit: Optional[str] = None) -> Dict:
     return entry
 
 
+def entries_from_bench(bench: Dict, commit: Optional[str] = None) -> List[Dict]:
+    """All history lines one BENCH payload yields: headline + backends.
+
+    The headline entry carries the *resolved* backend of the run (so an
+    ``auto`` resolution flip — e.g. vectorized -> compiled once the C
+    extension exists — starts a new series rather than showing up as a
+    spurious jump inside an old one), and every completed ``backends``
+    sweep cell becomes its own per-backend entry.  ``detect_regressions``
+    keys series on (app, policy, scale, backend), so the per-backend
+    trajectories never cross-trigger the 20% gate.  Skipped sweep cells
+    and the cell duplicating the headline backend are omitted.
+    """
+    resolved = commit if commit is not None else git_commit()
+    entries = [entry_from_bench(bench, resolved)]
+    headline_backend = bench.get("backend", "auto")
+    for name in sorted(bench.get("backends", {})):
+        cell = bench["backends"][name]
+        if "skipped" in cell or name == headline_backend:
+            continue
+        entry = {
+            "v": HISTORY_SCHEMA_VERSION,
+            "commit": resolved,
+            "app": bench["app"],
+            "policy": bench["policy"],
+            "scale": bench["scale"],
+            "backend": name,
+            "sim_cycles_per_s": cell["sim_cycles_per_s"],
+        }
+        if cell.get("best_s") is not None:
+            entry["best_s"] = cell["best_s"]
+        entries.append(entry)
+    return entries
+
+
 def check_history_entry(entry: object) -> List[str]:
     """Schema problems in one history line (empty list = valid)."""
     if not isinstance(entry, dict):

@@ -1,0 +1,348 @@
+"""Compiled backend: the vectorized runners' issue loop in C.
+
+``repro.sim.vectorized`` already decouples the run into per-SM runners
+that only synchronize at genuinely shared operations (memory-hierarchy
+accesses, grid pulls via the EXIT -> retire -> ``fill`` chain, run-end
+reconciliation).  PR 6's profile shows the remaining cost is the pure
+Python of the issue loop itself: ~2 us of scheduler work per visited
+SM-cycle.  This backend lowers that loop -- and only that loop -- into
+the ``repro.sim._ckernel`` C extension:
+
+* **Lowering** -- once per run, after the dense prologue fill: the static
+  ``_meta`` table becomes a flat C array (srcs / dest / pattern /
+  fused-kind / fixed latency), each unique dynamic trace is interned once
+  (memoized by identity, like ``TraceTables``), and every warp / CTA /
+  scheduler becomes a flat C record (scoreboard, ``blocked_until``,
+  barrier counts, member lists in ``sched_seq`` order).
+* **Merge points** -- ``Core.resume(sm_id)`` runs one SM's issue loop
+  privately and returns exactly where the vectorized runner would
+  ``yield``: before every hierarchy access and before every
+  ``_finish_warp``.  The held operation is then performed *in Python*
+  through the real objects (``hierarchy._access``, ``sm._finish_warp``,
+  the policy fill chain), in the same global ``(cycle, sm_id)`` heap
+  order as ``run_vectorized``, so the dense interleaving -- and therefore
+  every L2/DRAM state transition and grid race -- is reproduced exactly.
+* **Write-back** -- around each EXIT the mutated state is exchanged both
+  ways: C's view of the SM (scheduler sleep/current, warp positions and
+  block states, CTA barrier/stall fields) is written to the Python
+  objects *before* the retire chain runs, and the chain's effects (freed
+  warps, released barriers, freshly launched CTAs) are re-lowered after.
+  The run ends with the same closed-form reconciliation as the vectorized
+  backend, the C level integrals merged as exact integer sums.
+
+Eligibility narrows ``run_eligible`` further: the C core additionally
+inlines ``_on_long_block`` / ``_wake_schedulers`` (SM), ``wake`` /
+``_rebuild`` / ``_note_sleep`` (scheduler) and ``stats.accumulate``, so
+an instance-level wrapper on any of those routes the run to the
+vectorized backend (or the event engine when numpy is absent) instead of
+being silently skipped.  The gate tuples below are machine-checked by the
+effects auditor (``repro.analyze.effects``).
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+
+from repro.sim.vectorized import (_BYPASSED_SM_ATTRS, FOREVER,
+                                  instance_overrides, run_eligible)
+from repro.sim.warp import WarpState
+
+#: SM surface additionally inlined by the C core on top of the vectorized
+#: bypass list: the long-block / fully-stalled check and the barrier
+#: scheduler wake both run inside C between merge points.
+_COMPILED_EXTRA_SM_ATTRS = ("_on_long_block", "_wake_schedulers")
+
+#: The full SM bypass surface of this backend (vectorized's plus the
+#: extras); imported by the effects auditor's compiled gate.
+_COMPILED_BYPASSED_SM_ATTRS = _BYPASSED_SM_ATTRS + _COMPILED_EXTRA_SM_ATTRS
+
+#: Stats surface inlined: the per-segment level flush runs in C as int64
+#: sums (merged once at reconciliation).
+_COMPILED_BYPASSED_STATS_ATTRS = ("accumulate",)
+
+#: C warp-state ids <-> the Python enum (order is part of the C ABI).
+_STATES = (WarpState.RUNNABLE, WarpState.AT_BARRIER, WarpState.FINISHED)
+_STATE_IDS = {state: index for index, state in enumerate(_STATES)}
+
+
+def compiled_run_eligible(gpu) -> bool:
+    """True when the whole run can execute on the C core.
+
+    Everything ``run_eligible`` demands, plus no instance-level overrides
+    on the additional surface the C core inlines (see the gate tuples
+    above).  Ineligible runs fall back down the chain -- never error.
+    """
+    if not run_eligible(gpu):
+        return False
+    for sm in gpu.sms:
+        if instance_overrides(sm, _COMPILED_EXTRA_SM_ATTRS):
+            return False
+        if instance_overrides(sm.stats, _COMPILED_BYPASSED_STATS_ATTRS):
+            return False
+        # The scheduler surface the C core inlines (the bucket scan, the
+        # barrier wake, the sleep fold) needs no instance gate:
+        # GTOScheduler declares __slots__, so instance-level overrides are
+        # impossible, and run_eligible already pins the exact type.
+    return True
+
+
+def _fallback(gpu, max_cycles):
+    """Ineligible run: next backend down the auto chain."""
+    from repro.sim.backend import numpy_available
+    if numpy_available():
+        from repro.sim.vectorized import run_vectorized
+        return run_vectorized(gpu, max_cycles)
+    return gpu._run_event(max_cycles)
+
+
+def run_compiled(gpu, max_cycles):
+    """Drive one run on the C core (vectorized/fused fallback if not
+    eligible); bit-identical to the dense oracle by construction."""
+    if not compiled_run_eligible(gpu):
+        return _fallback(gpu, max_cycles)
+    gpu.engine_used = "compiled"
+    sms = gpu.sms
+    for sm in sms:
+        sm._bind_fast_path()
+    # Initial fill in SM order (exactly the dense prologue), then lower.
+    for sm in sms:
+        sm.policy.fill(0)
+    return _Run(gpu, max_cycles).run()
+
+
+class _Run:
+    """One lowered run: the Core object plus the Python<->C slot maps."""
+
+    def __init__(self, gpu, max_cycles) -> None:
+        from repro.sim import _ckernel
+
+        sms = gpu.sms
+        sm0 = sms[0]
+        model = gpu.address_model
+        # _meta is identical across SMs for a single-launch run (the only
+        # kind that is eligible): lower SM 0's table once.
+        meta = [(m[6], -1 if m[1] is None else m[1], m[7], m[8], m[9],
+                 tuple(m[0])) for m in sm0._meta]
+        self.gpu = gpu
+        self.max_cycles = max_cycles
+        self.core = _ckernel.Core(
+            len(sms), len(sm0.schedulers), sm0._nregs,
+            sm0._stall_threshold, model.reuse_spatial, model.reuse_lines,
+            model.shared_lines, model.SHARED_BASE, max_cycles, meta)
+        # Identity maps.  Strong references pin the ids: traces are shared
+        # and immutable, warps/CTAs live until the Core does.
+        self.wslots = {}        # id(warp) -> warp slot
+        self.slot_warps = []    # warp slot -> warp
+        self.cslots = {}        # id(cta) -> CTA slot
+        self._trace_slots = {}  # id(trace) -> trace slot
+        self._refs = []
+        for sm in sms:
+            for cta in sm.active_ctas:
+                self._lower_cta(sm, cta)
+        for sm in sms:
+            self._sync_sm(sm)
+
+    # ------------------------------------------------------------------
+    # Python -> C
+    # ------------------------------------------------------------------
+    def _lower_cta(self, sm, cta) -> None:
+        """Lower one freshly launched CTA (all warps in pristine state)."""
+        core = self.core
+        cslot = core.new_cta(sm.sm_id, cta.cta_id)
+        self.cslots[id(cta)] = cslot
+        self._refs.append(cta)
+        trace_slots = self._trace_slots
+        for warp in cta.warps:
+            trace = warp.trace
+            tslot = trace_slots.get(id(trace))
+            if tslot is None:
+                tslot = core.add_trace(trace)
+                trace_slots[id(trace)] = tslot
+                self._refs.append(trace)
+            wslot = core.new_warp(sm.sm_id, cslot, tslot,
+                                  warp.global_warp_id)
+            self.wslots[id(warp)] = wslot
+            self.slot_warps.append(warp)
+
+    def _sync_sm(self, sm) -> None:
+        """Import the SM's scheduler membership and resource levels."""
+        core = self.core
+        wslots = self.wslots
+        for k, sched in enumerate(sm.schedulers):
+            current = sched._current
+            core.set_sched(
+                sm.sm_id, k, [wslots[id(w)] for w in sched.warps],
+                sched._sleep_until,
+                -1 if current is None else wslots[id(current)])
+        core.set_levels(sm.sm_id, 1 if sm._lvl_dirty else 0,
+                        len(sm.active_ctas), sm._active_warps)
+        # The C core owns the level-flush boundary from here on (it clears
+        # its dirty bit at its own end-of-cycle flush, exactly where the
+        # vectorized runner clears this flag).
+        sm._lvl_dirty = False
+
+    # ------------------------------------------------------------------
+    # C -> Python
+    # ------------------------------------------------------------------
+    def _writeback_sm(self, sm) -> None:
+        """Export C's view of one SM onto the real Python objects.
+
+        Required before the EXIT retire chain runs: ``remove_warp`` /
+        ``_resleep`` reads every sibling's ``blocked_until``,
+        ``maybe_release_barrier`` reads warp states, and the scheduler
+        sleep caches must round-trip exactly (a blanket wake here would
+        corrupt the wake summary near ``max_cycles``).
+        """
+        core = self.core
+        sm_id = sm.sm_id
+        slot_warps = self.slot_warps
+        wslots = self.wslots
+        cslots = self.cslots
+        for k, sched in enumerate(sm.schedulers):
+            sleep, cur = core.sched_state(sm_id, k)
+            sched._sleep_until = sleep
+            sched._current = None if cur < 0 else slot_warps[cur]
+            sched._dirty = True
+        for cta in sm.active_ctas:
+            arrived, first, recorded = core.get_cta(cslots[id(cta)])
+            cta.barrier_arrived = arrived
+            cta.first_issue_cycle = None if first < 0 else first
+            cta.stall_recorded = bool(recorded)
+            for warp in cta.warps:
+                pos, state, blocked = core.get_warp(wslots[id(warp)])
+                warp.pos = pos
+                warp.state = _STATES[state]
+                warp.blocked_until = blocked
+
+    def _serve_exit(self, sm, now, wslot) -> None:
+        """One EXIT merge point: run the real retire chain in Python.
+
+        C already advanced the warp past its EXIT; the finish itself
+        (packed stat credit, scheduler removal, barrier release, CTA
+        retire -> policy fill -> grid pull) runs through the real SM and
+        policy methods so instance-level wrappers stay honored and grid
+        races revalidate naturally.
+        """
+        warp = self.slot_warps[wslot]
+        self._writeback_sm(sm)
+        sm._finish_warp(warp, now)
+        exit_cta = warp.cta
+        cslots = self.cslots
+        for cta in sm.active_ctas:
+            if id(cta) not in cslots:
+                self._lower_cta(sm, cta)
+        # The chain may have released the exiting CTA's barrier: re-import
+        # its warps' states (the finished warp included) before the
+        # scheduler/level sync.
+        core = self.core
+        wslots = self.wslots
+        for w in exit_cta.warps:
+            core.set_warp(wslots[id(w)], _STATE_IDS[w.state],
+                          w.blocked_until)
+        self._sync_sm(sm)
+
+    # ------------------------------------------------------------------
+    def run(self):
+        gpu = self.gpu
+        core = self.core
+        sms = gpu.sms
+        hier = gpu.hierarchy
+        hier_stats = hier.stats
+        access = hier._access
+        resume = core.resume
+        max_cycles = self.max_cycles
+
+        results = [None] * len(sms)
+        held = [None] * len(sms)
+        heap = []
+        for sm in sms:
+            desc = resume(sm.sm_id, 0)
+            if desc[0] == 0:
+                results[sm.sm_id] = core.summary(sm.sm_id)
+            else:
+                held[sm.sm_id] = desc
+                heap.append((desc[1], sm.sm_id))
+        heapify(heap)
+
+        # K-way merge on (cycle, sm_id), exactly run_vectorized's: resume
+        # cycles are nondecreasing and each SM holds one outstanding op,
+        # so serving the heap minimum reproduces the dense global order;
+        # the inner loop keeps serving the same SM while it remains the
+        # minimum.
+        while heap:
+            cycle, sm_id = heappop(heap)
+            sm = sms[sm_id]
+            while True:
+                desc = held[sm_id]
+                kind = desc[0]
+                if kind == 1:       # LDG
+                    hier_stats.loads += 1
+                    done = access(sm_id, desc[3], desc[1], False)
+                    desc = resume(sm_id, done)
+                elif kind == 2:     # STG
+                    hier_stats.stores += 1
+                    access(sm_id, desc[3], desc[1], True)
+                    desc = resume(sm_id, 0)
+                else:               # EXIT
+                    self._serve_exit(sm, desc[1], desc[2])
+                    desc = resume(sm_id, 0)
+                if desc[0] == 0:
+                    results[sm_id] = core.summary(sm_id)
+                    break
+                cycle = desc[1]
+                held[sm_id] = desc
+                if heap:
+                    head = heap[0]
+                    if head[0] < cycle or (head[0] == cycle
+                                           and head[1] < sm_id):
+                        heappush(heap, (cycle, sm_id))
+                        break
+
+        # ---- reconciliation: identical to run_vectorized's ----
+        last = -1
+        for summary in results:
+            if summary[2] > last:
+                last = summary[2]
+        busy = [summary for summary in results if summary[0]]
+        if not busy:
+            now_final = last + 1
+            timed_out = False
+        elif last + 1 >= max_cycles:
+            now_final = last + 1
+            timed_out = True
+        else:
+            wake = min(summary[1] for summary in busy)
+            if wake >= FOREVER:
+                gpu._raise_deadlock(last + 1)
+            now_final = wake
+            timed_out = True
+
+        for sm, summary in zip(sms, results):
+            (was_busy, __, last_i, n_issue,
+             seg_start, seg_active, seg_warps) = summary
+            # Final state export: _flush_deferred_stats reads warp.pos of
+            # unfinished warps on a timeout, and post-run introspection
+            # (tests, debug_accounting) sees live state on every backend.
+            self._writeback_sm(sm)
+            stats = sm.stats
+            cta_sum, warp_sum, max_res = core.levels(sm.sm_id)
+            # The closed segments were accumulated in C as exact integer
+            # sums; one float add of each total is bit-identical to the
+            # dense per-segment float adds (every partial sum < 2**53).
+            if cta_sum:
+                stats.active_cta_cycles += cta_sum
+            if warp_sum:
+                stats.active_warp_cycles += warp_sum
+            if max_res > stats.max_resident_ctas:
+                stats.max_resident_ctas = max_res
+            stalls = core.take_stalls(sm.sm_id)
+            if stalls:
+                stats.stall_latencies.extend(stalls)
+            dt = now_final - seg_start
+            if dt and (seg_active or seg_warps):
+                stats.accumulate(dt, seg_active, 0, seg_warps)
+            if was_busy:
+                stats.idle_cycles += now_final - n_issue
+            elif last_i >= 0:
+                stats.idle_cycles += last_i - (n_issue - 1)
+        return gpu._finish_run(now_final, timed_out)

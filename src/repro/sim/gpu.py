@@ -98,7 +98,7 @@ class GPU:
         self.sanitizer = None  # set by validate.sanitizer.attach_sanitizer
         self.telemetry = None  # set by telemetry.session.attach_telemetry
         # Backend that actually drove the last run() ("dense", "reference",
-        # "fused" or "vectorized"); None before the first run.
+        # "fused", "vectorized" or "compiled"); None before the first run.
         self.engine_used = None
         if hasattr(self.address_model, "warm_l2"):
             self.address_model.warm_l2(self.hierarchy.l2)
@@ -162,6 +162,9 @@ class GPU:
                 self.engine_used = "dense"
                 return self._run_dense(max_cycles)
             backend = select_backend(engine)
+            if backend == "compiled":
+                from repro.sim.compiled import run_compiled
+                return run_compiled(self, max_cycles)
             if backend == "vectorized":
                 from repro.sim.vectorized import run_vectorized
                 return run_vectorized(self, max_cycles)

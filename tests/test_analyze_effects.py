@@ -3,9 +3,9 @@
 The acceptance contract of the auditor (docs/ANALYZE.md):
 
 * the current tree passes ``--effects --strict`` clean;
-* deleting *any* entry of ``_BYPASSED_SM_ATTRS`` or ``_INERT_POLICY_ATTRS``
-  produces the corresponding HIGH finding (the tuples are load-bearing,
-  entry by entry);
+* deleting *any* entry of ``_BYPASSED_SM_ATTRS``, ``_INERT_POLICY_ATTRS``
+  or ``_COMPILED_BYPASSED_SM_ATTRS`` produces the corresponding HIGH
+  finding (the tuples are load-bearing, entry by entry);
 * stale entries (naming nothing engine-reachable) are flagged so the
   gates cannot silently rot into allowlists of dead names;
 * every seeded fault of the self-test is detected at its severity;
@@ -25,6 +25,7 @@ from repro.analyze.effects_selftest import SEEDED_FAULTS, run_seeded_fault
 from repro.analyze.lint import default_lint_paths, default_lint_root
 from repro.policies.base import RegisterFilePolicy
 from repro.policies.baseline import BaselinePolicy
+from repro.sim.compiled import _COMPILED_BYPASSED_SM_ATTRS
 from repro.sim.vectorized import (
     _BYPASSED_SM_ATTRS,
     _INERT_POLICY_ATTRS,
@@ -67,6 +68,7 @@ class TestCleanTree:
         report = audit_effects()
         infos = _tags_at(report, Severity.INFO)
         assert infos <= {"inert-gate-candidate", "bypass-gate-candidate",
+                         "compiled-gate-candidate",
                          "inert-policy-passthrough"}
 
 
@@ -80,6 +82,17 @@ class TestGateDeletions:
             name for name in config.bypassed_sm_attrs if name != entry))
         report = audit_effects(config)
         hits = [f for f in report.by_tag("bypass-gate-missing")
+                if f.severity == Severity.ERROR and entry in f.message]
+        assert hits, report.format(f"no HIGH for dropped {entry!r}")
+
+    @pytest.mark.parametrize("entry", _COMPILED_BYPASSED_SM_ATTRS)
+    def test_deleting_compiled_entry_is_high(self, entry):
+        config = default_effects_config()
+        config = replace(config, compiled_bypassed_sm_attrs=tuple(
+            name for name in config.compiled_bypassed_sm_attrs
+            if name != entry))
+        report = audit_effects(config)
+        hits = [f for f in report.by_tag("compiled-gate-missing")
                 if f.severity == Severity.ERROR and entry in f.message]
         assert hits, report.format(f"no HIGH for dropped {entry!r}")
 
@@ -105,6 +118,16 @@ class TestStaleEntries:
         hits = [f for f in report.by_tag("bypass-gate-stale")
                 if "definitely_not_an_sm_method" in f.message]
         assert hits, report.format("stale bypass entry not reported")
+
+    def test_bogus_compiled_entry_is_stale(self):
+        config = default_effects_config()
+        config = replace(config, compiled_bypassed_sm_attrs=(
+            config.compiled_bypassed_sm_attrs
+            + ("definitely_not_an_sm_method",)))
+        report = audit_effects(config)
+        hits = [f for f in report.by_tag("compiled-gate-stale")
+                if "definitely_not_an_sm_method" in f.message]
+        assert hits, report.format("stale compiled entry not reported")
 
     def test_bogus_inert_entry_is_stale(self):
         config = default_effects_config()

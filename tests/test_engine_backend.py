@@ -6,13 +6,15 @@ contract itself:
 
 * ``REPRO_ENGINE`` / ``engine=`` parsing, precedence and loud failure on
   typos (a silently-wrong backend would invalidate a benchmark),
-* ``auto`` resolution and graceful degradation when numpy is missing
-  (auto -> fused; an *explicit* vectorized raises
-  ``EngineUnavailableError``),
-* run-level vectorized eligibility: instrumented runs (sanitizer,
-  telemetry, tracers), non-GTO scheduling and non-inert policies must all
-  degrade to the fused/reference event engine rather than take the
-  decoupled runners — ``gpu.engine_used`` records what actually executed.
+* ``auto`` resolution and graceful degradation down the chain (compiled
+  -> vectorized -> fused) when the C extension or numpy is missing; an
+  *explicit* request for an unavailable backend raises
+  ``EngineUnavailableError``,
+* run-level vectorized/compiled eligibility: instrumented runs
+  (sanitizer, telemetry, tracers), non-GTO scheduling and non-inert
+  policies must all degrade to the next backend down rather than take
+  the decoupled runners or the C core — ``gpu.engine_used`` records what
+  actually executed.
 
 Bit-identity of the backends themselves is pinned separately by
 tests/test_engine_differential.py.
@@ -54,6 +56,7 @@ def build_gpu(policy: str = "baseline", config: GPUConfig = MICRO_CONFIG,
     ("fused", "fused"),
     ("  Vectorized \n", "vectorized"),
     ("REFERENCE", "reference"),
+    ("Compiled", "compiled"),
 ])
 def test_parse_engine_normalizes(raw, expected):
     assert parse_engine(raw) == expected
@@ -77,7 +80,17 @@ def test_select_backend_env_typo_fails_loudly(monkeypatch):
         select_backend()
 
 
-def test_select_backend_auto_prefers_vectorized_with_numpy(monkeypatch):
+def test_select_backend_auto_prefers_compiled_when_built(monkeypatch):
+    monkeypatch.setattr(backend, "_COMPILED_AVAILABLE", True)
+    monkeypatch.setattr(backend, "_NUMPY_AVAILABLE", True)
+    monkeypatch.delenv(backend.ENGINE_ENV, raising=False)
+    assert select_backend() == "compiled"
+    assert select_backend("auto") == "compiled"
+
+
+def test_select_backend_auto_prefers_vectorized_without_extension(
+        monkeypatch):
+    monkeypatch.setattr(backend, "_COMPILED_AVAILABLE", False)
     monkeypatch.setattr(backend, "_NUMPY_AVAILABLE", True)
     monkeypatch.delenv(backend.ENGINE_ENV, raising=False)
     assert select_backend() == "vectorized"
@@ -85,6 +98,7 @@ def test_select_backend_auto_prefers_vectorized_with_numpy(monkeypatch):
 
 
 def test_select_backend_degrades_to_fused_without_numpy(monkeypatch):
+    monkeypatch.setattr(backend, "_COMPILED_AVAILABLE", False)
     monkeypatch.setattr(backend, "_NUMPY_AVAILABLE", False)
     monkeypatch.delenv(backend.ENGINE_ENV, raising=False)
     assert select_backend() == "fused"
@@ -96,6 +110,15 @@ def test_explicit_vectorized_without_numpy_raises(monkeypatch):
         select_backend("vectorized")
     monkeypatch.setenv(backend.ENGINE_ENV, "vectorized")
     with pytest.raises(EngineUnavailableError, match="numpy"):
+        select_backend()
+
+
+def test_explicit_compiled_without_extension_raises(monkeypatch):
+    monkeypatch.setattr(backend, "_COMPILED_AVAILABLE", False)
+    with pytest.raises(EngineUnavailableError, match="_ckernel"):
+        select_backend("compiled")
+    monkeypatch.setenv(backend.ENGINE_ENV, "compiled")
+    with pytest.raises(EngineUnavailableError, match="_ckernel"):
         select_backend()
 
 
@@ -184,3 +207,102 @@ def test_instance_sm_override_defeats_run_eligibility():
     sm = gpu.sms[0]
     sm.accumulate = lambda *a, **k: None
     assert not run_eligible(gpu)
+
+
+# ----------------------------------------------------------------------
+# Run-level compiled eligibility / fallback routing
+# ----------------------------------------------------------------------
+needs_extension = pytest.mark.skipif(
+    not backend.compiled_available(),
+    reason="repro.sim._ckernel extension not built")
+
+
+@needs_extension
+def test_compiled_runs_the_uninstrumented_baseline():
+    gpu = build_gpu()
+    from repro.sim.compiled import compiled_run_eligible
+    assert compiled_run_eligible(gpu)
+    gpu.run(max_cycles=TINY.max_cycles, engine="compiled")
+    assert gpu.engine_used == "compiled"
+
+
+@needs_extension
+@pytest.mark.parametrize("reason, expect_used", [
+    ("sanitizer", "reference"),   # fails fast_step_eligible per SM
+    ("cta_tracer", "fused"),      # fused step eligible, run-level not
+    ("telemetry", "reference"),
+    ("lrr", "reference"),
+])
+def test_compiled_falls_back_per_run_eligibility_reason(reason, expect_used):
+    """Every ``run_eligible`` failure must route compiled down the chain
+    exactly where vectorized would land -- never error."""
+    if reason == "lrr":
+        gpu = build_gpu(config=GPUConfig(num_sms=2, warp_scheduling="lrr"))
+    else:
+        gpu = build_gpu()
+        if reason == "sanitizer":
+            from repro.validate.sanitizer import attach_sanitizer
+            attach_sanitizer(gpu)
+        elif reason == "cta_tracer":
+            from repro.sim.tracing import attach_tracer
+            attach_tracer(gpu, level="cta")
+        else:
+            from repro.telemetry.session import attach_telemetry
+            attach_telemetry(gpu)
+    from repro.sim.compiled import compiled_run_eligible
+    assert not compiled_run_eligible(gpu)
+    gpu.run(max_cycles=TINY.max_cycles, engine="compiled")
+    assert gpu.engine_used == expect_used
+
+
+@needs_extension
+@pytest.mark.parametrize("policy", sorted(p for p in POLICIES
+                                          if p != "baseline"))
+def test_compiled_falls_back_on_non_inert_policies(policy):
+    gpu = build_gpu(policy)
+    from repro.sim.compiled import compiled_run_eligible
+    assert not compiled_run_eligible(gpu)
+    gpu.run(max_cycles=TINY.max_cycles, engine="compiled")
+    assert gpu.engine_used in ("fused", "reference")
+
+
+@needs_extension
+@pytest.mark.parametrize("surface", ["sm", "wake", "stats"])
+def test_compiled_only_overrides_fall_back_to_vectorized(surface):
+    """Instance wrappers on the surface only the C core inlines (beyond
+    the vectorized bypass list) must route to vectorized, which still
+    honors them dynamically.  (The scheduler surface needs no instance
+    gate: GTOScheduler declares __slots__, so wrapping e.g. ``wake`` on
+    an instance is impossible -- pinned here -- and run_eligible already
+    requires the exact type.)"""
+    from repro.sim.compiled import compiled_run_eligible
+    gpu = build_gpu()
+    assert compiled_run_eligible(gpu)
+    sm = gpu.sms[0]
+    if surface == "wake":
+        with pytest.raises(AttributeError):
+            sm.schedulers[0].wake = lambda: None
+        return
+    if surface == "sm":
+        original = sm._on_long_block
+        sm._on_long_block = lambda warp, now: original(warp, now)
+    else:
+        original = sm.stats.accumulate
+        sm.stats.accumulate = (
+            lambda dt, active, pending, warps: original(dt, active,
+                                                        pending, warps))
+    assert not compiled_run_eligible(gpu)
+    assert run_eligible(gpu)
+    gpu.run(max_cycles=TINY.max_cycles, engine="compiled")
+    assert gpu.engine_used == "vectorized"
+
+
+@needs_extension
+def test_compiled_ineligible_without_numpy_lands_on_fused(monkeypatch):
+    """The fallback chain's last hop: compiled-ineligible run in a
+    numpy-less environment must take the event engine."""
+    gpu = build_gpu()
+    gpu.sms[0]._on_long_block = lambda warp, now: None
+    monkeypatch.setattr(backend, "_NUMPY_AVAILABLE", False)
+    gpu.run(max_cycles=TINY.max_cycles, engine="compiled")
+    assert gpu.engine_used == "fused"

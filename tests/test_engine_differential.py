@@ -1,15 +1,17 @@
-"""Three-way engine differential tests (dense × fused × vectorized).
+"""Engine differential tests (dense × fused × vectorized × compiled).
 
 Every engine backend is a pure performance transformation: for every
 workload, policy and seed it must produce a ``SimResult`` that is
 *byte-identical* (as sorted JSON) to the dense per-cycle oracle retained
 behind ``REPRO_DENSE_STEP=1``.  These tests pin that contract over the
 full golden corpus and over hypothesis-chosen (app, seed) micro-workloads
-for every registered policy, for both the fused event engine and the
-decoupled vectorized backend, so any divergence introduced in the fused
+for every registered policy, for the fused event engine, the decoupled
+vectorized backend and (when the ``repro.sim._ckernel`` extension is
+built) the compiled backend, so any divergence introduced in the fused
 fast step, the wakeup computation, the closed-form idle-span accounting,
-or the vectorized merge driver fails loudly with a payload diff instead
-of silently drifting the science.
+the vectorized merge driver, or the C core's lowering/write-back protocol
+fails loudly with a payload diff instead of silently drifting the
+science.
 
 The golden replays run *bare* (no tracer/sanitizer) for the engine
 comparison so the vectorized backend actually engages on the baseline
@@ -46,8 +48,14 @@ TINY = SCALES["tiny"]
 MICRO_CONFIG = GPUConfig(num_sms=2)
 APPS = ("KM", "HS", "LB")
 
-#: The two production backends differentially pinned to the dense oracle.
-ENGINES = ("fused", "vectorized")
+#: The production backends differentially pinned to the dense oracle.
+#: The compiled leg joins the matrix whenever its extension is importable
+#: (built best-effort at install; the extension-absent CI job runs the
+#: suite without it, so the conditional is part of the contract).
+from repro.sim.backend import compiled_available  # noqa: E402
+
+ENGINES = ("fused", "vectorized") + (
+    ("compiled",) if compiled_available() else ())
 
 
 @contextmanager
@@ -147,6 +155,18 @@ def test_uninstrumented_baseline_run_takes_the_vectorized_path():
         f"run (engine_used={gpu.engine_used!r})")
 
 
+@pytest.mark.skipif(not compiled_available(),
+                    reason="repro.sim._ckernel extension not built")
+def test_uninstrumented_baseline_run_takes_the_compiled_path():
+    """The C core must actually engage for a plain baseline run (guards
+    compiled_run_eligible drift)."""
+    gpu = build_micro_gpu("baseline", "KM", 0)
+    gpu.run(max_cycles=TINY.max_cycles, engine="compiled")
+    assert gpu.engine_used == "compiled", (
+        "compiled_run_eligible() stopped admitting a plain uninstrumented "
+        f"baseline run (engine_used={gpu.engine_used!r})")
+
+
 # ----------------------------------------------------------------------
 # Golden corpus, all engines
 # ----------------------------------------------------------------------
@@ -186,16 +206,17 @@ def test_run_eligible_rejects_concurrent_runs():
     assert not run_eligible(concurrent)
 
 
+@pytest.mark.parametrize("engine", [e for e in ENGINES if e != "fused"])
 @pytest.mark.parametrize("policy", ("baseline", "finereg"))
-def test_concurrent_vectorized_request_falls_back_to_fused(policy):
-    """An explicit ``engine="vectorized"`` request on a concurrent run must
-    land on the arbiter-aware event engine -- and still be byte-identical
-    to the dense oracle."""
+def test_concurrent_decoupled_request_falls_back_to_fused(policy, engine):
+    """An explicit ``engine="vectorized"``/``"compiled"`` request on a
+    concurrent run must land on the arbiter-aware event engine -- and
+    still be byte-identical to the dense oracle."""
     with dense_engine():
         dense = build_concurrent_gpu("st+km", policy).run(
             max_cycles=TINY.max_cycles)
     gpu = build_concurrent_gpu("st+km", policy)
-    current = gpu.run(max_cycles=TINY.max_cycles, engine="vectorized")
+    current = gpu.run(max_cycles=TINY.max_cycles, engine=engine)
     assert gpu.engine_used == "fused", (
         f"concurrent run must fall back to the fused event engine, "
         f"got {gpu.engine_used!r}")

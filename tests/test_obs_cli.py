@@ -12,7 +12,8 @@ from repro.experiments.runner import ExperimentRunner
 from repro.obs.cli import run_obs
 from repro.obs.session import ObsSession
 from repro.obs.trajectory import (HISTORY_SCHEMA_VERSION, append_history,
-                                  detect_regressions, entry_from_bench,
+                                  check_history_entry, detect_regressions,
+                                  entries_from_bench, entry_from_bench,
                                   git_commit, load_history,
                                   trajectory_report)
 
@@ -200,6 +201,43 @@ class TestTrajectoryModule:
                          "scale": "small", "backend": "fused",
                          "sim_cycles_per_s": 123456, "best_s": 0.5}
         assert not entry_from_bench(bench, commit="x").get("missing")
+
+    def test_entries_from_bench_fans_out_per_backend(self):
+        bench = {"app": "KM", "policy": "baseline", "scale": "small",
+                 "backend": "compiled", "sim_cycles_per_s": 600_000,
+                 "stages": {"simulate_best_s": 0.1},
+                 "backends": {
+                     "reference": {"sim_cycles_per_s": 40_000,
+                                   "best_s": 1.5},
+                     "vectorized": {"sim_cycles_per_s": 250_000,
+                                    "best_s": 0.24},
+                     # Duplicates the headline backend: omitted.
+                     "compiled": {"sim_cycles_per_s": 590_000,
+                                  "best_s": 0.101},
+                     "fused": {"skipped": "whatever"},
+                 }}
+        entries = entries_from_bench(bench, commit="abc1234")
+        assert [(e["backend"], e["sim_cycles_per_s"]) for e in entries] == [
+            ("compiled", 600_000), ("reference", 40_000),
+            ("vectorized", 250_000)]
+        assert all(not check_history_entry(e) for e in entries)
+
+    def test_backend_switch_does_not_cross_trigger_regressions(self):
+        """An ``auto`` resolution flip (vectorized -> compiled) starts a
+        new series; the slower vectorized trajectory and the faster
+        compiled one never compare against each other."""
+        entries = [
+            history_entry("c1", 250_000),  # backend=vectorized
+            history_entry("c2", 600_000, backend="compiled"),
+            history_entry("c2", 245_000),  # vectorized sweep leg
+            history_entry("c3", 595_000, backend="compiled"),
+        ]
+        assert detect_regressions(entries, threshold=0.20) == []
+        # ... while a genuine within-series drop still fires.
+        entries.append(history_entry("c4", 100_000, backend="compiled"))
+        regs = detect_regressions(entries, threshold=0.20)
+        assert [r["series"] for r in regs] == [
+            "KM/baseline/small/compiled"]
 
     def test_git_commit_never_raises(self, tmp_path):
         assert git_commit(cwd=str(tmp_path)) == "unknown"

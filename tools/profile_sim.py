@@ -12,8 +12,9 @@ A full run also sweeps a per-app x per-policy benchmark ``matrix`` (KM,
 HS and LB under every registered policy at the chosen scale) so BENCH
 captures throughput beyond the single headline workload, plus a
 ``backends`` section timing the default benchmark under every engine
-backend (reference / fused / vectorized, see ``repro.sim.backend``) so
-regressions are caught per backend rather than only on the default.
+backend (reference / fused / vectorized / compiled, see
+``repro.sim.backend``) so regressions are caught per backend rather than
+only on the default.
 
 ``--backend`` pins the engine for the headline run and the matrix
 (``auto`` defers to ``REPRO_ENGINE`` / auto resolution).  ``--quick``
@@ -27,7 +28,7 @@ Usage::
 
     PYTHONPATH=src python tools/profile_sim.py [--app KM] [--policy baseline]
         [--scale small] [--repeats 3] [--out BENCH_sim.json] [--top 15]
-        [--backend auto|reference|fused|vectorized]
+        [--backend auto|reference|fused|vectorized|compiled]
         [--quick] [--check BENCH_sim.json]
 """
 
@@ -45,7 +46,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.config import SCALES, default_config  # noqa: E402
 from repro.experiments.parallel import RunRequest, simulate_request  # noqa: E402
-from repro.sim.backend import ENGINE_NAMES, numpy_available, select_backend  # noqa: E402
+from repro.sim.backend import (ENGINE_NAMES, compiled_available,  # noqa: E402
+                               numpy_available, select_backend)
 from repro.workloads.generator import build_workload  # noqa: E402
 from repro.workloads.suite import get_spec  # noqa: E402
 
@@ -129,16 +131,21 @@ def bench_backends(app: str, policy: str, scale_name: str,
                    repeats: int) -> dict:
     """Best-of wall clock of the headline benchmark under every backend.
 
-    Skips ``vectorized`` (with a recorded reason) when numpy is missing so
-    the sweep still completes in a degraded environment.
+    Skips ``vectorized`` / ``compiled`` (with a recorded reason) when
+    numpy / the C extension is missing so the sweep still completes in a
+    degraded environment.
     """
     scale = SCALES[scale_name]
     config = default_config(scale)
     instance = build_workload(get_spec(app), config, scale)
     backends: dict = {}
-    for name in ("reference", "fused", "vectorized"):
+    for name in ("reference", "fused", "vectorized", "compiled"):
         if name == "vectorized" and not numpy_available():
             backends[name] = {"skipped": "numpy not importable"}
+            continue
+        if name == "compiled" and not compiled_available():
+            backends[name] = {
+                "skipped": "compiled extension (_ckernel) not importable"}
             continue
         request = RunRequest.make(app, policy, engine=name)
         result = None
@@ -262,11 +269,15 @@ def main(argv=None) -> int:
     Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
 
     if not args.no_history:
-        # One line per run: the perf-trajectory input for
-        # `repro obs perf-trajectory` (commit, backend, cycles/s).
-        from repro.obs.trajectory import append_history, entry_from_bench
-        append_history(args.history, entry_from_bench(report))
-        print(f"appended {args.history}")
+        # One line per (run, backend): the perf-trajectory input for
+        # `repro obs perf-trajectory` (commit, backend, cycles/s) -- the
+        # headline under its resolved backend plus each sweep cell under
+        # its own, so series never mix engines.
+        from repro.obs.trajectory import append_history, entries_from_bench
+        entries = entries_from_bench(report)
+        for entry in entries:
+            append_history(args.history, entry)
+        print(f"appended {len(entries)} entries to {args.history}")
 
     stages = report["stages"]
     print(f"{report['app']} / {report['policy']} / {report['scale']} "
